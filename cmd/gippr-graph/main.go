@@ -1,0 +1,60 @@
+// Command gippr-graph renders the transition graph of an insertion/
+// promotion vector (the paper's Figures 2 and 3) as text or Graphviz DOT.
+//
+// Usage:
+//
+//	gippr-graph [-dot] [-vector "0 0 1 ..."] [-named lru|lip|giplr|wi-gippr]
+//
+// Pipe -dot output through `dot -Tpdf` to regenerate the paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gippr/internal/ipv"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of text")
+	vector := flag.String("vector", "", "explicit vector, e.g. \"0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13\"")
+	named := flag.String("named", "giplr", "named vector: lru, lip, midclimb, giplr (Figure 3), wi-gippr")
+	flag.Parse()
+
+	var v ipv.Vector
+	var title string
+	if *vector != "" {
+		parsed, err := ipv.Parse(*vector)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gippr-graph:", err)
+			os.Exit(1)
+		}
+		v, title = parsed, "custom vector "+parsed.String()
+	} else {
+		switch *named {
+		case "lru":
+			v, title = ipv.LRU(16), "Figure 2: LRU transition graph"
+		case "lip":
+			v, title = ipv.LIP(16), "LIP transition graph"
+		case "midclimb":
+			v, title = ipv.MidClimb(16), "Section 2.4 example vector"
+		case "giplr":
+			v, title = ipv.PaperGIPLR, "Figure 3: evolved GIPLR vector"
+		case "wi-gippr":
+			v, title = ipv.PaperWIGIPPR, "Section 5.3 WI-GIPPR vector"
+		default:
+			fmt.Fprintf(os.Stderr, "gippr-graph: unknown named vector %q\n", *named)
+			os.Exit(2)
+		}
+	}
+
+	g := ipv.TransitionGraph(v)
+	if *dot {
+		fmt.Print(g.DOT(title))
+		return
+	}
+	fmt.Println(title)
+	fmt.Printf("vector: %v  (reaches MRU: %v)\n\n", v, v.ReachesMRU())
+	fmt.Print(g.Text())
+}

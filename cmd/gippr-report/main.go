@@ -1,0 +1,103 @@
+// Command gippr-report regenerates every figure of the paper's evaluation
+// (see DESIGN.md section 3) as ASCII tables on stdout.
+//
+// Usage:
+//
+//	gippr-report [-scale smoke|default|full] [-only fig1,fig4,...]
+//
+// The scale flag overrides the GIPPR_SCALE environment variable. With no
+// -only flag, all figures are produced in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gippr/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "", "experiment scale: smoke, default or full (overrides GIPPR_SCALE)")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint")
+	flag.Parse()
+
+	scale := experiments.ScaleFromEnv()
+	switch *scaleFlag {
+	case "":
+	case "smoke":
+		scale = experiments.Smoke
+	case "default":
+		scale = experiments.Default
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "gippr-report: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	lab := experiments.NewLab(scale)
+	fmt.Printf("gippr-report: scale=%s (%d records/phase, warm %.0f%%)\n\n",
+		scale.Name, scale.PhaseRecords, 100*scale.WarmFrac)
+
+	section := func(name string, f func()) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	section("streams", func() {
+		fmt.Println("LLC-filtered stream sizes:")
+		fmt.Printf("%-18s %8s %12s %14s\n", "workload", "phases", "llc records", "instructions")
+		for _, s := range lab.StreamStats() {
+			fmt.Printf("%-18s %8d %12d %14d\n", s.Workload, s.Phases, s.Records, s.Instrs)
+		}
+	})
+	section("fig1", func() { fmt.Print(experiments.Fig1(lab).Format()) })
+	section("fig2", func() {
+		fmt.Println("Figure 2: LRU transition graph (k=16)")
+		fmt.Print(experiments.Fig2().Text())
+	})
+	section("fig3", func() {
+		fmt.Println("Figure 3: evolved GIPLR vector transition graph")
+		fmt.Print(experiments.Fig3().Text())
+	})
+	section("fig4", func() { fmt.Print(experiments.Fig4(lab).Format()) })
+	section("fig10", func() { fmt.Print(experiments.Fig10(lab).Format()) })
+	section("fig11", func() { fmt.Print(experiments.Fig11(lab).Format()) })
+	section("fig12", func() { fmt.Print(experiments.Fig12(lab).Format()) })
+	section("fig13", func() { fmt.Print(experiments.Fig13(lab).Format()) })
+	section("overhead", func() {
+		s, err := experiments.Overhead(lab)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gippr-report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(s)
+	})
+	section("vectors", func() { fmt.Print(experiments.VectorsLearned(lab).Format()) })
+	section("interpret", func() { fmt.Print(experiments.Interpret()) })
+	section("characterize", func() {
+		fmt.Print(experiments.FormatCharacterization(experiments.Characterize(lab)))
+	})
+	section("multicore", func() { fmt.Print(experiments.Multicore(lab).Format()) })
+	section("assoc", func() { fmt.Print(experiments.AssocSweep(lab).Format()) })
+	section("rripv", func() { fmt.Print(experiments.RRIPVSearch(lab).Format()) })
+	section("bypass", func() { fmt.Print(experiments.Bypass(lab).Format()) })
+	section("simpoint", func() {
+		fmt.Print(experiments.FormatSimPointValidation(experiments.SimPointValidation(lab)))
+	})
+}

@@ -1,0 +1,158 @@
+// Command gippr-sim runs trace-driven simulations of the paper's cache
+// hierarchy: one or more workloads against one or more replacement
+// policies, reporting per-workload MPKI, hit rates and window-model IPC.
+//
+// Usage:
+//
+//	gippr-sim [-workloads mcf_like,lbm_like|all] [-policies lru,drrip,4-dgippr|all]
+//	          [-records N] [-warm frac] [-ipv "0 0 1 ..."]
+//
+// With -ipv, an additional GIPPR policy using the given vector is included.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gippr/internal/cache"
+	"gippr/internal/cpu"
+	"gippr/internal/ipv"
+	"gippr/internal/policy"
+	"gippr/internal/stats"
+	"gippr/internal/trace"
+	"gippr/internal/workload"
+	"gippr/internal/xrand"
+)
+
+func main() {
+	workloadsFlag := flag.String("workloads", "all", "comma-separated workload names, or 'all'")
+	policiesFlag := flag.String("policies", "lru,plru,drrip,pdp,gippr,4-dgippr", "comma-separated policy names (see -list), or 'all'")
+	records := flag.Int("records", 600_000, "memory references per workload phase")
+	warm := flag.Float64("warm", 1.0/3, "fraction of each phase used for cache warm-up")
+	ipvFlag := flag.String("ipv", "", "additional GIPPR vector to simulate, e.g. \"0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13\"")
+	specFile := flag.String("spec", "", "file of custom workload definitions (see workload.ParseSpec); adds them to -workloads")
+	list := flag.Bool("list", false, "list known workloads and policies, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
+		fmt.Println("policies: ", strings.Join(policy.Names(), " "))
+		return
+	}
+
+	custom := map[string]workload.Workload{}
+	if *specFile != "" {
+		text, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := workload.ParseSpec(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range parsed {
+			custom[w.Name] = w
+		}
+	}
+
+	var wls []workload.Workload
+	if *workloadsFlag == "all" {
+		wls = workload.Suite()
+		for _, w := range custom {
+			wls = append(wls, w)
+		}
+	} else {
+		for _, n := range strings.Split(*workloadsFlag, ",") {
+			name := strings.TrimSpace(n)
+			if w, ok := custom[name]; ok {
+				wls = append(wls, w)
+				continue
+			}
+			w, err := workload.ByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			wls = append(wls, w)
+		}
+	}
+
+	type polSpec struct {
+		name string
+		mk   func(sets, ways int) cache.Policy
+	}
+	var pols []polSpec
+	names := strings.Split(*policiesFlag, ",")
+	if *policiesFlag == "all" {
+		names = policy.Names()
+	}
+	for _, n := range names {
+		f, err := policy.Lookup(strings.TrimSpace(n))
+		if err != nil {
+			fatal(err)
+		}
+		pols = append(pols, polSpec{name: f.Name, mk: f.New})
+	}
+	if *ipvFlag != "" {
+		v, err := ipv.Parse(*ipvFlag)
+		if err != nil {
+			fatal(err)
+		}
+		pols = append(pols, polSpec{
+			name: "GIPPR*",
+			mk:   func(s, w int) cache.Policy { return policy.NewGIPPR(s, w, v) },
+		})
+	}
+
+	l3 := cache.L3Config
+	fmt.Printf("%-18s %-12s %10s %10s %10s %8s\n", "workload", "policy", "LLC MPKI", "LLC hit%", "IPC", "misses")
+	for _, w := range wls {
+		for _, ps := range pols {
+			var mpkis, ipcs, hitrs, weights []float64
+			var misses uint64
+			for pi, ph := range w.Phases {
+				h := hierarchyWith(ps.mk(l3.Sets(), l3.Ways))
+				h.RecordLLC = true
+				src := &workload.Limit{Src: ph.Source(xrand.Mix(uint64(pi), 0x5eed)), N: uint64(*records)}
+				h.Run(src)
+				stream := h.LLCStream
+				res := cpu.WindowReplay(stream, l3, ps.mk(l3.Sets(), l3.Ways),
+					int(float64(len(stream))**warm), cpu.DefaultWindowModel())
+				mpkis = append(mpkis, stats.MPKI(res.Misses, res.Instructions))
+				hitrs = append(hitrs, 100*float64(res.Hits)/float64(max(res.Accesses, 1)))
+				ipcs = append(ipcs, float64(res.Instructions)/res.Cycles)
+				weights = append(weights, ph.Weight)
+				misses += res.Misses
+			}
+			fmt.Printf("%-18s %-12s %10.3f %10.2f %10.3f %8d\n",
+				w.Name, ps.name,
+				stats.WeightedMean(mpkis, weights),
+				stats.WeightedMean(hitrs, weights),
+				stats.WeightedMean(ipcs, weights),
+				misses)
+		}
+	}
+}
+
+func hierarchyWith(llc cache.Policy) *cache.Hierarchy {
+	return cache.NewHierarchy(
+		cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
+		cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
+		cache.New(cache.L3Config, llc),
+	)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gippr-sim:", err)
+	os.Exit(1)
+}
+
+var _ trace.Source = (*workload.Limit)(nil)

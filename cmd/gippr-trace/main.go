@@ -1,0 +1,188 @@
+// Command gippr-trace generates, filters and inspects memory-reference
+// trace files in the repository's binary trace format.
+//
+// Trace files whose names end in ".gz" are transparently gzip-compressed.
+//
+// Usage:
+//
+//	gippr-trace gen -workload mcf_like [-phase 0] [-records N] [-seed S] -o trace.bin
+//	gippr-trace llc -i trace.bin -o llc.bin       # filter through L1/L2
+//	gippr-trace info -i trace.bin                 # summary statistics
+//	gippr-trace simpoints -i trace.bin [-k 6]     # SimPoint phase selection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gippr/internal/cache"
+	"gippr/internal/policy"
+	"gippr/internal/simpoint"
+	"gippr/internal/trace"
+	"gippr/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "llc":
+		cmdLLC(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "simpoints":
+		cmdSimpoints(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gippr-trace {gen|llc|info|simpoints} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gippr-trace:", err)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("workload", "mcf_like", "workload name")
+	phase := fs.Int("phase", 0, "phase index")
+	records := fs.Int("records", 600_000, "number of references")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("gen: -o is required"))
+	}
+	w, err := workload.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	if *phase < 0 || *phase >= len(w.Phases) {
+		fatal(fmt.Errorf("gen: %s has %d phases", w.Name, len(w.Phases)))
+	}
+	tw, closeFn, err := trace.CreateFile(*out)
+	if err != nil {
+		fatal(err)
+	}
+	src := &workload.Limit{Src: w.Phases[*phase].Source(*seed), N: uint64(*records)}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(r); err != nil {
+			closeFn()
+			fatal(err)
+		}
+	}
+	n := tw.Count()
+	if err := closeFn(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", n, *out)
+}
+
+func cmdLLC(args []string) {
+	fs := flag.NewFlagSet("llc", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	out := fs.String("o", "", "output LLC-filtered trace file")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("llc: -i and -o are required"))
+	}
+	tr, closeIn, err := trace.OpenFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeIn()
+	h := cache.NewHierarchy(
+		cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
+		cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
+		cache.New(cache.L3Config, policy.NewTrueLRU(cache.L3Config.Sets(), cache.L3Config.Ways)),
+	)
+	h.RecordLLC = true
+	n := h.Run(tr)
+	if err := trace.WriteFile(*out, h.LLCStream); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("read %d references; %d reached the LLC (%.1f%%)\n",
+		n, len(h.LLCStream), 100*float64(len(h.LLCStream))/float64(n))
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("info: -i is required"))
+	}
+	tr, closeIn, err := trace.OpenFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeIn()
+	var records, writes, instrs uint64
+	blocks := map[uint64]struct{}{}
+	pcs := map[uint64]struct{}{}
+	for {
+		r, ok := tr.Next()
+		if !ok {
+			break
+		}
+		records++
+		instrs += uint64(r.Gap)
+		if r.Write {
+			writes++
+		}
+		blocks[r.Addr>>6] = struct{}{}
+		pcs[r.PC] = struct{}{}
+	}
+	fmt.Printf("records:        %d\n", records)
+	fmt.Printf("instructions:   %d\n", instrs)
+	fmt.Printf("writes:         %d (%.1f%%)\n", writes, pct(writes, records))
+	fmt.Printf("distinct blocks: %d (%.1f MB footprint)\n", len(blocks), float64(len(blocks))*64/1024/1024)
+	fmt.Printf("distinct PCs:   %d\n", len(pcs))
+	if records > 0 {
+		fmt.Printf("refs per kilo-instruction: %.1f\n", 1000*float64(records)/float64(instrs))
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func cmdSimpoints(args []string) {
+	fs := flag.NewFlagSet("simpoints", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	k := fs.Int("k", 6, "maximum number of phases (the paper uses up to 6 simpoints)")
+	intervalLen := fs.Int("interval", 100_000, "interval length in references")
+	seed := fs.Uint64("seed", 1, "clustering seed")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("simpoints: -i is required"))
+	}
+	recs, err := trace.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	intervals := simpoint.Extract(recs, *intervalLen)
+	points := simpoint.Pick(intervals, *k, *seed)
+	fmt.Printf("%d records, %d intervals of %d, %d phases:\n",
+		len(recs), len(intervals), *intervalLen, len(points))
+	for _, p := range points {
+		fmt.Printf("  %s -> records [%d, %d)\n", p,
+			p.Interval.Index**intervalLen, p.Interval.Index**intervalLen+p.Interval.Records)
+	}
+}

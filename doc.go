@@ -1,0 +1,26 @@
+// Package gippr is a from-scratch reproduction of "Insertion and Promotion
+// for Tree-Based PseudoLRU Last-Level Caches" (Daniel A. Jiménez, MICRO-46,
+// 2013): last-level cache replacement driven by evolved insertion/promotion
+// vectors (IPVs) over tree PseudoLRU state, with set-dueling adaptivity —
+// state-of-the-art replacement performance at under one bit per cache block.
+//
+// This root package is the curated public API: a facade over the internal
+// packages that implement the paper's contribution (GIPLR, GIPPR, DGIPPR)
+// and every substrate it depends on — a trace-driven multi-level cache
+// simulator, CMP$im-like timing models, synthetic SPEC-stand-in workloads, a
+// genetic-algorithm IPV search, the competing policies (LRU, PLRU, DIP,
+// DRRIP, PDP, SHiP, ...) and Belady's MIN.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	cfg := gippr.LLCConfig()                       // 4 MB, 16-way
+//	pol := gippr.NewDGIPPR4(cfg.Sets(), cfg.Ways,  // the paper's headline policy
+//		gippr.PaperWI4DGIPPR)
+//	c := gippr.NewCache(cfg, pol)
+//	hit := c.Access(gippr.Record{Gap: 1, Addr: 0xdeadbeef})
+//
+// The experiment harness reproducing every figure in the paper lives in
+// internal/experiments and is driven by cmd/gippr-report and the benchmarks
+// in bench_test.go. DESIGN.md maps paper figure -> module -> bench target;
+// EXPERIMENTS.md records paper-vs-measured results.
+package gippr

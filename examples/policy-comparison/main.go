@@ -1,0 +1,78 @@
+// Policy comparison: replay one workload's LLC access stream under every
+// major replacement policy plus Belady's MIN, reproducing in miniature the
+// paper's Figure 11 methodology (capture the LLC stream once, replay per
+// policy, report MPKI normalized to LRU).
+//
+// Run with: go run ./examples/policy-comparison [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gippr"
+)
+
+func main() {
+	name := "sphinx3_like"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := gippr.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Capture the LLC-visible stream once: it is the same for every LLC
+	// policy because L1/L2 are fixed.
+	h := gippr.DefaultHierarchy(gippr.NewLRU(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways))
+	h.RecordLLC = true
+	src := w.Phases[0].Source(7)
+	for i := 0; i < 600_000; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		h.Access(rec)
+	}
+	stream := h.LLCStream
+	warm := len(stream) / 3
+	fmt.Printf("workload %s: %d LLC accesses captured (%d warm-up)\n\n", name, len(stream), warm)
+
+	cfg := gippr.LLCConfig()
+	sets, ways := cfg.Sets(), cfg.Ways
+	policies := []struct {
+		name string
+		pol  gippr.Policy
+	}{
+		{"LRU", gippr.NewLRU(sets, ways)},
+		{"Random", gippr.NewRandom(sets, ways)},
+		{"FIFO", gippr.NewFIFO(sets, ways)},
+		{"PLRU", gippr.NewPLRU(sets, ways)},
+		{"DIP", gippr.NewDIP(sets, ways)},
+		{"DRRIP", gippr.NewDRRIP(sets, ways)},
+		{"PDP", gippr.NewPDP(sets, ways)},
+		{"SHiP", gippr.NewSHiP(sets, ways)},
+		{"GIPPR", gippr.NewGIPPR(sets, ways, gippr.PaperWIGIPPR)},
+		{"4-DGIPPR", gippr.NewDGIPPR4(sets, ways, gippr.PaperWI4DGIPPR)},
+	}
+
+	var lruMisses uint64
+	fmt.Printf("%-10s %10s %10s %12s\n", "policy", "misses", "hit rate", "vs LRU")
+	for _, p := range policies {
+		rs := gippr.ReplayStream(stream, cfg, p.pol, warm)
+		if p.name == "LRU" {
+			lruMisses = rs.Misses
+		}
+		fmt.Printf("%-10s %10d %9.1f%% %11.1f%%\n",
+			p.name, rs.Misses,
+			100*float64(rs.Hits)/float64(rs.Accesses),
+			100*float64(rs.Misses)/float64(lruMisses))
+	}
+	min := gippr.OptimalMisses(stream, cfg, warm)
+	fmt.Printf("%-10s %10d %9.1f%% %11.1f%%  (Belady's MIN, offline)\n",
+		"Optimal", min.Misses,
+		100*float64(min.Hits)/float64(min.Accesses),
+		100*float64(min.Misses)/float64(lruMisses))
+}

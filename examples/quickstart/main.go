@@ -1,0 +1,48 @@
+// Quickstart: build the paper's 4 MB 16-way last-level cache with the
+// recommended 4-vector DGIPPR policy, stream a synthetic workload through
+// the full L1/L2/L3 hierarchy, and compare misses against plain LRU.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gippr"
+)
+
+func main() {
+	// The workload: a pointer-chasing benchmark stand-in from the suite.
+	w, err := gippr.WorkloadByName("mcf_like")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const records = 400_000
+	for _, setup := range []struct {
+		name string
+		llc  gippr.Policy
+	}{
+		{"LRU", gippr.NewLRU(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways)},
+		{"4-DGIPPR", gippr.NewDGIPPR4(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways, gippr.PaperWI4DGIPPR)},
+	} {
+		h := gippr.DefaultHierarchy(setup.llc)
+		src := w.Phases[0].Source(1)
+		for i := 0; i < records; i++ {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			h.Access(rec)
+		}
+		l3 := h.L3.Stats
+		fmt.Printf("%-10s L3: %8d accesses, %8d misses (hit rate %.1f%%), MPKI %.1f\n",
+			setup.name, l3.Accesses, l3.Misses, 100*l3.HitRate(),
+			1000*float64(l3.Misses)/float64(h.Instructions))
+	}
+
+	fmt.Println()
+	fmt.Println("The 4-DGIPPR policy costs 15 bits per 16-way set (< 0.94 bits/block)")
+	fmt.Println("plus three 11-bit duel counters for the whole cache.")
+}

@@ -1,0 +1,3 @@
+module gippr
+
+go 1.22

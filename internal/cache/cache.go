@@ -1,0 +1,259 @@
+// Package cache implements the trace-driven set-associative cache model and
+// the three-level hierarchy of the paper's evaluation (Section 4.5): a 32 KB
+// 8-way L1 data cache, a 256 KB 8-way unified L2, a 4 MB 16-way L3 (the
+// last-level cache whose replacement policy is under study), and a 200-cycle
+// DRAM.
+//
+// The model is a miss-accounting simulator in the style of CMP$im's cache
+// core: it tracks tags, dirty bits and replacement state, not data.
+// Replacement policy is pluggable per cache via the Policy interface; every
+// policy in package policy (LRU, PLRU, DRRIP, PDP, GIPPR, DGIPPR, ...)
+// implements it. The hierarchy is non-inclusive/non-exclusive by default
+// (each level fills on its own miss; opt into back-invalidation with
+// Hierarchy.MakeInclusive) and write misses allocate like reads; these
+// simplifications do not affect relative replacement-policy behaviour at
+// the LLC, which is what the paper measures.
+//
+// Because the L1 and L2 policies are fixed, the access stream reaching the
+// LLC is independent of the LLC's own replacement policy. The hierarchy can
+// therefore record the LLC-visible stream once (RecordLLC), and searches
+// such as the genetic algorithm replay it into an LLC-only model with
+// ReplayStream — exactly the paper's Valgrind-trace methodology
+// (Section 4.3), and orders of magnitude faster than re-simulating L1/L2.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gippr/internal/trace"
+)
+
+// Policy decides replacement within each set of one cache. Implementations
+// hold all their per-set state (recency stacks, plru bits, RRPVs, ...).
+// The cache calls:
+//
+//   - OnHit when an access hits;
+//   - OnMiss once per miss, before victim selection (dueling policies use
+//     this to update their selection counters);
+//   - Victim on a miss in a full set, to choose the way to evict;
+//   - OnEvict when a valid block is evicted (its way is about to be
+//     overwritten);
+//   - OnFill after the missing block has been placed in a way (whether it
+//     replaced a victim or filled an invalid way).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	OnHit(set uint32, way int, r trace.Record)
+	OnMiss(set uint32, r trace.Record)
+	Victim(set uint32, r trace.Record) int
+	OnEvict(set uint32, way int, r trace.Record)
+	OnFill(set uint32, way int, r trace.Record)
+}
+
+// Bypasser is optionally implemented by replacement policies that can
+// decide an incoming block should not be cached at all (e.g. PDP with
+// bypass, or the GIPPR+bypass extension). The cache consults it on a miss
+// only when the set is full; a bypassed access counts as a miss but evicts
+// nothing and fills nothing. Bypass violates inclusion, so it must not be
+// used at an inclusive level.
+type Bypasser interface {
+	ShouldBypass(set uint32, r trace.Record) bool
+}
+
+// Config describes one cache's geometry.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	// HitLatency is the access latency in cycles when this cache hits,
+	// used by the CPU timing models.
+	HitLatency int
+}
+
+// Sets returns the number of sets implied by the geometry. It panics if the
+// geometry is inconsistent or not a power of two.
+func (c Config) Sets() int {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", c))
+	}
+	sets := c.SizeBytes / (c.Ways * c.BlockBytes)
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s: %d sets is not a power of two", c.Name, sets))
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: %s: block size %d is not a power of two", c.Name, c.BlockBytes))
+	}
+	return sets
+}
+
+// Standard geometries from the paper (Section 4.5).
+var (
+	L1Config = Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, BlockBytes: 64, HitLatency: 3}
+	L2Config = Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, BlockBytes: 64, HitLatency: 12}
+	L3Config = Config{Name: "L3", SizeBytes: 4 << 20, Ways: 16, BlockBytes: 64, HitLatency: 30}
+)
+
+// DRAMLatency is the paper's main-memory latency in cycles.
+const DRAMLatency = 200
+
+// Stats counts events at one cache.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Writes    uint64
+	// Writebacks counts evictions of dirty lines — the write traffic this
+	// cache would send toward memory. The simulator accounts it as a
+	// statistic; writeback traffic is not re-injected into lower levels
+	// (replacement decisions at the LLC are driven by demand references).
+	Writebacks uint64
+}
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	block uint64 // full block number (addr >> blockShift); tag+index in one
+	valid bool
+	dirty bool
+}
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	cfg        Config
+	sets       int
+	ways       int
+	setMask    uint64
+	blockShift uint
+	lines      []line // flattened [set*ways + way]
+	pol        Policy
+	Stats      Stats
+
+	// OnEviction, if set, is called with the byte address of every valid
+	// block this cache evicts. Hierarchies use it to implement inclusion
+	// (back-invalidation of inner levels).
+	OnEviction func(addr uint64)
+}
+
+// New returns a cache with the given geometry and replacement policy.
+func New(cfg Config, pol Policy) *Cache {
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:        cfg,
+		sets:       sets,
+		ways:       cfg.Ways,
+		setMask:    uint64(sets - 1),
+		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		lines:      make([]line, sets*cfg.Ways),
+		pol:        pol,
+	}
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Policy returns the replacement policy in use.
+func (c *Cache) Policy() Policy { return c.pol }
+
+// Block returns the block number of a byte address in this cache's geometry.
+func (c *Cache) Block(addr uint64) uint64 { return addr >> c.blockShift }
+
+// SetOf returns the set index a byte address maps to.
+func (c *Cache) SetOf(addr uint64) uint32 { return uint32(c.Block(addr) & c.setMask) }
+
+// Access performs one reference and returns whether it hit. On a miss the
+// block is filled (allocate-on-miss for both reads and writes).
+func (c *Cache) Access(r trace.Record) bool {
+	c.Stats.Accesses++
+	if r.Write {
+		c.Stats.Writes++
+	}
+	block := c.Block(r.Addr)
+	set := uint32(block & c.setMask)
+	base := int(set) * c.ways
+	ls := c.lines[base : base+c.ways]
+	for w := range ls {
+		if ls[w].valid && ls[w].block == block {
+			c.Stats.Hits++
+			if r.Write {
+				ls[w].dirty = true
+			}
+			c.pol.OnHit(set, w, r)
+			return true
+		}
+	}
+	c.Stats.Misses++
+	c.pol.OnMiss(set, r)
+	w := -1
+	for i := range ls {
+		if !ls[i].valid {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		if bp, ok := c.pol.(Bypasser); ok && bp.ShouldBypass(set, r) {
+			return false
+		}
+		w = c.pol.Victim(set, r)
+		if w < 0 || w >= c.ways {
+			panic(fmt.Sprintf("cache: %s: policy %s chose invalid victim way %d", c.cfg.Name, c.pol.Name(), w))
+		}
+		c.Stats.Evictions++
+		if ls[w].dirty {
+			c.Stats.Writebacks++
+		}
+		c.pol.OnEvict(set, w, r)
+		if c.OnEviction != nil {
+			c.OnEviction(ls[w].block << c.blockShift)
+		}
+	}
+	ls[w] = line{block: block, valid: true, dirty: r.Write}
+	c.pol.OnFill(set, w, r)
+	return false
+}
+
+// Invalidate removes the block holding addr if present, returning whether
+// it was resident. Used for back-invalidation in inclusive hierarchies.
+// The replacement policy is not notified: the line simply becomes invalid
+// and will be preferred for the next fill.
+func (c *Cache) Invalidate(addr uint64) bool {
+	block := c.Block(addr)
+	set := uint32(block & c.setMask)
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w].valid && c.lines[base+w].block == block {
+			c.lines[base+w].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the block holding addr is present (no state
+// change; for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	block := c.Block(addr)
+	set := uint32(block & c.setMask)
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w].valid && c.lines[base+w].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats zeroes the counters (e.g. after cache warm-up).
+func (c *Cache) ResetStats() { c.Stats = Stats{} }

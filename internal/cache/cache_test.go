@@ -1,0 +1,336 @@
+package cache
+
+import (
+	"testing"
+
+	"gippr/internal/trace"
+)
+
+// lruTestPolicy is a minimal true-LRU policy local to this package so the
+// cache can be tested without importing package policy (which imports this
+// package).
+type lruTestPolicy struct {
+	ways   int
+	stamps [][]uint64
+	clock  uint64
+}
+
+func newLRUTest(sets, ways int) *lruTestPolicy {
+	s := make([][]uint64, sets)
+	for i := range s {
+		s[i] = make([]uint64, ways)
+	}
+	return &lruTestPolicy{ways: ways, stamps: s}
+}
+
+func (p *lruTestPolicy) Name() string { return "test-lru" }
+func (p *lruTestPolicy) OnHit(set uint32, way int, _ trace.Record) {
+	p.clock++
+	p.stamps[set][way] = p.clock
+}
+func (p *lruTestPolicy) OnMiss(uint32, trace.Record) {}
+func (p *lruTestPolicy) OnFill(set uint32, way int, _ trace.Record) {
+	p.clock++
+	p.stamps[set][way] = p.clock
+}
+func (p *lruTestPolicy) OnEvict(uint32, int, trace.Record) {}
+func (p *lruTestPolicy) Victim(set uint32, _ trace.Record) int {
+	best, bestStamp := 0, p.stamps[set][0]
+	for w := 1; w < p.ways; w++ {
+		if p.stamps[set][w] < bestStamp {
+			best, bestStamp = w, p.stamps[set][w]
+		}
+	}
+	return best
+}
+
+func tinyConfig() Config {
+	return Config{Name: "tiny", SizeBytes: 4 * 64 * 2, Ways: 2, BlockBytes: 64, HitLatency: 1}
+}
+
+func rec(addr uint64) trace.Record { return trace.Record{Gap: 1, Addr: addr} }
+
+func TestConfigSets(t *testing.T) {
+	if got := L3Config.Sets(); got != 4096 {
+		t.Fatalf("L3 sets = %d", got)
+	}
+	if got := L1Config.Sets(); got != 64 {
+		t.Fatalf("L1 sets = %d", got)
+	}
+	if got := L2Config.Sets(); got != 512 {
+		t.Fatalf("L2 sets = %d", got)
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 2, BlockBytes: 64},
+		{SizeBytes: 1000, Ways: 3, BlockBytes: 64}, // non-power-of-two sets
+		{SizeBytes: 1024, Ways: 2, BlockBytes: 48}, // non-power-of-two block
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %d did not panic", i)
+				}
+			}()
+			cfg.Sets()
+		}()
+	}
+}
+
+func TestHitAndMiss(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	if c.Access(rec(0)) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(rec(0)) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(rec(63)) {
+		t.Fatal("same-block access missed")
+	}
+	if c.Access(rec(64)) {
+		t.Fatal("different block hit")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Hits != 2 || c.Stats.Misses != 2 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	cfg := tinyConfig() // 4 sets, 2 ways
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	setStride := uint64(4 * 64) // addresses mapping to set 0
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(rec(a))
+	c.Access(rec(b))
+	c.Access(rec(a)) // a is now MRU
+	c.Access(rec(d)) // evicts b
+	if !c.Contains(a) {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if c.Contains(b) {
+		t.Fatal("b survived despite being LRU")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d not filled")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestWriteCounting(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	c.Access(trace.Record{Gap: 1, Addr: 0, Write: true})
+	c.Access(trace.Record{Gap: 1, Addr: 0, Write: false})
+	if c.Stats.Writes != 1 {
+		t.Fatalf("writes = %d", c.Stats.Writes)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	c.Access(rec(0))
+	c.ResetStats()
+	if c.Stats.Accesses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !c.Access(rec(0)) {
+		t.Fatal("contents lost on stats reset")
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	cfg := tinyConfig() // 4 sets
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	if c.SetOf(0) != 0 || c.SetOf(64) != 1 || c.SetOf(192) != 3 || c.SetOf(256) != 0 {
+		t.Fatal("set mapping wrong")
+	}
+	if c.Block(128) != 2 {
+		t.Fatalf("block of 128 = %d", c.Block(128))
+	}
+}
+
+// badVictimPolicy returns an out-of-range victim to exercise the guard.
+type badVictimPolicy struct{ lruTestPolicy }
+
+func (p *badVictimPolicy) Victim(uint32, trace.Record) int { return 99 }
+
+func TestBadVictimPanics(t *testing.T) {
+	cfg := tinyConfig()
+	bad := &badVictimPolicy{*newLRUTest(cfg.Sets(), cfg.Ways)}
+	c := New(cfg, bad)
+	setStride := uint64(4 * 64)
+	c.Access(rec(0))
+	c.Access(rec(setStride))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid victim not caught")
+		}
+	}()
+	c.Access(rec(2 * setStride))
+}
+
+func newTestHierarchy() *Hierarchy {
+	l1 := New(Config{Name: "l1", SizeBytes: 2 * 64 * 2, Ways: 2, BlockBytes: 64, HitLatency: 3}, newLRUTest(2, 2))
+	l2 := New(Config{Name: "l2", SizeBytes: 4 * 64 * 4, Ways: 4, BlockBytes: 64, HitLatency: 12}, newLRUTest(4, 4))
+	l3 := New(Config{Name: "l3", SizeBytes: 8 * 64 * 8, Ways: 8, BlockBytes: 64, HitLatency: 30}, newLRUTest(8, 8))
+	return NewHierarchy(l1, l2, l3)
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := newTestHierarchy()
+	if lvl := h.Access(rec(0)); lvl != LevelMemory {
+		t.Fatalf("cold access satisfied at %v", lvl)
+	}
+	if lvl := h.Access(rec(0)); lvl != LevelL1 {
+		t.Fatalf("hot access satisfied at %v", lvl)
+	}
+	// Evict block 0 from tiny L1 (2 sets x 2 ways; same-set blocks are 2
+	// block-strides apart) but leave it in L2.
+	h.Access(rec(2 * 64))
+	h.Access(rec(4 * 64))
+	if lvl := h.Access(rec(0)); lvl != LevelL2 {
+		t.Fatalf("expected L2 hit, got %v", lvl)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := newTestHierarchy()
+	if h.Latency(LevelL1) != 3 || h.Latency(LevelL2) != 12 || h.Latency(LevelL3) != 30 {
+		t.Fatal("hit latencies wrong")
+	}
+	if h.Latency(LevelMemory) != 30+DRAMLatency {
+		t.Fatalf("memory latency = %d", h.Latency(LevelMemory))
+	}
+}
+
+func TestHierarchyInstructionCount(t *testing.T) {
+	h := newTestHierarchy()
+	h.Access(trace.Record{Gap: 5, Addr: 0})
+	h.Access(trace.Record{Gap: 3, Addr: 64})
+	if h.Instructions != 8 {
+		t.Fatalf("instructions = %d", h.Instructions)
+	}
+}
+
+func TestRecordLLCGaps(t *testing.T) {
+	h := newTestHierarchy()
+	h.RecordLLC = true
+	h.Access(trace.Record{Gap: 5, Addr: 0})   // miss everywhere -> LLC sees it, gap 5
+	h.Access(trace.Record{Gap: 3, Addr: 0})   // L1 hit -> not recorded
+	h.Access(trace.Record{Gap: 2, Addr: 512}) // miss -> recorded with gap 3+2
+	if len(h.LLCStream) != 2 {
+		t.Fatalf("LLC stream has %d records", len(h.LLCStream))
+	}
+	if h.LLCStream[0].Gap != 5 || h.LLCStream[1].Gap != 5 {
+		t.Fatalf("LLC gaps = %d, %d", h.LLCStream[0].Gap, h.LLCStream[1].Gap)
+	}
+}
+
+func TestHierarchyRun(t *testing.T) {
+	h := newTestHierarchy()
+	src := trace.NewSliceSource([]trace.Record{rec(0), rec(64), rec(0)})
+	if n := h.Run(src); n != 3 {
+		t.Fatalf("Run processed %d", n)
+	}
+	if h.L1.Stats.Accesses != 3 {
+		t.Fatalf("L1 accesses = %d", h.L1.Stats.Accesses)
+	}
+}
+
+func TestHierarchyResetStats(t *testing.T) {
+	h := newTestHierarchy()
+	h.Access(rec(0))
+	h.ResetStats()
+	if h.L1.Stats.Accesses != 0 || h.L3.Stats.Accesses != 0 || h.Instructions != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if lvl := h.Access(rec(0)); lvl != LevelL1 {
+		t.Fatal("contents lost by stats reset")
+	}
+}
+
+func TestReplayStream(t *testing.T) {
+	cfg := tinyConfig()
+	stream := []trace.Record{
+		rec(0), rec(64), // warm
+		rec(0), rec(64), rec(128), rec(0),
+	}
+	rs := ReplayStream(stream, cfg, newLRUTest(cfg.Sets(), cfg.Ways), 2)
+	if rs.Accesses != 4 {
+		t.Fatalf("accesses = %d", rs.Accesses)
+	}
+	if rs.Hits != 3 || rs.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", rs.Hits, rs.Misses)
+	}
+	if rs.Instructions != 4 {
+		t.Fatalf("instructions = %d", rs.Instructions)
+	}
+}
+
+func TestReplayStreamWarmBeyondLength(t *testing.T) {
+	cfg := tinyConfig()
+	rs := ReplayStream([]trace.Record{rec(0)}, cfg, newLRUTest(cfg.Sets(), cfg.Ways), 10)
+	if rs.Accesses != 0 {
+		t.Fatalf("accesses = %d", rs.Accesses)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelMemory: "MEM", Level(9): "?"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("Level(%d).String() = %q", l, l.String())
+		}
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	cfg := tinyConfig() // 4 sets x 2 ways
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	stride := uint64(4 * 64)
+	// Dirty fill, clean fill, then two evictions: only the dirty line
+	// produces a writeback.
+	c.Access(trace.Record{Gap: 1, Addr: 0, Write: true})
+	c.Access(trace.Record{Gap: 1, Addr: stride})
+	c.Access(rec(2 * stride)) // evicts dirty block 0
+	c.Access(rec(3 * stride)) // evicts clean block
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestWriteHitDirtiesLine(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	stride := uint64(4 * 64)
+	c.Access(rec(0))                                     // clean fill
+	c.Access(trace.Record{Gap: 1, Addr: 0, Write: true}) // dirtied by a hit
+	c.Access(rec(stride))
+	c.Access(rec(2 * stride)) // evicts block 0
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d after write hit", c.Stats.Writebacks)
+	}
+}
+
+func TestInvalidateDropsDirtyState(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	c.Access(trace.Record{Gap: 1, Addr: 0, Write: true})
+	c.Invalidate(0)
+	// Refill clean and evict: the stale dirty bit must not leak.
+	stride := uint64(4 * 64)
+	c.Access(rec(0))
+	c.Access(rec(stride))
+	c.Access(rec(2 * stride))
+	if c.Stats.Writebacks != 0 {
+		t.Fatalf("writebacks = %d, stale dirty bit leaked", c.Stats.Writebacks)
+	}
+}

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+func TestInvalidate(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	c.Access(rec(0))
+	if !c.Invalidate(0) {
+		t.Fatal("resident block not invalidated")
+	}
+	if c.Contains(0) {
+		t.Fatal("block still resident after invalidation")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("absent block reported invalidated")
+	}
+	// The invalidated way must be preferred for the next fill (no
+	// eviction needed).
+	c.Access(rec(0))
+	if c.Stats.Evictions != 0 {
+		t.Fatal("fill after invalidation evicted something")
+	}
+}
+
+func TestOnEvictionHook(t *testing.T) {
+	cfg := tinyConfig() // 4 sets x 2 ways
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	var evicted []uint64
+	c.OnEviction = func(addr uint64) { evicted = append(evicted, addr) }
+	stride := uint64(4 * 64)
+	c.Access(rec(0))
+	c.Access(rec(stride))
+	c.Access(rec(2 * stride)) // evicts block 0
+	if len(evicted) != 1 || evicted[0] != 0 {
+		t.Fatalf("eviction hook got %v", evicted)
+	}
+}
+
+func TestInclusiveHierarchyInvariant(t *testing.T) {
+	h := newTestHierarchy()
+	h.MakeInclusive()
+	rng := xrand.New(99)
+	for i := 0; i < 50_000; i++ {
+		h.Access(trace.Record{Gap: 1, Addr: rng.Uint64n(4096) * 64})
+		if i%1000 != 0 {
+			continue
+		}
+		// Invariant: every block in L1 or L2 is also in L3.
+		for b := uint64(0); b < 4096; b++ {
+			addr := b * 64
+			if (h.L1.Contains(addr) || h.L2.Contains(addr)) && !h.L3.Contains(addr) {
+				t.Fatalf("inclusion violated for block %d at step %d", b, i)
+			}
+		}
+	}
+}
+
+func TestNonInclusiveHierarchyCanViolateInclusion(t *testing.T) {
+	// Sanity check of the default (non-inclusive) mode: a block kept hot
+	// in L1 (so its L3 recency never refreshes) eventually loses its L3
+	// copy under streaming traffic while remaining L1-resident. This
+	// guards against MakeInclusive becoming implicit default behaviour.
+	h := newTestHierarchy()
+	rng := xrand.New(7)
+	next := uint64(1 << 20)
+	violated := false
+	for i := 0; i < 50_000 && !violated; i++ {
+		if rng.Bool(0.8) {
+			h.Access(trace.Record{Gap: 1, Addr: uint64(rng.Intn(2)) * 64})
+		} else {
+			h.Access(trace.Record{Gap: 1, Addr: next * 64})
+			next++
+		}
+		for b := uint64(0); b < 2; b++ {
+			addr := b * 64
+			if (h.L1.Contains(addr) || h.L2.Contains(addr)) && !h.L3.Contains(addr) {
+				violated = true
+			}
+		}
+	}
+	if !violated {
+		t.Fatal("non-inclusive hierarchy never diverged; test workload too weak?")
+	}
+}
+
+func TestInclusiveMissCountsDiffer(t *testing.T) {
+	// The classic inclusion-victim pattern: blocks hot in L1 stop
+	// refreshing their L3 recency (their hits never reach L3), the
+	// streaming traffic evicts them from L3, and back-invalidation then
+	// costs extra L1 misses that the non-inclusive hierarchy avoids.
+	runMisses := func(inclusive bool) uint64 {
+		h := newTestHierarchy()
+		if inclusive {
+			h.MakeInclusive()
+		}
+		rng := xrand.New(11)
+		next := uint64(1 << 20)
+		for i := 0; i < 60_000; i++ {
+			if rng.Bool(0.8) {
+				h.Access(trace.Record{Gap: 1, Addr: uint64(rng.Intn(2)) * 64}) // hot pair
+			} else {
+				h.Access(trace.Record{Gap: 1, Addr: next * 64}) // L3-thrashing stream
+				next++
+			}
+		}
+		return h.L1.Stats.Misses
+	}
+	ni, inc := runMisses(false), runMisses(true)
+	if inc <= ni {
+		t.Fatalf("inclusive L1 misses %d not above non-inclusive %d", inc, ni)
+	}
+}

@@ -1,0 +1,253 @@
+// Package cpu provides the two processor timing models of the paper's
+// methodology:
+//
+//   - LinearModel estimates cycles as a linear function of instruction and
+//     last-level-cache event counts. This is the paper's genetic-algorithm
+//     fitness function (Section 4.3): fast, but blind to memory-level
+//     parallelism.
+//   - WindowModel is a CMP$im-like analytic model of a 4-wide out-of-order
+//     core with a 128-entry instruction window (Section 4.5): dispatch is
+//     limited by issue width and by in-order retirement of the instruction
+//     window, so independent long-latency misses that fall within a window
+//     overlap naturally (MLP), and DRAM-latency misses stall the window.
+//
+// Neither model is cycle-accurate; the paper's CMP$im is itself "accurate to
+// within 4% of a detailed cycle-accurate simulator", and what the
+// reproduction needs is the first-order coupling between miss counts, miss
+// overlap and IPC.
+package cpu
+
+import (
+	"gippr/internal/cache"
+	"gippr/internal/trace"
+)
+
+// LinearModel estimates cycles = Instructions*BaseCPI +
+// LLCAccesses*L3HitCycles + LLCMisses*MissCycles. Only LLC-level activity is
+// modelled because L1/L2 behaviour is identical across the LLC policies
+// being compared (their cost is folded into BaseCPI).
+type LinearModel struct {
+	BaseCPI     float64
+	L3HitCycles float64
+	MissCycles  float64
+}
+
+// DefaultLinearModel matches the simulated hierarchy: a 4-wide core with
+// near-L1-resident base behaviour, a 30-cycle L3 and 200-cycle DRAM with a
+// fixed MLP discount folded into the miss cost.
+func DefaultLinearModel() LinearModel {
+	return LinearModel{BaseCPI: 0.5, L3HitCycles: 30, MissCycles: 150}
+}
+
+// Cycles returns the estimated cycle count.
+func (m LinearModel) Cycles(instructions, llcAccesses, llcMisses uint64) float64 {
+	return float64(instructions)*m.BaseCPI +
+		float64(llcAccesses)*m.L3HitCycles +
+		float64(llcMisses)*m.MissCycles
+}
+
+// CPIFromReplay applies the model to an LLC replay result.
+func (m LinearModel) CPIFromReplay(rs cache.ReplayStats) float64 {
+	if rs.Instructions == 0 {
+		return m.BaseCPI
+	}
+	return m.Cycles(rs.Instructions, rs.Accesses, rs.Misses) / float64(rs.Instructions)
+}
+
+// WindowModel models a width-wide core with an inst-window of robSize
+// entries. Every instruction dispatches at most width per cycle, no earlier
+// than the retirement of the instruction robSize slots ahead of it, and
+// retires in order when its latency has elapsed; total cycles is the last
+// retirement time. Misses whose dispatch times fall within a window overlap,
+// which is exactly the MLP effect the paper's linear fitness function
+// cannot see (Section 4.3).
+type WindowModel struct {
+	width      float64
+	robSize    int
+	retire     []float64
+	head       int
+	prevRetire float64
+	clock      float64
+	instrs     uint64
+
+	// MemInterval is the minimum number of cycles between successive DRAM
+	// fills (the bandwidth/MSHR limit). Without it, an in-order-retire
+	// window with unlimited memory concurrency makes CPI insensitive to
+	// miss counts once misses are denser than one per window — every
+	// window refill costs one DRAM latency regardless of how many misses
+	// it contains. Real memory systems serialize on channel bandwidth and
+	// MSHR occupancy; this single parameter restores that first-order
+	// effect. Applied only to StepMiss accesses.
+	MemInterval float64
+	memReady    float64
+}
+
+// DefaultMemInterval is the default DRAM service interval in cycles (a 64-
+// byte line on a core running a few GHz against tens of GB/s of bandwidth).
+const DefaultMemInterval = 10
+
+// NewWindowModel returns a model; the paper's core is NewWindowModel(4, 128).
+func NewWindowModel(width, robSize int) *WindowModel {
+	if width < 1 || robSize < 1 {
+		panic("cpu: invalid window model parameters")
+	}
+	return &WindowModel{
+		width:       float64(width),
+		robSize:     robSize,
+		retire:      make([]float64, robSize),
+		MemInterval: DefaultMemInterval,
+	}
+}
+
+// DefaultWindowModel is the paper's 4-wide, 128-entry configuration.
+func DefaultWindowModel() *WindowModel { return NewWindowModel(4, 128) }
+
+// Reset clears accumulated time (used at the end of cache warm-up so only
+// the measurement window is timed).
+func (m *WindowModel) Reset() {
+	for i := range m.retire {
+		m.retire[i] = 0
+	}
+	m.head = 0
+	m.prevRetire = 0
+	m.clock = 0
+	m.instrs = 0
+	m.memReady = 0
+}
+
+// instr dispatches one instruction with the given latency. When mem is
+// true the instruction occupies the DRAM channel: its service cannot begin
+// before the previous miss's slot frees (MemInterval serialization).
+func (m *WindowModel) instr(latency float64, mem bool) {
+	d := m.clock
+	if r := m.retire[m.head]; r > d {
+		d = r // window full: wait for the oldest in-window instruction
+	}
+	start := d
+	if mem {
+		if m.memReady > start {
+			start = m.memReady
+		}
+		m.memReady = start + m.MemInterval
+	}
+	c := start + latency
+	if c < m.prevRetire {
+		c = m.prevRetire // in-order retirement
+	}
+	m.retire[m.head] = c
+	m.head++
+	if m.head == m.robSize {
+		m.head = 0
+	}
+	m.prevRetire = c
+	m.clock = d + 1/m.width
+	m.instrs++
+}
+
+// bulkNonMem advances past gap-1 single-cycle instructions, simulating the
+// last window's worth individually and fast-forwarding the rest. The fast
+// path honours both bounds on dispatch: issue bandwidth, and the window
+// drain — at most robSize instructions can be in flight past the last
+// retirement, so a long-latency instruction still charges its stall even
+// when followed by a huge non-memory stretch.
+func (m *WindowModel) bulkNonMem(nonMem int) int {
+	if nonMem <= 2*m.robSize {
+		return nonMem
+	}
+	skip := nonMem - m.robSize
+	byWidth := m.clock + float64(skip)/m.width
+	byDrain := m.prevRetire + float64(skip-m.robSize)/m.width
+	if byDrain > byWidth {
+		byWidth = byDrain
+	}
+	m.clock = byWidth
+	if m.prevRetire < m.clock {
+		m.prevRetire = m.clock
+	}
+	m.instrs += uint64(skip)
+	return m.robSize
+}
+
+// Step accounts one trace record whose memory access hit in a cache: gap-1
+// single-cycle non-memory instructions followed by one memory instruction
+// with the given latency.
+func (m *WindowModel) Step(gap uint32, latency int) {
+	nonMem := m.bulkNonMem(int(gap) - 1)
+	for i := 0; i < nonMem; i++ {
+		m.instr(1, false)
+	}
+	m.instr(float64(latency), false)
+}
+
+// StepMiss accounts one trace record whose memory access goes to DRAM: as
+// Step, but the access also occupies a DRAM service slot, so dense miss
+// streams serialize on memory bandwidth.
+func (m *WindowModel) StepMiss(gap uint32, latency int) {
+	nonMem := m.bulkNonMem(int(gap) - 1)
+	for i := 0; i < nonMem; i++ {
+		m.instr(1, false)
+	}
+	m.instr(float64(latency), true)
+}
+
+// Cycles returns the current total cycle count (time of the last
+// retirement).
+func (m *WindowModel) Cycles() float64 { return m.prevRetire }
+
+// Instructions returns the number of instructions accounted so far.
+func (m *WindowModel) Instructions() uint64 { return m.instrs }
+
+// IPC returns instructions per cycle so far (0 before any instruction).
+func (m *WindowModel) IPC() float64 {
+	if m.prevRetire == 0 {
+		return 0
+	}
+	return float64(m.instrs) / m.prevRetire
+}
+
+// RunResult summarizes a timed hierarchy simulation.
+type RunResult struct {
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+	CPI          float64
+	L3           cache.Stats
+	LevelHits    [5]uint64 // indexed by cache.Level
+}
+
+// Run drives src through hierarchy h and the window model: the first warm
+// records only warm the caches (untimed); the remainder is timed. It
+// returns the measurement-window result.
+func Run(h *cache.Hierarchy, src trace.Source, warm int, m *WindowModel) RunResult {
+	for i := 0; i < warm; i++ {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		h.Access(r)
+	}
+	h.ResetStats()
+	m.Reset()
+	var res RunResult
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		lvl := h.Access(r)
+		res.LevelHits[lvl]++
+		if lvl == cache.LevelMemory {
+			m.StepMiss(r.Gap, h.Latency(lvl))
+		} else {
+			m.Step(r.Gap, h.Latency(lvl))
+		}
+	}
+	res.Instructions = m.Instructions()
+	res.Cycles = m.Cycles()
+	res.IPC = m.IPC()
+	if res.Instructions > 0 && res.Cycles > 0 {
+		res.CPI = res.Cycles / float64(res.Instructions)
+	}
+	res.L3 = h.L3.Stats
+	return res
+}

@@ -1,0 +1,57 @@
+package cpu
+
+import (
+	"gippr/internal/cache"
+	"gippr/internal/trace"
+)
+
+// ReplayResult summarizes a timed LLC-stream replay.
+type ReplayResult struct {
+	Instructions uint64
+	Cycles       float64
+	CPI          float64
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64
+}
+
+// WindowReplay replays a captured LLC access stream into an LLC-only cache
+// with the given policy, timing it with a window model. Each record's Gap
+// carries the instructions since the previous LLC access (set when the
+// stream was captured), so the instructions between LLC accesses — all
+// non-memory work plus L1/L2 hits, identical across LLC policies — are
+// accounted as single-cycle instructions, and each LLC access costs the L3
+// hit latency or L3+DRAM on a miss. The first warm records warm the cache
+// untimed.
+func WindowReplay(stream []trace.Record, cfg cache.Config, pol cache.Policy,
+	warm int, m *WindowModel) ReplayResult {
+	c := cache.New(cfg, pol)
+	if warm > len(stream) {
+		warm = len(stream)
+	}
+	for _, r := range stream[:warm] {
+		c.Access(r)
+	}
+	c.ResetStats()
+	m.Reset()
+	hitLat := cfg.HitLatency
+	missLat := cfg.HitLatency + cache.DRAMLatency
+	for _, r := range stream[warm:] {
+		if c.Access(r) {
+			m.Step(r.Gap, hitLat)
+		} else {
+			m.StepMiss(r.Gap, missLat)
+		}
+	}
+	res := ReplayResult{
+		Instructions: m.Instructions(),
+		Cycles:       m.Cycles(),
+		Accesses:     c.Stats.Accesses,
+		Hits:         c.Stats.Hits,
+		Misses:       c.Stats.Misses,
+	}
+	if res.Instructions > 0 {
+		res.CPI = res.Cycles / float64(res.Instructions)
+	}
+	return res
+}

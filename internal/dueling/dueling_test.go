@@ -1,0 +1,235 @@
+package dueling
+
+import "testing"
+
+func TestCounterSaturation(t *testing.T) {
+	c := NewCounter(3) // 0..7, starts at 4
+	if c.Value() != 4 {
+		t.Fatalf("initial value %d", c.Value())
+	}
+	for i := 0; i < 20; i++ {
+		c.Up()
+	}
+	if c.Value() != 7 {
+		t.Fatalf("saturated up at %d", c.Value())
+	}
+	for i := 0; i < 20; i++ {
+		c.Down()
+	}
+	if c.Value() != 0 {
+		t.Fatalf("saturated down at %d", c.Value())
+	}
+}
+
+func TestCounterHigh(t *testing.T) {
+	c := NewCounter(2) // 0..3, mid 2
+	if !c.High() {
+		t.Fatal("initial counter should be at midpoint (High)")
+	}
+	c.Down()
+	if c.High() {
+		t.Fatal("below midpoint still High")
+	}
+}
+
+func TestCounterPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, 31, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d did not panic", w)
+				}
+			}()
+			NewCounter(w)
+		}()
+	}
+}
+
+func TestSelectorLeaderCounts(t *testing.T) {
+	const sets, policies, leaders = 4096, 2, 32
+	s := NewSelector(sets, policies, leaders)
+	counts := make([]int, policies)
+	followers := 0
+	for set := uint32(0); set < sets; set++ {
+		if l := s.Leader(set); l >= 0 {
+			counts[l]++
+		} else {
+			followers++
+		}
+	}
+	for p, c := range counts {
+		if c != leaders {
+			t.Fatalf("policy %d has %d leader sets, want %d", p, c, leaders)
+		}
+	}
+	if followers != sets-policies*leaders {
+		t.Fatalf("followers = %d", followers)
+	}
+}
+
+func TestSelectorLeadersSpread(t *testing.T) {
+	// Leaders must be distributed across the index space, not clumped in
+	// one half.
+	s := NewSelector(4096, 4, 32)
+	lower := 0
+	for set := uint32(0); set < 2048; set++ {
+		if s.Leader(set) >= 0 {
+			lower++
+		}
+	}
+	if lower != 64 { // half of 4*32
+		t.Fatalf("leaders in lower half = %d, want 64", lower)
+	}
+}
+
+func TestSelectorPanics(t *testing.T) {
+	cases := [][3]int{{0, 2, 1}, {16, 0, 1}, {16, 2, 0}, {16, 2, 16}, {4, 8, 1}}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			NewSelector(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestDuelFollowsWinner(t *testing.T) {
+	d := NewDuel(1024, 32, 10)
+	// Policy 0's leader sets miss a lot: counter goes up, winner is 1.
+	leader0 := uint32(0) // offset 0 of each period leads policy 0
+	for i := 0; i < 600; i++ {
+		d.OnMiss(leader0)
+	}
+	if d.Winner() != 1 {
+		t.Fatalf("winner = %d after policy 0 missed heavily", d.Winner())
+	}
+	// A follower set uses the winner; leader sets always use themselves.
+	if d.Choose(5) != 1 {
+		t.Fatal("follower not using winner")
+	}
+	if d.Choose(0) != 0 || d.Choose(1) != 1 {
+		t.Fatal("leaders not using their own policy")
+	}
+	// Now policy 1 misses even more: winner flips back.
+	leader1 := uint32(1)
+	for i := 0; i < 1200; i++ {
+		d.OnMiss(leader1)
+	}
+	if d.Winner() != 0 {
+		t.Fatalf("winner = %d after policy 1 missed heavily", d.Winner())
+	}
+}
+
+func TestDuelIgnoresFollowerMisses(t *testing.T) {
+	d := NewDuel(1024, 32, 10)
+	before := d.Winner()
+	for i := 0; i < 1000; i++ {
+		d.OnMiss(7) // follower set
+	}
+	if d.Winner() != before {
+		t.Fatal("follower misses moved the counter")
+	}
+}
+
+func TestTournamentWinner(t *testing.T) {
+	tour := NewTournament(4096, 32, 11)
+	miss := func(leader uint32, n int) {
+		for i := 0; i < n; i++ {
+			tour.OnMiss(leader)
+		}
+	}
+	// Pair (0,1) misses heavily -> meta prefers pair (2,3); within it,
+	// policy 2's leaders miss more -> winner 3.
+	miss(0, 1500)
+	miss(1, 1500)
+	miss(2, 300)
+	if got := tour.Winner(); got != 3 {
+		t.Fatalf("winner = %d, want 3", got)
+	}
+	// Followers adopt the winner; leaders stay on their own policy.
+	if tour.Choose(9) != 3 {
+		t.Fatal("follower not on winner")
+	}
+	for p := uint32(0); p < 4; p++ {
+		if tour.Choose(p) != int(p) {
+			t.Fatalf("leader %d not on its own policy", p)
+		}
+	}
+	// Pair (2,3) misses even more -> back to pair (0,1); then policy 0's
+	// leaders miss enough that 1 wins the pair.
+	miss(2, 2000)
+	miss(3, 2000)
+	miss(0, 1000)
+	if got := tour.Winner(); got != 1 {
+		t.Fatalf("winner = %d, want 1", got)
+	}
+}
+
+func TestTournamentBalancedPrefersFirst(t *testing.T) {
+	tour := NewTournament(4096, 32, 11)
+	// With balanced counters Winner must still be deterministic.
+	if w := tour.Winner(); w < 0 || w > 3 {
+		t.Fatalf("winner = %d", w)
+	}
+}
+
+func TestBracketMatchesTournamentSemantics(t *testing.T) {
+	// A 4-policy bracket and the hand-written Tournament must agree on
+	// the winner for any miss pattern (they are the same structure).
+	br := NewBracket(4096, 4, 32, 11)
+	tour := NewTournament(4096, 32, 11)
+	seqs := [][2]uint32{{0, 1500}, {1, 1500}, {2, 300}, {3, 100}, {0, 50}, {2, 900}}
+	for _, s := range seqs {
+		for i := uint32(0); i < s[1]; i++ {
+			br.OnMiss(s[0])
+			tour.OnMiss(s[0])
+		}
+		if br.Winner() != tour.Winner() {
+			t.Fatalf("bracket winner %d != tournament winner %d after leader %d",
+				br.Winner(), tour.Winner(), s[0])
+		}
+	}
+}
+
+func TestBracketEightPolicies(t *testing.T) {
+	b := NewBracket(4096, 8, 16, 11)
+	// Every policy's leaders miss except policy 5's, with the misses
+	// interleaved as real traffic would be (sequential bursts would
+	// saturate the counters and lose the counts).
+	for i := 0; i < 3000; i++ {
+		for p := uint32(0); p < 8; p++ {
+			if p == 5 {
+				continue
+			}
+			b.OnMiss(p)
+		}
+	}
+	if got := b.Winner(); got != 5 {
+		t.Fatalf("winner %d, want the only quiet policy 5", got)
+	}
+	// Leaders stay on their own policy, followers adopt the winner.
+	for p := uint32(0); p < 8; p++ {
+		if b.Choose(p) != int(p) {
+			t.Fatalf("leader %d not on itself", p)
+		}
+	}
+	if b.Choose(100) != 5 {
+		t.Fatal("follower not on winner")
+	}
+}
+
+func TestBracketPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bracket size %d accepted", n)
+				}
+			}()
+			NewBracket(4096, n, 8, 11)
+		}()
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMulticoreMixesWellFormed(t *testing.T) {
+	lab := smokeLab()
+	names := map[string]bool{}
+	for _, w := range lab.Suite() {
+		names[w.Name] = true
+	}
+	for mix, ws := range MulticoreMixes {
+		for _, w := range ws {
+			if !names[w] {
+				t.Fatalf("mix %q references unknown workload %q", mix, w)
+			}
+		}
+	}
+}
+
+func TestMulticoreSmoke(t *testing.T) {
+	lab := smokeLab()
+	tbl := Multicore(lab)
+	if len(tbl.Rows) != 4 || len(tbl.Columns) != 4 {
+		t.Fatalf("multicore table %dx%d", len(tbl.Rows), len(tbl.Columns))
+	}
+	for _, row := range tbl.Rows {
+		for i, v := range row.Values {
+			if v <= 0 {
+				t.Fatalf("mix %s col %s: non-positive normalized throughput %v",
+					row.Name, tbl.Columns[i], v)
+			}
+		}
+	}
+	// The friendly mix is LLC-insensitive: every policy at ~LRU.
+	for i := range tbl.Columns {
+		if v := valueOf(tbl, "friendly", i); v < 0.97 || v > 1.03 {
+			t.Fatalf("friendly mix normalized throughput %v for %s", v, tbl.Columns[i])
+		}
+	}
+	if !strings.Contains(tbl.Format(), "normalized to LRU") {
+		t.Fatal("format")
+	}
+}
+
+func valueOf(t *Table, row string, col int) float64 {
+	for _, r := range t.Rows {
+		if r.Name == row {
+			return r.Values[col]
+		}
+	}
+	return -1
+}
+
+func TestAssocSweepSmoke(t *testing.T) {
+	lab := smokeLab()
+	tbl := AssocSweep(lab)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for i, v := range row.Values {
+			if v <= 0 || v > 2.5 {
+				t.Fatalf("%s %s: implausible normalized MPKI %v", row.Name, tbl.Columns[i], v)
+			}
+		}
+	}
+}
+
+func TestRRIPVSearchSmoke(t *testing.T) {
+	lab := smokeLab()
+	res := RRIPVSearch(lab)
+	if res.Evaluated != 1024 {
+		t.Fatalf("evaluated %d vectors", res.Evaluated)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive search dominates both published promotion rules by
+	// construction.
+	if res.BestFitness < res.HPFitness || res.BestFitness < res.FPFitness {
+		t.Fatalf("best %.4f below a baseline (HP %.4f, FP %.4f)",
+			res.BestFitness, res.HPFitness, res.FPFitness)
+	}
+	if !strings.Contains(res.Format(), "SRRIP-HP") {
+		t.Fatal("format")
+	}
+}
+
+func TestBypassTableSmoke(t *testing.T) {
+	lab := smokeLab()
+	tbl := Bypass(lab)
+	if len(tbl.Rows) != 29 || len(tbl.Columns) != 3 {
+		t.Fatalf("bypass table %dx%d", len(tbl.Rows), len(tbl.Columns))
+	}
+}
+
+func TestCharacterizeSmoke(t *testing.T) {
+	lab := smokeLab()
+	cs := Characterize(lab)
+	if len(cs) != 29 {
+		t.Fatalf("%d characterizations", len(cs))
+	}
+	for _, c := range cs {
+		if c.LLCRecords == 0 {
+			t.Fatalf("%s: empty LLC stream", c.Workload)
+		}
+		if c.Footprint <= 0 || c.Footprint > c.LLCRecords+1 {
+			t.Fatalf("%s: footprint %d vs %d records", c.Workload, c.Footprint, c.LLCRecords)
+		}
+		if c.ColdFrac < 0 || c.ColdFrac > 1 || c.LRUFAHit < 0 || c.LRUFAHit > 1 {
+			t.Fatalf("%s: fractions out of range: %+v", c.Workload, c)
+		}
+	}
+	out := FormatCharacterization(cs)
+	if !strings.Contains(out, "mcf_like") || !strings.Contains(out, "meanRD") {
+		t.Fatal("format")
+	}
+}
+
+func TestCharacterizeStreamingIsCold(t *testing.T) {
+	lab := smokeLab()
+	for _, c := range Characterize(lab) {
+		if c.Workload == "libquantum_like" {
+			// A cyclic sweep bigger than the trace window is all first
+			// touches at smoke scale... at any scale its cold fraction
+			// far exceeds a cache-resident workload's.
+			if c.ColdFrac < 0.3 {
+				t.Fatalf("libquantum cold fraction %v", c.ColdFrac)
+			}
+		}
+		// gamess (L2-resident) reaches the LLC only for first touches: its
+		// LLC stream is entirely cold — the characterization must show it.
+		if c.Workload == "gamess_like" && c.ColdFrac != 1 {
+			t.Fatalf("gamess cold fraction %v, want 1 (only cold fills reach the LLC)", c.ColdFrac)
+		}
+		// dealII's delayed single reuse reaches the LLC, so a large share
+		// of its LLC accesses are re-references.
+		if c.Workload == "dealII_like" && c.ColdFrac > 0.9 {
+			t.Fatalf("dealII cold fraction %v, expected visible LLC reuse", c.ColdFrac)
+		}
+	}
+}
+
+func TestSimPointValidationSmoke(t *testing.T) {
+	lab := smokeLab()
+	rows := SimPointValidation(lab)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Points < 1 {
+			t.Fatalf("%s/%s: no simpoints", r.Workload, r.Policy)
+		}
+		if r.FullMPKI < 0 || r.SPMPKI < 0 {
+			t.Fatalf("negative MPKI: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatSimPointValidation(rows), "rel err") {
+		t.Fatal("format")
+	}
+}

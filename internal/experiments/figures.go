@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gippr/internal/ga"
+	"gippr/internal/ipv"
+	"gippr/internal/policy"
+	"gippr/internal/stats"
+)
+
+// Fig1Result is the sorted random-design-space exploration of Figure 1.
+type Fig1Result struct {
+	Samples int
+	Sorted  []float64 // estimated speedups over LRU, ascending
+	Summary stats.Summary
+}
+
+// Fig1 samples Scale.RandomIPVs uniformly random IPVs, evaluates each with
+// the GA fitness function, and returns the sorted speedup curve. The
+// paper's observation to reproduce: most random points lose to LRU, a
+// minority beat it by a small margin.
+func Fig1(l *Lab) Fig1Result {
+	scored := ga.RandomSearch(l.GAEnv(), l.Scale.RandomIPVs, 0xF161)
+	sorted := make([]float64, len(scored))
+	for i, s := range scored {
+		sorted[i] = s.Fitness
+	}
+	return Fig1Result{Samples: len(sorted), Sorted: sorted, Summary: stats.Summarize(sorted)}
+}
+
+// Format renders the Figure 1 curve as deciles.
+func (r Fig1Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1: random IPV design-space exploration (%d samples, estimated speedup over LRU)\n", r.Samples)
+	fmt.Fprintf(&sb, "%-12s %10s\n", "percentile", "speedup")
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		fmt.Fprintf(&sb, "%-12.0f %10.4f\n", p*100, stats.Percentile(r.Sorted, p))
+	}
+	fmt.Fprintf(&sb, "fraction beating LRU: %.1f%%\n", 100*r.Summary.FractionAboveOne)
+	return sb.String()
+}
+
+// Fig2 and Fig3 are the transition graphs of the LRU vector and the evolved
+// GIPLR vector; they are structural (no simulation).
+func Fig2() *ipv.Graph { return ipv.TransitionGraph(ipv.LRU(16)) }
+
+// Fig3 returns the transition graph of the paper's evolved GIPLR vector.
+func Fig3() *ipv.Graph { return ipv.TransitionGraph(ipv.PaperGIPLR) }
+
+// Fig4 reproduces Figure 4: per-benchmark speedup over LRU of PLRU, Random
+// and the evolved GIPLR vector, sorted ascending by GIPLR. Shapes to
+// reproduce: PLRU ~ LRU, Random ~ LRU overall, GIPLR a few percent ahead.
+func Fig4(l *Lab) *Table {
+	specs := []Spec{SpecPLRU, SpecRandom, SpecGIPLR}
+	t := &Table{Title: "Figure 4: speedup over LRU (window model)"}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	for _, w := range l.Suite() {
+		row := TableRow{Name: w.Name}
+		for _, s := range specs {
+			row.Values = append(row.Values, l.Speedup(s, SpecLRU, w))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.SortByColumn("GIPLR")
+	return t
+}
+
+// Fig10 reproduces Figure 10: MPKI normalized to LRU for the 1-, 2- and
+// 4-vector workload-neutral GIPPR variants plus Belady MIN, sorted by the
+// 4-vector column. Shapes: 4-DGIPPR <= GIPPR < 1, MIN far below all.
+func Fig10(l *Lab) *Table {
+	specs := []Spec{SpecWNGIPPR, SpecWN2DGIPPR, SpecWN4DGIPPR}
+	t := &Table{Title: "Figure 10: MPKI normalized to LRU"}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	t.Columns = append(t.Columns, "Optimal")
+	for _, w := range l.Suite() {
+		row := TableRow{Name: w.Name}
+		for _, s := range specs {
+			row.Values = append(row.Values, l.NormalizedMPKI(s, SpecLRU, w))
+		}
+		row.Values = append(row.Values, l.OptimalNormalizedMPKI(SpecLRU, w))
+		t.Rows = append(t.Rows, row)
+	}
+	t.SortByColumn("WN-4-DGIPPR")
+	return t
+}
+
+// Fig11 reproduces Figure 11: MPKI normalized to LRU for DRRIP, PDP,
+// WN-4-DGIPPR and MIN. Shape: the three policies cluster (paper: 91.5%,
+// 90.2%, 91.0%), MIN near 67%.
+func Fig11(l *Lab) *Table {
+	specs := []Spec{SpecDRRIP, SpecPDP, SpecWN4DGIPPR}
+	t := &Table{Title: "Figure 11: MPKI normalized to LRU"}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	t.Columns = append(t.Columns, "Optimal")
+	for _, w := range l.Suite() {
+		row := TableRow{Name: w.Name}
+		for _, s := range specs {
+			row.Values = append(row.Values, l.NormalizedMPKI(s, SpecLRU, w))
+		}
+		row.Values = append(row.Values, l.OptimalNormalizedMPKI(SpecLRU, w))
+		t.Rows = append(t.Rows, row)
+	}
+	t.SortByColumn("DRRIP")
+	return t
+}
+
+// Fig12 reproduces Figure 12: workload-neutral versus workload-inclusive
+// speedup over LRU for the three GIPPR variants. Shape: WN within a point
+// of WI for each variant.
+func Fig12(l *Lab) *Table {
+	specs := []Spec{
+		SpecWNGIPPR, SpecWN2DGIPPR, SpecWN4DGIPPR,
+		SpecWIGIPPR, SpecWI2DGIPPR, SpecWI4DGIPPR,
+	}
+	t := &Table{Title: "Figure 12: workload-neutral vs workload-inclusive speedup over LRU"}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	for _, w := range l.Suite() {
+		row := TableRow{Name: w.Name}
+		for _, s := range specs {
+			row.Values = append(row.Values, l.Speedup(s, SpecLRU, w))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.SortByColumn("WN-4-DGIPPR")
+	return t
+}
+
+// Fig13Result is Figure 13 plus the paper's memory-intensive subset
+// geomeans (Section 5.2.2).
+type Fig13Result struct {
+	Table *Table
+	// MemoryIntensive lists the workloads where DRRIP's speedup over LRU
+	// exceeds 1%, the paper's subset rule.
+	MemoryIntensive []string
+	// SubsetGeoMeans maps column label -> geomean over the subset.
+	SubsetGeoMeans map[string]float64
+}
+
+// Fig13 reproduces Figure 13: speedup over LRU of DRRIP, PDP and
+// WN-4-DGIPPR, sorted ascending by DRRIP, plus the memory-intensive subset
+// geomeans. Shapes: the three cluster overall (paper: 5.41%, 5.69%, 5.61%)
+// and on the subset (15.6%, 16.4%, 15.6%).
+func Fig13(l *Lab) Fig13Result {
+	specs := []Spec{SpecDRRIP, SpecPDP, SpecWN4DGIPPR}
+	t := &Table{Title: "Figure 13: speedup over LRU (window model)"}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	for _, w := range l.Suite() {
+		row := TableRow{Name: w.Name}
+		for _, s := range specs {
+			row.Values = append(row.Values, l.Speedup(s, SpecLRU, w))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.SortByColumn("DRRIP")
+
+	res := Fig13Result{Table: t, SubsetGeoMeans: map[string]float64{}}
+	subset := map[string]bool{}
+	for _, row := range t.Rows {
+		if row.Values[0] > 1.01 { // DRRIP speedup > 1%
+			subset[row.Name] = true
+			res.MemoryIntensive = append(res.MemoryIntensive, row.Name)
+		}
+	}
+	if len(res.MemoryIntensive) > 0 {
+		for _, c := range t.Columns {
+			res.SubsetGeoMeans[c] = t.GeoMeanOver(c, func(r string) bool { return subset[r] })
+		}
+	}
+	return res
+}
+
+// Format renders Figure 13 with its subset summary and bootstrap
+// confidence intervals on the geomean speedups. Overlapping intervals are
+// the statistical version of the paper's conclusion that the three policies
+// perform comparably.
+func (r Fig13Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString(r.Table.Format())
+	fmt.Fprintf(&sb, "\nmemory-intensive subset (DRRIP speedup > 1%%): %d workloads\n", len(r.MemoryIntensive))
+	for _, c := range r.Table.Columns {
+		if g, ok := r.SubsetGeoMeans[c]; ok {
+			fmt.Fprintf(&sb, "  %-14s subset geomean %.4f\n", c, g)
+		}
+	}
+	sb.WriteString("\n95% bootstrap CIs on the overall geomean speedup:\n")
+	for ci, col := range r.Table.Columns {
+		vals := make([]float64, len(r.Table.Rows))
+		for i, row := range r.Table.Rows {
+			vals[i] = row.Values[ci]
+		}
+		b := stats.BootstrapGeoMean(vals, 0.95, 2000, uint64(ci)+1)
+		fmt.Fprintf(&sb, "  %-14s %.4f [%.4f, %.4f]\n", col, b.Point, b.Lo, b.Hi)
+	}
+	return sb.String()
+}
+
+// Overhead reproduces the Section 3.6 storage comparison for the LLC
+// geometry.
+func Overhead(l *Lab) (string, error) {
+	names := []string{"lru", "plru", "gippr", "2-dgippr", "4-dgippr", "dip", "drrip", "pdp", "ship", "random", "fifo", "nru"}
+	rows, err := policy.OverheadTable(l.Cfg, names)
+	if err != nil {
+		return "", err
+	}
+	return policy.FormatOverheadTable(l.Cfg, rows), nil
+}
+
+// VectorsLearnedResult is the Section 5.3 report: the vector sets in use
+// plus a freshly evolved vector at this scale.
+type VectorsLearnedResult struct {
+	WI1      ipv.Vector
+	WI2      [2]ipv.Vector
+	WI4      [4]ipv.Vector
+	Fresh    ipv.Vector
+	FreshFit float64
+}
+
+// VectorsLearned reports the shipped vector sets and runs one small GA at
+// the lab's scale to demonstrate the evolution pipeline end to end.
+func VectorsLearned(l *Lab) VectorsLearnedResult {
+	cfg := ga.DefaultConfig(0x6a)
+	cfg.Population = l.Scale.GAPopulation
+	cfg.Generations = l.Scale.GAGenerations
+	cfg.Seeds = []ipv.Vector{ipv.LRU(l.Cfg.Ways), ipv.LIP(l.Cfg.Ways), WIVector1()}
+	best, fit, _ := ga.Evolve(l.GAEnv(), cfg)
+	return VectorsLearnedResult{
+		WI1:   WIVector1(),
+		WI2:   WIVectors2(),
+		WI4:   WIVectors4(),
+		Fresh: best, FreshFit: fit,
+	}
+}
+
+// Format renders the learned vectors.
+func (r VectorsLearnedResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Section 5.3: vectors in use\n")
+	fmt.Fprintf(&sb, "WI-GIPPR:      %v\n", r.WI1)
+	fmt.Fprintf(&sb, "WI-2-DGIPPR:   %v\n               %v\n", r.WI2[0], r.WI2[1])
+	fmt.Fprintf(&sb, "WI-4-DGIPPR:   %v\n               %v\n               %v\n               %v\n",
+		r.WI4[0], r.WI4[1], r.WI4[2], r.WI4[3])
+	fmt.Fprintf(&sb, "freshly evolved at this scale: %v (fitness %.4f)\n", r.Fresh, r.FreshFit)
+	return sb.String()
+}
+
+// MemoryIntensiveNames returns Fig13's subset, for reuse by other reports.
+func MemoryIntensiveNames(l *Lab) []string { return Fig13(l).MemoryIntensive }
+
+// Interpret reproduces Section 5.3.2's reading of the learned vectors: each
+// shipped vector's insertion class, promotion aggressiveness and degeneracy
+// status, for both the paper's published sets and this suite's evolved sets.
+func Interpret() string {
+	var sb strings.Builder
+	sb.WriteString("Section 5.3.2: interpreting the vectors\n")
+	line := func(label string, v ipv.Vector) {
+		fmt.Fprintf(&sb, "%-22s %v\n%22s   %s\n", label, v, "", ipv.Analyze(v))
+	}
+	sb.WriteString("-- paper's published vectors --\n")
+	line("GIPLR (Fig 3)", ipv.PaperGIPLR)
+	line("WI-GIPPR", ipv.PaperWIGIPPR)
+	line("WI-2-DGIPPR[0]", ipv.PaperWI2DGIPPR[0])
+	line("WI-2-DGIPPR[1]", ipv.PaperWI2DGIPPR[1])
+	for i, v := range ipv.PaperWI4DGIPPR {
+		line(fmt.Sprintf("WI-4-DGIPPR[%d]", i), v)
+	}
+	sb.WriteString("-- vectors evolved on this suite --\n")
+	line("WI-GIPPR", WIVector1())
+	for i, v := range WIVectors2() {
+		line(fmt.Sprintf("WI-2-DGIPPR[%d]", i), v)
+	}
+	for i, v := range WIVectors4() {
+		line(fmt.Sprintf("WI-4-DGIPPR[%d]", i), v)
+	}
+	set := WIVectors4()
+	classes := ipv.ClassifySet(set[:])
+	fmt.Fprintf(&sb, "insertion classes covered by the 4-vector set: %v\n", classes)
+	return sb.String()
+}

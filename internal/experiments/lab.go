@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"gippr/internal/cache"
+	"gippr/internal/cpu"
+	"gippr/internal/ga"
+	"gippr/internal/ipv"
+	"gippr/internal/policy"
+	"gippr/internal/stats"
+	"gippr/internal/trace"
+	"gippr/internal/workload"
+	"gippr/internal/xrand"
+)
+
+// Spec names a policy under evaluation. New receives the workload name so
+// workload-neutral variants can choose the vectors evolved without that
+// workload (paper Section 4.4).
+type Spec struct {
+	Key   string // stable identifier, used for memoization
+	Label string // display label, e.g. "WN-4-DGIPPR"
+	New   func(workloadName string, sets, ways int) cache.Policy
+}
+
+// phaseResult is the memoized outcome of one (phase, policy) replay.
+type phaseResult struct {
+	MPKI     float64
+	CPI      float64
+	Misses   uint64
+	Instrs   uint64
+	Accesses uint64
+}
+
+// Lab owns the streams and memoized results for one scale. It is not safe
+// for concurrent use.
+type Lab struct {
+	Scale Scale
+	Cfg   cache.Config // the LLC under study
+
+	suite   []workload.Workload
+	streams map[string][]ga.Stream // workload -> one LLC stream per phase
+	results map[string]phaseResult // key: policyKey|workload|phase
+	optimal map[string]phaseResult // key: workload|phase
+
+	mu sync.Mutex
+}
+
+// NewLab returns a lab over the full 29-workload suite at the given scale,
+// with the paper's 4 MB 16-way LLC.
+func NewLab(s Scale) *Lab {
+	return &Lab{
+		Scale:   s,
+		Cfg:     cache.L3Config,
+		suite:   workload.Suite(),
+		streams: make(map[string][]ga.Stream),
+		results: make(map[string]phaseResult),
+		optimal: make(map[string]phaseResult),
+	}
+}
+
+// Suite returns the workloads under study.
+func (l *Lab) Suite() []workload.Workload { return l.suite }
+
+// phaseSeed derives the deterministic seed of one workload phase.
+func phaseSeed(name string, phase int) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return xrand.Mix(h, uint64(phase)+1)
+}
+
+// Streams builds (once) and returns the LLC-filtered streams of a workload,
+// one per phase, by pushing PhaseRecords references through a fresh
+// LRU-managed L1/L2.
+func (l *Lab) Streams(w workload.Workload) []ga.Stream {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.streams[w.Name]; ok {
+		return s
+	}
+	out := make([]ga.Stream, 0, len(w.Phases))
+	for pi, ph := range w.Phases {
+		h := cache.NewHierarchy(
+			cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
+			cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
+			cache.New(l.Cfg, policy.NewTrueLRU(l.Cfg.Sets(), l.Cfg.Ways)),
+		)
+		h.RecordLLC = true
+		src := &workload.Limit{Src: ph.Source(phaseSeed(w.Name, pi)), N: uint64(l.Scale.PhaseRecords)}
+		h.Run(src)
+		out = append(out, ga.Stream{
+			Workload: w.Name,
+			Weight:   ph.Weight,
+			Records:  h.LLCStream,
+		})
+	}
+	l.streams[w.Name] = out
+	return out
+}
+
+func (l *Lab) warm(n int) int { return int(float64(n) * l.Scale.WarmFrac) }
+
+// phaseRun replays one phase's stream under one policy, memoized.
+func (l *Lab) phaseRun(spec Spec, w workload.Workload, phase int) phaseResult {
+	key := fmt.Sprintf("%s|%s|%d", spec.Key, w.Name, phase)
+	l.mu.Lock()
+	if r, ok := l.results[key]; ok {
+		l.mu.Unlock()
+		return r
+	}
+	l.mu.Unlock()
+
+	st := l.Streams(w)[phase]
+	pol := spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
+	res := cpu.WindowReplay(st.Records, l.Cfg, pol, l.warm(len(st.Records)), cpu.DefaultWindowModel())
+	pr := phaseResult{
+		MPKI:     stats.MPKI(res.Misses, res.Instructions),
+		CPI:      res.CPI,
+		Misses:   res.Misses,
+		Instrs:   res.Instructions,
+		Accesses: res.Accesses,
+	}
+	l.mu.Lock()
+	l.results[key] = pr
+	l.mu.Unlock()
+	return pr
+}
+
+// optimalRun computes Belady MIN for one phase, memoized.
+func (l *Lab) optimalRun(w workload.Workload, phase int) phaseResult {
+	key := fmt.Sprintf("%s|%d", w.Name, phase)
+	l.mu.Lock()
+	if r, ok := l.optimal[key]; ok {
+		l.mu.Unlock()
+		return r
+	}
+	l.mu.Unlock()
+
+	st := l.Streams(w)[phase]
+	rs := policy.Optimal(st.Records, l.Cfg, l.warm(len(st.Records)))
+	pr := phaseResult{
+		MPKI:     stats.MPKI(rs.Misses, rs.Instructions),
+		Misses:   rs.Misses,
+		Instrs:   rs.Instructions,
+		Accesses: rs.Accesses,
+	}
+	l.mu.Lock()
+	l.optimal[key] = pr
+	l.mu.Unlock()
+	return pr
+}
+
+// weighted combines per-phase values with the workload's phase weights.
+func weighted(w workload.Workload, f func(phase int) float64) float64 {
+	vals := make([]float64, len(w.Phases))
+	wts := make([]float64, len(w.Phases))
+	for i, p := range w.Phases {
+		vals[i] = f(i)
+		wts[i] = p.Weight
+	}
+	return stats.WeightedMean(vals, wts)
+}
+
+// MPKI returns the weighted misses-per-kilo-instruction of a policy on a
+// workload.
+func (l *Lab) MPKI(spec Spec, w workload.Workload) float64 {
+	return weighted(w, func(p int) float64 { return l.phaseRun(spec, w, p).MPKI })
+}
+
+// CPI returns the weighted CPI of a policy on a workload under the window
+// model.
+func (l *Lab) CPI(spec Spec, w workload.Workload) float64 {
+	return weighted(w, func(p int) float64 { return l.phaseRun(spec, w, p).CPI })
+}
+
+// Speedup returns the workload's speedup of spec over the baseline spec
+// (ratio of weighted CPIs).
+func (l *Lab) Speedup(spec, baseline Spec, w workload.Workload) float64 {
+	return stats.Speedup(l.CPI(baseline, w), l.CPI(spec, w))
+}
+
+// NormalizedMPKI returns spec's MPKI normalized to the baseline's. When a
+// workload has essentially no LLC misses under the baseline (below one miss
+// per million instructions), it returns exactly 1: such workloads are
+// insensitive to the LLC policy and would otherwise produce wild ratios
+// from noise.
+func (l *Lab) NormalizedMPKI(spec, baseline Spec, w workload.Workload) float64 {
+	base := l.MPKI(baseline, w)
+	if base < 1e-3 {
+		return 1
+	}
+	return l.MPKI(spec, w) / base
+}
+
+// OptimalMPKI returns Belady MIN's weighted MPKI on a workload.
+func (l *Lab) OptimalMPKI(w workload.Workload) float64 {
+	return weighted(w, func(p int) float64 { return l.optimalRun(w, p).MPKI })
+}
+
+// OptimalNormalizedMPKI returns MIN's MPKI normalized to the baseline's,
+// with the same insensitive-workload guard as NormalizedMPKI.
+func (l *Lab) OptimalNormalizedMPKI(baseline Spec, w workload.Workload) float64 {
+	base := l.MPKI(baseline, w)
+	if base < 1e-3 {
+		return 1
+	}
+	return l.OptimalMPKI(w) / base
+}
+
+// GAStreams builds the reduced-size fitness streams for evolution at this
+// scale (the paper's fitness traces are likewise cheaper than its
+// evaluation runs). The streams are truncated copies of the lab streams.
+func (l *Lab) GAStreams() []ga.Stream {
+	var out []ga.Stream
+	for _, w := range l.suite {
+		for _, st := range l.Streams(w) {
+			recs := st.Records
+			// Truncate proportionally to the evolve/evaluate record ratio.
+			maxLen := len(recs) * l.Scale.EvolveRecords / l.Scale.PhaseRecords
+			if maxLen < len(recs) {
+				recs = recs[:maxLen]
+			}
+			out = append(out, ga.Stream{Workload: st.Workload, Weight: st.Weight, Records: recs})
+		}
+	}
+	return out
+}
+
+// GAEnv builds a fitness environment over the GA streams, searching the
+// GIPPR family (tree-PLRU IPVs).
+func (l *Lab) GAEnv() *ga.Env {
+	return ga.NewEnv(l.Cfg, cpu.DefaultLinearModel(), l.Scale.WarmFrac, l.GAStreams(),
+		func(sets, ways int) cache.Policy { return policy.NewTrueLRU(sets, ways) },
+		func(sets, ways int, v ipv.Vector) cache.Policy { return policy.NewGIPPR(sets, ways, v) },
+	)
+}
+
+// GAEnvLRU is the Section 2 proof-of-concept environment: the same fitness
+// over the GIPLR family (true-LRU IPVs).
+func (l *Lab) GAEnvLRU() *ga.Env {
+	return ga.NewEnv(l.Cfg, cpu.DefaultLinearModel(), l.Scale.WarmFrac, l.GAStreams(),
+		func(sets, ways int) cache.Policy { return policy.NewTrueLRU(sets, ways) },
+		func(sets, ways int, v ipv.Vector) cache.Policy { return policy.NewGIPLR(sets, ways, v) },
+	)
+}
+
+// LLCStreamStats summarizes the captured streams (for reports and tests).
+type LLCStreamStats struct {
+	Workload string
+	Phases   int
+	Records  int
+	Instrs   uint64
+}
+
+// StreamStats returns per-workload stream summaries.
+func (l *Lab) StreamStats() []LLCStreamStats {
+	out := make([]LLCStreamStats, 0, len(l.suite))
+	for _, w := range l.suite {
+		s := LLCStreamStats{Workload: w.Name, Phases: len(w.Phases)}
+		for _, st := range l.Streams(w) {
+			s.Records += len(st.Records)
+			s.Instrs += trace.Instructions(st.Records)
+		}
+		out = append(out, s)
+	}
+	return out
+}

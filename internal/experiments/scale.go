@@ -1,0 +1,69 @@
+// Package experiments reproduces every figure in the paper's evaluation
+// (Figures 1, 4, 10, 11, 12, 13, plus the Section 3.6 overhead comparison
+// and the Section 5.3 learned vectors). Each figure has a runner returning a
+// structured result and an ASCII rendering; cmd/gippr-report regenerates all
+// of them, and bench_test.go exposes one benchmark per figure.
+//
+// All experiments work on LLC-filtered access streams: each workload phase
+// is pushed once through the fixed L1/L2 hierarchy (whose behaviour is
+// independent of the LLC policy) and the captured LLC stream is replayed
+// into an LLC-only model per policy — the paper's own trace methodology
+// (Section 4.3). Streams and per-(workload, policy) results are memoized
+// within a Lab.
+package experiments
+
+import (
+	"os"
+)
+
+// Scale sizes an experiment run. The paper's full scale (1.5B instructions
+// per SimPoint, 15,000 random IPVs, day-long GA runs on 96 processors) is
+// out of reach for a single-core reproduction; these presets keep the same
+// structure at tractable sizes.
+type Scale struct {
+	Name string
+	// PhaseRecords is the number of memory references generated per
+	// workload phase before L1/L2 filtering.
+	PhaseRecords int
+	// WarmFrac is the fraction of each LLC stream used for cache warm-up
+	// (the paper warms 500M of 1.5B instructions = 1/3).
+	WarmFrac float64
+	// RandomIPVs is the Figure 1 sample count (paper: 15,000).
+	RandomIPVs int
+	// EvolveRecords is the per-phase record count used for GA fitness
+	// streams (smaller than PhaseRecords, as the paper's fitness model is
+	// deliberately cheaper than its evaluation model).
+	EvolveRecords int
+	// GAPopulation/GAGenerations size Evolve runs at this scale.
+	GAPopulation  int
+	GAGenerations int
+}
+
+// Presets, selectable via GIPPR_SCALE.
+var (
+	Smoke = Scale{
+		Name: "smoke", PhaseRecords: 60_000, WarmFrac: 1.0 / 3,
+		RandomIPVs: 40, EvolveRecords: 20_000, GAPopulation: 8, GAGenerations: 3,
+	}
+	Default = Scale{
+		Name: "default", PhaseRecords: 600_000, WarmFrac: 1.0 / 3,
+		RandomIPVs: 400, EvolveRecords: 150_000, GAPopulation: 24, GAGenerations: 10,
+	}
+	Full = Scale{
+		Name: "full", PhaseRecords: 4_000_000, WarmFrac: 1.0 / 3,
+		RandomIPVs: 15_000, EvolveRecords: 600_000, GAPopulation: 64, GAGenerations: 25,
+	}
+)
+
+// ScaleFromEnv returns the preset selected by the GIPPR_SCALE environment
+// variable ("smoke", "default" or "full"), defaulting to Default.
+func ScaleFromEnv() Scale {
+	switch os.Getenv("GIPPR_SCALE") {
+	case "smoke":
+		return Smoke
+	case "full":
+		return Full
+	default:
+		return Default
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"gippr/internal/cache"
+	"gippr/internal/policy"
+)
+
+// Baseline and prior-work policy specs. Labels follow the paper's figures.
+var (
+	SpecLRU = Spec{Key: "lru", Label: "LRU", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewTrueLRU(s, w)
+	}}
+	SpecPLRU = Spec{Key: "plru", Label: "PLRU", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewPLRU(s, w)
+	}}
+	SpecRandom = Spec{Key: "random", Label: "Random", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewRandom(s, w)
+	}}
+	SpecFIFO = Spec{Key: "fifo", Label: "FIFO", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewFIFO(s, w)
+	}}
+	SpecNRU = Spec{Key: "nru", Label: "NRU", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewNRU(s, w)
+	}}
+	SpecLIP = Spec{Key: "lip", Label: "LIP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewLIP(s, w)
+	}}
+	SpecBIP = Spec{Key: "bip", Label: "BIP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewBIP(s, w)
+	}}
+	SpecDIP = Spec{Key: "dip", Label: "DIP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewDIP(s, w)
+	}}
+	SpecSRRIP = Spec{Key: "srrip", Label: "SRRIP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewSRRIP(s, w)
+	}}
+	SpecBRRIP = Spec{Key: "brrip", Label: "BRRIP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewBRRIP(s, w)
+	}}
+	SpecDRRIP = Spec{Key: "drrip", Label: "DRRIP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewDRRIP(s, w)
+	}}
+	SpecPDP = Spec{Key: "pdp", Label: "PDP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewPDP(s, w)
+	}}
+	SpecSHiP = Spec{Key: "ship", Label: "SHiP", New: func(_ string, s, w int) cache.Policy {
+		return policy.NewSHiP(s, w)
+	}}
+)
+
+// SpecGIPLR is the Figure 4 policy: the evolved IPV over true LRU.
+var SpecGIPLR = Spec{Key: "giplr", Label: "GIPLR", New: func(_ string, s, w int) cache.Policy {
+	return policy.NewGIPLR(s, w, GIPLRVector())
+}}
+
+// Workload-inclusive GIPPR variants (vectors evolved on the full suite).
+var (
+	SpecWIGIPPR = Spec{Key: "wi-gippr", Label: "WI-GIPPR", New: func(_ string, s, w int) cache.Policy {
+		g := policy.NewGIPPR(s, w, WIVector1())
+		g.SetName("WI-GIPPR")
+		return g
+	}}
+	SpecWI2DGIPPR = Spec{Key: "wi-2dgippr", Label: "WI-2-DGIPPR", New: func(_ string, s, w int) cache.Policy {
+		p := policy.NewDGIPPR2(s, w, WIVectors2())
+		p.SetName("WI-2-DGIPPR")
+		return p
+	}}
+	SpecWI4DGIPPR = Spec{Key: "wi-4dgippr", Label: "WI-4-DGIPPR", New: func(_ string, s, w int) cache.Policy {
+		p := policy.NewDGIPPR4(s, w, WIVectors4())
+		p.SetName("WI-4-DGIPPR")
+		return p
+	}}
+)
+
+// Workload-neutral GIPPR variants: the vectors used for each workload were
+// evolved with that workload's fold held out (paper Section 4.4).
+var (
+	SpecWNGIPPR = Spec{Key: "wn-gippr", Label: "WN-GIPPR", New: func(name string, s, w int) cache.Policy {
+		g := policy.NewGIPPR(s, w, WNVectors1(name))
+		g.SetName("WN-GIPPR")
+		return g
+	}}
+	SpecWN2DGIPPR = Spec{Key: "wn-2dgippr", Label: "WN-2-DGIPPR", New: func(name string, s, w int) cache.Policy {
+		p := policy.NewDGIPPR2(s, w, WNVectors2(name))
+		p.SetName("WN-2-DGIPPR")
+		return p
+	}}
+	SpecWN4DGIPPR = Spec{Key: "wn-4dgippr", Label: "WN-4-DGIPPR", New: func(name string, s, w int) cache.Policy {
+		p := policy.NewDGIPPR4(s, w, WNVectors4(name))
+		p.SetName("WN-4-DGIPPR")
+		return p
+	}}
+)

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gippr/internal/stats"
+)
+
+// Table is a per-workload results table with one column per policy, plus a
+// geometric-mean summary row — the textual equivalent of the paper's bar
+// charts.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one workload's values across the table's columns.
+type TableRow struct {
+	Name   string
+	Values []float64
+}
+
+// SortByColumn orders rows ascending by the named column, matching the
+// paper's convention of sorting benchmarks by the statistic being measured
+// for DRRIP.
+func (t *Table) SortByColumn(col string) {
+	idx := t.columnIndex(col)
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		return t.Rows[i].Values[idx] < t.Rows[j].Values[idx]
+	})
+}
+
+func (t *Table) columnIndex(col string) int {
+	for i, c := range t.Columns {
+		if c == col {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("experiments: table %q has no column %q", t.Title, col))
+}
+
+// GeoMeans returns the per-column geometric means.
+func (t *Table) GeoMeans() []float64 {
+	out := make([]float64, len(t.Columns))
+	for c := range t.Columns {
+		vals := make([]float64, len(t.Rows))
+		for r, row := range t.Rows {
+			vals[r] = row.Values[c]
+		}
+		out[c] = stats.GeoMean(vals)
+	}
+	return out
+}
+
+// GeoMean returns one column's geometric mean.
+func (t *Table) GeoMean(col string) float64 { return t.GeoMeans()[t.columnIndex(col)] }
+
+// GeoMeanOver returns a column's geometric mean over a subset of rows.
+func (t *Table) GeoMeanOver(col string, keep func(row string) bool) float64 {
+	idx := t.columnIndex(col)
+	var vals []float64
+	for _, row := range t.Rows {
+		if keep(row.Name) {
+			vals = append(vals, row.Values[idx])
+		}
+	}
+	return stats.GeoMean(vals)
+}
+
+// Value returns one cell.
+func (t *Table) Value(row, col string) float64 {
+	idx := t.columnIndex(col)
+	for _, r := range t.Rows {
+		if r.Name == row {
+			return r.Values[idx]
+		}
+	}
+	panic(fmt.Sprintf("experiments: table %q has no row %q", t.Title, row))
+}
+
+// Format renders the table with a geometric-mean footer.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-18s", "benchmark")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, " %14s", c)
+	}
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-18s", r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(&sb, " %14.4f", v)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-18s", "geomean")
+	for _, v := range t.GeoMeans() {
+		fmt.Fprintf(&sb, " %14.4f", v)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"gippr/internal/ipv"
+	"gippr/internal/workload"
+)
+
+// Evolved insertion/promotion vectors used by the shipped experiments.
+//
+// The paper evolves its vectors offline on a 200-CPU cluster and ships them
+// in the text (Section 5.3); we do the same at laptop scale: the vectors
+// below were produced by `go run ./cmd/gippr-evolve -bake` on this
+// repository's synthetic suite (GA per DESIGN.md, seeded with the paper's
+// published vectors plus LRU/LIP), then pasted here. Rerunning that command
+// regenerates them; the paper's own vectors remain available as
+// ipv.Paper* for comparison.
+//
+// Workload-neutral (WN) vectors use the paper's WNk cross-validation
+// (Section 4.4) instantiated as k-fold holdout: the suite is split into
+// NumFolds folds by suite position, and the vectors used for a workload are
+// evolved with that workload's entire fold excluded.
+
+// NumFolds is the cross-validation fold count for workload-neutral vectors.
+const NumFolds = 5
+
+// FoldOf returns the fold a workload belongs to (by its position in the
+// suite, so folds are stable and stratified across archetype groups).
+func FoldOf(name string) int {
+	for i, n := range workload.Names() {
+		if n == name {
+			return i % NumFolds
+		}
+	}
+	return 0
+}
+
+// Workload-inclusive vectors, evolved on the full suite by
+// `go run ./cmd/gippr-evolve -bake -scale default -seeds 3`. Like the
+// paper's learned sets (Section 5.3), the pairs/quads duel between
+// PMRU-side insertion (the all-zero LRU-like vector) and PLRU-side
+// insertion with pessimistic demotion patterns (insertion 15).
+var (
+	wiVector1  = ipv.MustParse("[ 0 0 0 0 0 0 0 5 0 8 8 0 2 4 14 11 15 ]")
+	wiVectors2 = [2]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 0 0 0 0 5 0 8 8 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+	}
+	wiVectors4 = [4]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 0 0 0 0 5 0 8 8 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 6 3 0 0 0 11 0 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 15 ]"),
+	}
+	// giplrVector drives Figure 4 (IPV over true LRU); the paper's
+	// published vector transfers well to this suite.
+	giplrVector = ipv.PaperGIPLR
+)
+
+// Workload-neutral vectors: wnVectorsN[f] are the vectors used for
+// workloads in fold f (evolved with fold f held out), from the same
+// gippr-evolve -bake run.
+var (
+	wnVectors1 [NumFolds]ipv.Vector
+	wnVectors2 [NumFolds][2]ipv.Vector
+	wnVectors4 [NumFolds][4]ipv.Vector
+)
+
+func init() {
+	wnVectors1[0] = ipv.MustParse("[ 0 0 0 6 4 4 6 5 8 8 10 1 12 8 2 1 15 ]")
+	wnVectors2[0] = [2]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 6 4 4 6 5 8 8 10 1 12 8 2 1 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+	}
+	wnVectors4[0] = [4]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 6 4 4 6 5 8 8 10 1 12 8 2 1 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 10 0 0 0 4 5 14 11 15 ]"),
+	}
+	wnVectors1[1] = ipv.MustParse("[ 0 0 2 1 4 4 5 5 8 8 10 1 0 0 0 8 15 ]")
+	wnVectors2[1] = [2]ipv.Vector{
+		ipv.MustParse("[ 0 0 2 1 4 4 5 5 8 8 10 1 0 0 0 8 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+	}
+	wnVectors4[1] = [4]ipv.Vector{
+		ipv.MustParse("[ 0 0 2 1 4 4 5 5 8 8 10 1 0 0 0 8 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+		ipv.MustParse("[ 0 0 0 0 1 0 0 0 9 0 0 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 15 ]"),
+	}
+	wnVectors1[2] = ipv.MustParse("[ 0 0 0 0 0 0 0 3 0 0 8 0 2 4 14 11 15 ]")
+	wnVectors2[2] = [2]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 0 0 0 0 3 0 0 8 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+	}
+	wnVectors4[2] = [4]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 0 0 0 0 3 0 0 8 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 4 3 0 8 12 13 0 14 3 15 ]"),
+		ipv.MustParse("[ 3 0 0 0 0 7 0 0 0 0 0 0 0 6 0 8 15 ]"),
+	}
+	wnVectors1[3] = ipv.MustParse("[ 0 0 0 0 0 1 0 0 0 8 8 0 2 4 14 11 15 ]")
+	wnVectors2[3] = [2]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 0 0 1 0 0 0 8 8 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+	}
+	wnVectors4[3] = [4]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 0 0 1 0 0 0 8 8 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 12 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 15 ]"),
+	}
+	wnVectors1[4] = ipv.MustParse("[ 0 0 0 1 4 4 6 5 8 8 0 11 9 8 9 12 15 ]")
+	wnVectors2[4] = [2]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 1 4 4 6 5 8 8 0 11 9 8 9 12 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+	}
+	wnVectors4[4] = [4]ipv.Vector{
+		ipv.MustParse("[ 0 0 0 1 4 4 6 5 8 8 0 11 9 8 9 12 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ]"),
+		ipv.MustParse("[ 0 0 0 0 4 4 6 5 0 8 8 0 2 4 14 11 15 ]"),
+		ipv.MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 15 ]"),
+	}
+}
+
+// WNVectors1 returns the single WN vector for a workload.
+func WNVectors1(name string) ipv.Vector { return wnVectors1[FoldOf(name)] }
+
+// WNVectors2 returns the WN vector pair for a workload.
+func WNVectors2(name string) [2]ipv.Vector { return wnVectors2[FoldOf(name)] }
+
+// WNVectors4 returns the WN vector quad for a workload.
+func WNVectors4(name string) [4]ipv.Vector { return wnVectors4[FoldOf(name)] }
+
+// WIVector1 returns the workload-inclusive single vector.
+func WIVector1() ipv.Vector { return wiVector1 }
+
+// WIVectors2 returns the workload-inclusive pair.
+func WIVectors2() [2]ipv.Vector { return wiVectors2 }
+
+// WIVectors4 returns the workload-inclusive quad.
+func WIVectors4() [4]ipv.Vector { return wiVectors4 }
+
+// GIPLRVector returns the vector used for the Figure 4 GIPLR run.
+func GIPLRVector() ipv.Vector { return giplrVector }

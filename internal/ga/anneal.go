@@ -1,0 +1,72 @@
+package ga
+
+import (
+	"math"
+
+	"gippr/internal/ipv"
+	"gippr/internal/xrand"
+)
+
+// AnnealConfig parameterizes simulated annealing, an alternative to the
+// genetic algorithm for the paper's future-work item 3 ("ways to find these
+// vectors more systematically"). Annealing explores single-element moves
+// under a geometric cooling schedule, which suits the IPV space: fitness is
+// often improved by local refinements of one insertion or promotion entry
+// (the paper's own hill-climbing observation in Section 2.6).
+type AnnealConfig struct {
+	// Steps is the number of candidate moves considered.
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule, in
+	// fitness units (speedup deltas; 0.01 = one percent of speedup).
+	StartTemp, EndTemp float64
+	Seed               uint64
+}
+
+// DefaultAnnealConfig returns a schedule sized comparably to a small GA run.
+func DefaultAnnealConfig(seed uint64) AnnealConfig {
+	return AnnealConfig{Steps: 200, StartTemp: 0.02, EndTemp: 0.0005, Seed: seed}
+}
+
+// Anneal refines start by simulated annealing and returns the best vector
+// seen and its fitness. The accept rule is Metropolis: worse moves are
+// taken with probability exp(delta/T).
+func Anneal(e *Env, start ipv.Vector, cfg AnnealConfig) (ipv.Vector, float64) {
+	if cfg.Steps < 1 {
+		panic("ga: annealing needs at least one step")
+	}
+	if cfg.StartTemp <= 0 || cfg.EndTemp <= 0 || cfg.EndTemp > cfg.StartTemp {
+		panic("ga: annealing temperatures must satisfy 0 < end <= start")
+	}
+	rng := xrand.New(cfg.Seed)
+	k := e.Config.Ways
+
+	cur := start.Clone()
+	curFit := e.Fitness(cur)
+	best := cur.Clone()
+	bestFit := curFit
+
+	cool := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Steps))
+	temp := cfg.StartTemp
+	for step := 0; step < cfg.Steps; step++ {
+		i := rng.Intn(len(cur))
+		old := cur[i]
+		next := rng.Intn(k)
+		for next == old && k > 1 {
+			next = rng.Intn(k)
+		}
+		cur[i] = next
+		fit := e.Fitness(cur)
+		delta := fit - curFit
+		if delta >= 0 || rng.Float64() < math.Exp(delta/temp) {
+			curFit = fit
+			if fit > bestFit {
+				bestFit = fit
+				best = cur.Clone()
+			}
+		} else {
+			cur[i] = old
+		}
+		temp *= cool
+	}
+	return best, bestFit
+}

@@ -1,0 +1,76 @@
+package ga
+
+import (
+	"testing"
+
+	"gippr/internal/ipv"
+)
+
+func TestAnnealImprovesOnBadStart(t *testing.T) {
+	e := testEnv(t)
+	start := ipv.LRU(16) // mediocre on the thrash-heavy mix
+	cfg := DefaultAnnealConfig(3)
+	cfg.Steps = 60
+	best, fit := Anneal(e, start, cfg)
+	if err := best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fit < e.Fitness(start) {
+		t.Fatalf("annealing returned fitness %v below its start %v", fit, e.Fitness(start))
+	}
+}
+
+func TestAnnealDoesNotMutateStart(t *testing.T) {
+	e := testEnv(t)
+	start := ipv.LIP(16)
+	orig := start.Clone()
+	cfg := DefaultAnnealConfig(5)
+	cfg.Steps = 10
+	Anneal(e, start, cfg)
+	if !start.Equal(orig) {
+		t.Fatal("start vector mutated")
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	e := testEnv(t)
+	cfg := DefaultAnnealConfig(9)
+	cfg.Steps = 20
+	a, fa := Anneal(e, ipv.LRU(16), cfg)
+	b, fb := Anneal(e, ipv.LRU(16), cfg)
+	if !a.Equal(b) || fa != fb {
+		t.Fatal("annealing not reproducible")
+	}
+}
+
+func TestAnnealConfigValidation(t *testing.T) {
+	e := testEnv(t)
+	bad := []AnnealConfig{
+		{Steps: 0, StartTemp: 1, EndTemp: 0.1},
+		{Steps: 10, StartTemp: 0, EndTemp: 0.1},
+		{Steps: 10, StartTemp: 0.1, EndTemp: 0.5}, // end > start
+		{Steps: 10, StartTemp: 0.1, EndTemp: 0},
+	}
+	for i, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %d accepted", i)
+				}
+			}()
+			Anneal(e, ipv.LRU(16), c)
+		}()
+	}
+}
+
+func TestAnnealReturnsBestVisited(t *testing.T) {
+	// The returned fitness must match re-evaluating the returned vector
+	// (the best-seen bookkeeping is consistent).
+	e := testEnv(t)
+	cfg := DefaultAnnealConfig(13)
+	cfg.Steps = 25
+	best, fit := Anneal(e, ipv.LIP(16), cfg)
+	if got := e.Fitness(best); got != fit {
+		t.Fatalf("returned fitness %v but re-evaluation gives %v", fit, got)
+	}
+}

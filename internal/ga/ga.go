@@ -1,0 +1,379 @@
+// Package ga implements the paper's IPV search machinery (Section 4):
+// uniformly random design-space sampling (Figure 1), the genetic algorithm
+// that evolves insertion/promotion vectors (Section 4.2), hill-climbing
+// refinement (Section 2.6), and greedy selection of complementary vector
+// sets for 2- and 4-vector DGIPPR. Fitness is the paper's Section 4.3
+// function: mean estimated speedup over LRU on LLC-filtered access streams
+// under a linear CPI model.
+package ga
+
+import (
+	"fmt"
+	"sort"
+
+	"gippr/internal/cache"
+	"gippr/internal/cpu"
+	"gippr/internal/ipv"
+	"gippr/internal/stats"
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// Stream is one LLC-filtered access stream with its SimPoint-style weight.
+type Stream struct {
+	Workload string
+	Weight   float64
+	Records  []trace.Record
+}
+
+// Env is a fitness-evaluation environment: the LLC geometry, the streams,
+// the CPI model, and the policy family being searched (GIPPR by default;
+// the Section 2 proof of concept passes a GIPLR constructor instead).
+type Env struct {
+	Config cache.Config
+	Model  cpu.LinearModel
+	// WarmFrac is the fraction of each stream used to warm the cache
+	// before misses are counted (the paper warms 500M of 1.5B
+	// instructions).
+	WarmFrac float64
+	// NewPolicy builds the policy under search for a candidate vector.
+	NewPolicy func(sets, ways int, v ipv.Vector) cache.Policy
+
+	streams []Stream
+	// baseline CPI per stream under true LRU, computed once.
+	baseCPI []float64
+}
+
+// NewEnv precomputes the LRU baseline for each stream. newLRU builds the
+// baseline policy (true LRU in the paper).
+func NewEnv(cfg cache.Config, model cpu.LinearModel, warmFrac float64,
+	streams []Stream,
+	newLRU func(sets, ways int) cache.Policy,
+	newPolicy func(sets, ways int, v ipv.Vector) cache.Policy) *Env {
+	if warmFrac < 0 || warmFrac >= 1 {
+		panic("ga: WarmFrac must be in [0,1)")
+	}
+	e := &Env{
+		Config:    cfg,
+		Model:     model,
+		WarmFrac:  warmFrac,
+		NewPolicy: newPolicy,
+		streams:   streams,
+		baseCPI:   make([]float64, len(streams)),
+	}
+	sets := cfg.Sets()
+	for i, s := range streams {
+		rs := cache.ReplayStream(s.Records, cfg, newLRU(sets, cfg.Ways), e.warm(len(s.Records)))
+		e.baseCPI[i] = model.CPIFromReplay(rs)
+	}
+	return e
+}
+
+func (e *Env) warm(n int) int { return int(float64(n) * e.WarmFrac) }
+
+// Streams returns the environment's streams (shared; do not mutate).
+func (e *Env) Streams() []Stream { return e.streams }
+
+// Subset returns a new Env restricted to streams whose workload passes
+// keep, re-using the precomputed baselines. This implements the paper's
+// workload-neutral (WNk) cross-validation: evolve on the complement of the
+// held-out workloads.
+func (e *Env) Subset(keep func(workload string) bool) *Env {
+	sub := &Env{
+		Config:    e.Config,
+		Model:     e.Model,
+		WarmFrac:  e.WarmFrac,
+		NewPolicy: e.NewPolicy,
+	}
+	for i, s := range e.streams {
+		if keep(s.Workload) {
+			sub.streams = append(sub.streams, s)
+			sub.baseCPI = append(sub.baseCPI, e.baseCPI[i])
+		}
+	}
+	if len(sub.streams) == 0 {
+		panic("ga: Subset kept no streams")
+	}
+	return sub
+}
+
+// PerStream returns each stream's estimated speedup over LRU for vector v.
+func (e *Env) PerStream(v ipv.Vector) []float64 {
+	sets := e.Config.Sets()
+	out := make([]float64, len(e.streams))
+	for i, s := range e.streams {
+		pol := e.NewPolicy(sets, e.Config.Ways, v)
+		rs := cache.ReplayStream(s.Records, e.Config, pol, e.warm(len(s.Records)))
+		out[i] = e.baseCPI[i] / e.Model.CPIFromReplay(rs)
+	}
+	return out
+}
+
+// Fitness is the paper's fitness function: the weighted arithmetic-mean
+// estimated speedup over LRU across all streams.
+func (e *Env) Fitness(v ipv.Vector) float64 {
+	per := e.PerStream(v)
+	weights := make([]float64, len(e.streams))
+	for i, s := range e.streams {
+		weights[i] = s.Weight
+	}
+	return stats.WeightedMean(per, weights)
+}
+
+// Scored pairs a vector with its fitness.
+type Scored struct {
+	Vector  ipv.Vector
+	Fitness float64
+}
+
+// RandomSearch evaluates n uniformly random IPVs (the paper's Figure 1
+// exploration: 15,000 random 17-entry vectors) and returns them sorted by
+// ascending fitness, ready to plot as the sorted speedup curve.
+func RandomSearch(e *Env, n int, seed uint64) []Scored {
+	rng := xrand.New(seed)
+	k := e.Config.Ways
+	out := make([]Scored, n)
+	for i := range out {
+		v := make(ipv.Vector, k+1)
+		for j := range v {
+			v[j] = rng.Intn(k)
+		}
+		out[i] = Scored{Vector: v, Fitness: e.Fitness(v)}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Fitness < out[b].Fitness })
+	return out
+}
+
+// Config parameterizes Evolve. The defaults follow the paper's operators:
+// one-point crossover and a 5% chance of mutating one randomly chosen
+// element per offspring (Section 4.2), at laptop-scale population sizes.
+type Config struct {
+	Population  int
+	Generations int
+	// Elite individuals are copied unchanged into the next generation.
+	Elite int
+	// TournamentSize controls selection pressure.
+	TournamentSize int
+	// MutationProb is the per-offspring probability of one random-element
+	// mutation (the paper uses 0.05).
+	MutationProb float64
+	Seed         uint64
+	// Seeds are vectors injected into the initial population (e.g. LRU,
+	// LIP, previously evolved vectors — the paper seeds its pgapack run
+	// with earlier GA output).
+	Seeds []ipv.Vector
+	// OnGeneration, if non-nil, is called after each generation with the
+	// generation index and the best individual so far.
+	OnGeneration func(gen int, best Scored)
+}
+
+// DefaultConfig returns a small but effective configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Population:     24,
+		Generations:    10,
+		Elite:          2,
+		TournamentSize: 3,
+		MutationProb:   0.05,
+		Seed:           seed,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Population < 2 {
+		return fmt.Errorf("ga: population %d too small", c.Population)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("ga: need at least one generation")
+	}
+	if c.Elite < 0 || c.Elite >= c.Population {
+		return fmt.Errorf("ga: elite %d out of range for population %d", c.Elite, c.Population)
+	}
+	if c.TournamentSize < 1 {
+		return fmt.Errorf("ga: tournament size %d too small", c.TournamentSize)
+	}
+	return nil
+}
+
+// Evolve runs the genetic algorithm and returns the best vector found, its
+// fitness, and the best-fitness history per generation.
+func Evolve(e *Env, cfg Config) (ipv.Vector, float64, []float64) {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	rng := xrand.New(cfg.Seed)
+	k := e.Config.Ways
+
+	randomVec := func() ipv.Vector {
+		v := make(ipv.Vector, k+1)
+		for j := range v {
+			v[j] = rng.Intn(k)
+		}
+		return v
+	}
+
+	pop := make([]Scored, 0, cfg.Population)
+	for _, s := range cfg.Seeds {
+		if len(pop) == cfg.Population {
+			break
+		}
+		if s.K() != k {
+			panic("ga: seed vector associativity mismatch")
+		}
+		pop = append(pop, Scored{Vector: s.Clone()})
+	}
+	for len(pop) < cfg.Population {
+		// Skip degenerate vectors that can never promote to MRU
+		// (footnote 1): they waste evaluations.
+		v := randomVec()
+		for !v.ReachesMRU() {
+			v = randomVec()
+		}
+		pop = append(pop, Scored{Vector: v})
+	}
+	for i := range pop {
+		pop[i].Fitness = e.Fitness(pop[i].Vector)
+	}
+	sortDesc(pop)
+
+	history := make([]float64, 0, cfg.Generations)
+	tournament := func() ipv.Vector {
+		best := rng.Intn(len(pop))
+		for t := 1; t < cfg.TournamentSize; t++ {
+			c := rng.Intn(len(pop))
+			if pop[c].Fitness > pop[best].Fitness {
+				best = c
+			}
+		}
+		return pop[best].Vector
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]Scored, 0, cfg.Population)
+		for i := 0; i < cfg.Elite; i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < cfg.Population {
+			a, b := tournament(), tournament()
+			child := crossover(a, b, rng)
+			if rng.Bool(cfg.MutationProb) {
+				child[rng.Intn(len(child))] = rng.Intn(k)
+			}
+			next = append(next, Scored{Vector: child, Fitness: e.Fitness(child)})
+		}
+		pop = next
+		sortDesc(pop)
+		history = append(history, pop[0].Fitness)
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gen, pop[0])
+		}
+	}
+	return pop[0].Vector, pop[0].Fitness, history
+}
+
+// crossover is the paper's one-point crossover: elements 0..c from a,
+// c+1..k from b, with c chosen uniformly.
+func crossover(a, b ipv.Vector, rng *xrand.RNG) ipv.Vector {
+	child := a.Clone()
+	c := rng.Intn(len(a))
+	copy(child[c+1:], b[c+1:])
+	return child
+}
+
+func sortDesc(pop []Scored) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].Fitness > pop[j].Fitness })
+}
+
+// HillClimb refines v by repeatedly trying every single-element change and
+// keeping the best improvement, stopping after maxRounds rounds or at a
+// local optimum (the Section 2.6 refinement). It returns the refined vector
+// and its fitness.
+func HillClimb(e *Env, v ipv.Vector, maxRounds int) (ipv.Vector, float64) {
+	best := v.Clone()
+	bestFit := e.Fitness(best)
+	k := e.Config.Ways
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for i := range best {
+			orig := best[i]
+			for val := 0; val < k; val++ {
+				if val == orig {
+					continue
+				}
+				best[i] = val
+				if f := e.Fitness(best); f > bestFit {
+					bestFit = f
+					orig = val
+					improved = true
+				} else {
+					best[i] = orig
+				}
+			}
+			best[i] = orig
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestFit
+}
+
+// SelectComplementary greedily picks setSize vectors from pool so that the
+// oracle-best-per-stream mean speedup of the chosen set is maximized: the
+// offline idealization of what set-dueling can exploit at run time. This is
+// how the 2- and 4-vector DGIPPR sets are assembled from independently
+// evolved vectors.
+func SelectComplementary(e *Env, pool []ipv.Vector, setSize int) []ipv.Vector {
+	if setSize <= 0 || len(pool) == 0 {
+		panic("ga: SelectComplementary needs a pool and positive set size")
+	}
+	per := make([][]float64, len(pool))
+	for i, v := range pool {
+		per[i] = e.PerStream(v)
+	}
+	weights := make([]float64, len(e.streams))
+	for i, s := range e.streams {
+		weights[i] = s.Weight
+	}
+	chosen := []int{}
+	bestOf := make([]float64, len(e.streams)) // oracle speedup of chosen set
+	for len(chosen) < setSize && len(chosen) < len(pool) {
+		bestIdx, bestScore := -1, -1.0
+		for i := range pool {
+			if contains(chosen, i) {
+				continue
+			}
+			cand := make([]float64, len(bestOf))
+			for s := range cand {
+				cand[s] = per[i][s]
+				if len(chosen) > 0 && bestOf[s] > cand[s] {
+					cand[s] = bestOf[s]
+				}
+			}
+			score := stats.WeightedMean(cand, weights)
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		for s := range bestOf {
+			if v := per[bestIdx][s]; len(chosen) == 0 || v > bestOf[s] {
+				bestOf[s] = v
+			}
+		}
+		chosen = append(chosen, bestIdx)
+	}
+	out := make([]ipv.Vector, len(chosen))
+	for i, idx := range chosen {
+		out[i] = pool[idx].Clone()
+	}
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

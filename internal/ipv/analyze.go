@@ -1,0 +1,125 @@
+package ipv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InsertionClass coarsely classifies where a vector inserts incoming
+// blocks, the dimension the paper reads off its learned vectors
+// (Section 5.3.2: "the WI-4-DGIPPR IPVs switch between PLRU, PMRU, close to
+// PMRU, and 'middle' insertion").
+type InsertionClass string
+
+// Insertion classes, by quartile of the recency stack.
+const (
+	InsertPMRU     InsertionClass = "PMRU"          // top quarter
+	InsertNearPMRU InsertionClass = "close-to-PMRU" // second quarter
+	InsertMiddle   InsertionClass = "middle"        // third quarter
+	InsertPLRU     InsertionClass = "PLRU"          // bottom quarter
+)
+
+// Analysis summarizes a vector's behaviour along the axes the paper uses to
+// interpret its learned vectors.
+type Analysis struct {
+	Vector       Vector
+	Insertion    InsertionClass
+	InsertionPos int
+	// Promotions counts entries with V[i] < i (the block moves toward
+	// MRU when re-referenced).
+	Promotions int
+	// Demotions counts entries with V[i] > i (a "pessimistic" promotion
+	// policy in the paper's words — the first WI-2-DGIPPR vector moves
+	// most referenced blocks closer to the PLRU position).
+	Demotions int
+	// Identity counts entries with V[i] == i.
+	Identity int
+	// MeanTarget is the average new position of a re-referenced block:
+	// near 0 for aggressive MRU promotion, near k-1 for pessimistic
+	// policies.
+	MeanTarget float64
+	// Pessimistic reports whether re-referenced blocks land, on average,
+	// clearly below the MRU quarter of the stack (MeanTarget > k/4) — the
+	// paper's reading of its first WI-2-DGIPPR vector, which "moves most
+	// referenced blocks closer to the PLRU position".
+	Pessimistic bool
+	// LRULike reports whether the vector is within a small edit distance
+	// of classic LRU (all promotions to 0 and MRU insertion).
+	LRULike bool
+	// ReachesMRU is the footnote-1 degeneracy test.
+	ReachesMRU bool
+}
+
+// Analyze computes the interpretation summary of a vector.
+func Analyze(v Vector) Analysis {
+	if err := v.Validate(); err != nil {
+		panic(err)
+	}
+	k := v.K()
+	a := Analysis{
+		Vector:       v.Clone(),
+		InsertionPos: v.Insertion(),
+		ReachesMRU:   v.ReachesMRU(),
+	}
+	switch q := 4 * v.Insertion() / k; q {
+	case 0:
+		a.Insertion = InsertPMRU
+	case 1:
+		a.Insertion = InsertNearPMRU
+	case 2:
+		a.Insertion = InsertMiddle
+	default:
+		a.Insertion = InsertPLRU
+	}
+	sum := 0
+	nonLRU := 0
+	for i := 0; i < k; i++ {
+		sum += v[i]
+		switch {
+		case v[i] < i:
+			a.Promotions++
+		case v[i] > i:
+			a.Demotions++
+		default:
+			a.Identity++
+		}
+		if v[i] != 0 {
+			nonLRU++
+		}
+	}
+	if v.Insertion() != 0 {
+		nonLRU++
+	}
+	a.MeanTarget = float64(sum) / float64(k)
+	a.Pessimistic = a.MeanTarget > float64(k)/4
+	a.LRULike = nonLRU <= k/4
+	return a
+}
+
+// String renders a one-line interpretation, e.g.
+// "insert@13 (PLRU), 11 promotions / 3 demotions, mean target 2.1".
+func (a Analysis) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "insert@%d (%s), %d promotions / %d demotions / %d holds, mean target %.1f",
+		a.InsertionPos, a.Insertion, a.Promotions, a.Demotions, a.Identity, a.MeanTarget)
+	if a.Pessimistic {
+		sb.WriteString(", pessimistic")
+	}
+	if a.LRULike {
+		sb.WriteString(", LRU-like")
+	}
+	if !a.ReachesMRU {
+		sb.WriteString(", DEGENERATE (cannot reach MRU)")
+	}
+	return sb.String()
+}
+
+// ClassifySet summarizes a duelled vector set the way the paper reads its
+// WI-2/4-DGIPPR sets: the list of insertion classes covered.
+func ClassifySet(vs []Vector) []InsertionClass {
+	out := make([]InsertionClass, len(vs))
+	for i, v := range vs {
+		out[i] = Analyze(v).Insertion
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package ipv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeLRU(t *testing.T) {
+	a := Analyze(LRU(16))
+	if a.Insertion != InsertPMRU || a.InsertionPos != 0 {
+		t.Fatalf("LRU insertion class %v@%d", a.Insertion, a.InsertionPos)
+	}
+	if a.Demotions != 0 {
+		t.Fatalf("LRU has %d demotions", a.Demotions)
+	}
+	if !a.LRULike {
+		t.Fatal("LRU not LRU-like")
+	}
+	if a.Pessimistic {
+		t.Fatal("LRU flagged pessimistic")
+	}
+	if a.MeanTarget != 0 {
+		t.Fatalf("LRU mean target %v", a.MeanTarget)
+	}
+	// Position 0 holds (V[0]==0), the rest promote.
+	if a.Promotions != 15 || a.Identity != 1 {
+		t.Fatalf("LRU promotions/identity %d/%d", a.Promotions, a.Identity)
+	}
+}
+
+func TestAnalyzeLIP(t *testing.T) {
+	a := Analyze(LIP(16))
+	if a.Insertion != InsertPLRU || a.InsertionPos != 15 {
+		t.Fatalf("LIP insertion %v@%d", a.Insertion, a.InsertionPos)
+	}
+	if !a.ReachesMRU {
+		t.Fatal("LIP degenerate?")
+	}
+}
+
+func TestAnalyzeMidClimb(t *testing.T) {
+	a := Analyze(MidClimb(16))
+	if a.Insertion != InsertPLRU {
+		t.Fatalf("MidClimb insertion %v", a.Insertion)
+	}
+}
+
+func TestAnalyzePaperPessimisticVector(t *testing.T) {
+	// The paper reads its first WI-2-DGIPPR vector as "a very pessimistic
+	// promotion policy, moving most referenced blocks closer to the PLRU
+	// position".
+	a := Analyze(PaperWI2DGIPPR[0])
+	if !a.Pessimistic {
+		t.Fatalf("paper's pessimistic vector not flagged: %+v", a)
+	}
+	if a.Insertion != InsertPLRU {
+		t.Fatalf("first WI-2-DGIPPR vector inserts at %d (%v), paper says PLRU",
+			a.InsertionPos, a.Insertion)
+	}
+	// And the second is "very close to PLRU by itself" with PMRU
+	// insertion.
+	b := Analyze(PaperWI2DGIPPR[1])
+	if b.Insertion != InsertPMRU || !b.LRULike {
+		t.Fatalf("second WI-2-DGIPPR vector: %+v", b)
+	}
+}
+
+func TestClassifySetCoversClasses(t *testing.T) {
+	// Section 5.3.2: "The WI-4-DGIPPR IPVs switch between PLRU, PMRU,
+	// close to PMRU, and middle insertion" — the quad's insertion classes
+	// span more than one class.
+	classes := ClassifySet([]Vector{
+		PaperWI4DGIPPR[0], PaperWI4DGIPPR[1], PaperWI4DGIPPR[2], PaperWI4DGIPPR[3],
+	})
+	distinct := map[InsertionClass]bool{}
+	for _, c := range classes {
+		distinct[c] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("4-vector set covers only %v", classes)
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	s := Analyze(PaperGIPLR).String()
+	for _, want := range []string{"insert@13", "PLRU", "promotions"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("analysis string %q missing %q", s, want)
+		}
+	}
+	// Degenerate vectors are labelled.
+	deg := Vector{0, 7, 7, 7, 7, 7, 7, 7, 7}
+	if !strings.Contains(Analyze(deg).String(), "DEGENERATE") {
+		t.Fatal("degenerate vector not labelled")
+	}
+}
+
+func TestAnalyzePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	Analyze(Vector{0, 99, 0})
+}
+
+func TestInsertionClassBoundaries(t *testing.T) {
+	k := 16
+	cases := map[int]InsertionClass{
+		0: InsertPMRU, 3: InsertPMRU,
+		4: InsertNearPMRU, 7: InsertNearPMRU,
+		8: InsertMiddle, 11: InsertMiddle,
+		12: InsertPLRU, 15: InsertPLRU,
+	}
+	for pos, want := range cases {
+		v := New(k)
+		v[k] = pos
+		if got := Analyze(v).Insertion; got != want {
+			t.Fatalf("insert@%d classified %v, want %v", pos, got, want)
+		}
+	}
+}

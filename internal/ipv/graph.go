@@ -1,0 +1,155 @@
+package ipv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed edge between recency-stack positions in a transition
+// graph.
+type Edge struct {
+	From, To int
+}
+
+// Graph is the transition graph of an IPV in the style of the paper's
+// Figures 2 and 3. Vertices are recency-stack positions 0..k-1 plus two
+// virtual vertices: Insertion (k) and Eviction (k+1, the exit of the LRU
+// position). Solid edges show the new position for an accessed or inserted
+// block; dashed edges show where a block is shifted when another block is
+// moved into its position (true-LRU shift semantics).
+type Graph struct {
+	K      int
+	Solid  []Edge // access/insertion moves: i -> V[i], Insertion -> V[k]
+	Dashed []Edge // shift moves: j -> j±1, and k-1 -> Eviction
+}
+
+// InsertionNode and EvictionNode return the virtual vertex ids used in the
+// graph for the insertion source and the eviction sink.
+func (g *Graph) InsertionNode() int { return g.K }
+func (g *Graph) EvictionNode() int  { return g.K + 1 }
+
+// TransitionGraph builds the transition graph of v under true-LRU stack
+// semantics.
+func TransitionGraph(v Vector) *Graph {
+	k := v.K()
+	g := &Graph{K: k}
+	// Solid edges: accessed block at i moves to V[i]; insertion moves a new
+	// block to V[k].
+	for i := 0; i < k; i++ {
+		g.Solid = append(g.Solid, Edge{From: i, To: v[i]})
+	}
+	g.Solid = append(g.Solid, Edge{From: g.InsertionNode(), To: v[k]})
+
+	// Dashed edges: positions displaced by promotions, demotions and
+	// insertions, mirroring ReachesMRU's shift analysis.
+	down := make([]bool, k)
+	up := make([]bool, k)
+	for i := 0; i < k; i++ {
+		t := v[i]
+		if t < i {
+			for j := t; j < i; j++ {
+				down[j] = true
+			}
+		} else if t > i {
+			for j := i + 1; j <= t; j++ {
+				up[j] = true
+			}
+		}
+	}
+	for j := v[k]; j < k-1; j++ {
+		down[j] = true
+	}
+	for j := 0; j < k; j++ {
+		if down[j] {
+			if j+1 < k {
+				g.Dashed = append(g.Dashed, Edge{From: j, To: j + 1})
+			}
+		}
+		if up[j] && j > 0 {
+			g.Dashed = append(g.Dashed, Edge{From: j, To: j - 1})
+		}
+	}
+	// The LRU block leaves the stack when a victim is needed.
+	g.Dashed = append(g.Dashed, Edge{From: k - 1, To: g.EvictionNode()})
+	sortEdges(g.Solid)
+	sortEdges(g.Dashed)
+	return g
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+}
+
+// DOT renders the graph in Graphviz DOT format, suitable for regenerating
+// the paper's Figures 2 and 3 with `dot -Tpdf`.
+func (g *Graph) DOT(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph ipv {\n")
+	fmt.Fprintf(&sb, "  label=%q;\n", title)
+	fmt.Fprintf(&sb, "  rankdir=LR;\n  node [shape=circle];\n")
+	for i := 0; i < g.K; i++ {
+		fmt.Fprintf(&sb, "  n%d [label=\"%d\"];\n", i, i)
+	}
+	fmt.Fprintf(&sb, "  n%d [label=\"insertion\", shape=box];\n", g.InsertionNode())
+	fmt.Fprintf(&sb, "  n%d [label=\"eviction\", shape=box];\n", g.EvictionNode())
+	for _, e := range g.Solid {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.From, e.To)
+	}
+	for _, e := range g.Dashed {
+		fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed];\n", e.From, e.To)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Text renders a compact human-readable description of the graph, one line
+// per vertex, used by cmd/gippr-graph's default output.
+func (g *Graph) Text() string {
+	solid := map[int][]int{}
+	dashed := map[int][]int{}
+	for _, e := range g.Solid {
+		solid[e.From] = append(solid[e.From], e.To)
+	}
+	for _, e := range g.Dashed {
+		dashed[e.From] = append(dashed[e.From], e.To)
+	}
+	name := func(n int) string {
+		switch n {
+		case g.InsertionNode():
+			return "insertion"
+		case g.EvictionNode():
+			return "eviction"
+		default:
+			return fmt.Sprintf("%d", n)
+		}
+	}
+	var sb strings.Builder
+	nodes := make([]int, 0, g.K+1)
+	for i := 0; i < g.K; i++ {
+		nodes = append(nodes, i)
+	}
+	nodes = append(nodes, g.InsertionNode())
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, "%-9s", name(n))
+		if ts := solid[n]; len(ts) > 0 {
+			sb.WriteString(" solid ->")
+			for _, t := range ts {
+				fmt.Fprintf(&sb, " %s", name(t))
+			}
+		}
+		if ts := dashed[n]; len(ts) > 0 {
+			sb.WriteString("  dashed ->")
+			for _, t := range ts {
+				fmt.Fprintf(&sb, " %s", name(t))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

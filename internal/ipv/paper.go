@@ -1,0 +1,41 @@
+package ipv
+
+// The vectors published in the paper, reproduced verbatim. All are for
+// 16-way associativity (17 entries).
+
+// PaperGIPLR is the best insertion/promotion vector found by the genetic
+// algorithm for true-LRU replacement (Section 2.5, Figure 3):
+// an incoming block is inserted into position 13, a block referenced in the
+// LRU position is moved to position 11, and so on.
+var PaperGIPLR = MustParse("[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]")
+
+// PaperGIPLRRefined is PaperGIPLR with its first 12 elements replaced by
+// zeros, which the paper notes slightly improves the speedup (Section 2.6,
+// 3.1% -> 3.12%).
+var PaperGIPLRRefined = MustParse("[ 0 0 0 0 0 0 0 0 0 0 0 0 0 0 1 11 13 ]")
+
+// PaperWIGIPPR is the workload-inclusive IPV learned for single-vector
+// GIPPR (Section 5.3).
+var PaperWIGIPPR = MustParse("[ 0 0 2 8 4 1 4 1 8 0 14 8 12 13 14 9 5 ]")
+
+// PaperPerlbenchWN1 is the best single workload-neutral vector for
+// 400.perlbench (Section 5.3).
+var PaperPerlbenchWN1 = MustParse("[ 12 8 14 1 4 4 2 1 8 12 6 4 0 0 10 12 11 ]")
+
+// PaperWI2DGIPPR is the pair of vectors used by workload-inclusive
+// 2-DGIPPR (Section 5.3). The paper observes that the pair duels between
+// PLRU-side and PMRU-side insertion, like DIP.
+var PaperWI2DGIPPR = [2]Vector{
+	MustParse("[ 8 0 2 8 12 4 6 3 0 8 10 8 4 12 14 3 15 ]"),
+	MustParse("[ 0 0 0 0 0 0 0 0 8 8 8 8 0 0 0 0 0 ]"),
+}
+
+// PaperWI4DGIPPR is the quad of vectors used by workload-inclusive
+// 4-DGIPPR (Section 5.3): the insertions switch between PLRU, PMRU,
+// close-to-PMRU and "middle" insertion.
+var PaperWI4DGIPPR = [4]Vector{
+	MustParse("[ 14 5 6 1 10 6 8 8 15 8 8 14 12 4 12 9 8 ]"),
+	MustParse("[ 4 12 2 8 10 0 6 8 0 8 8 0 2 4 14 11 15 ]"),
+	MustParse("[ 0 0 2 1 4 4 6 5 8 8 10 1 12 8 2 1 3 ]"),
+	MustParse("[ 11 12 10 0 5 0 10 4 9 8 10 0 4 4 12 0 0 ]"),
+}

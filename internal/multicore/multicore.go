@@ -1,0 +1,186 @@
+// Package multicore implements the paper's future-work item 4: running the
+// replacement policies under a chip-multiprocessor configuration — several
+// cores, each with a private L1/L2 and its own out-of-order window model,
+// sharing one last-level cache whose replacement policy is under study.
+//
+// Cores are scheduled by simulated time: at every step the core with the
+// smallest accumulated cycle count issues its next memory reference, so a
+// core stalling on DRAM naturally falls behind in instruction progress
+// exactly as on real hardware, and the shared LLC sees the interleaving
+// that results. Each core's address space is offset into a disjoint region
+// (no sharing — the paper's multi-programmed SPEC-mix methodology, not a
+// parallel-program model).
+//
+// Set-dueling policies work unchanged on the shared LLC: leader sets sample
+// the merged reference stream of all cores.
+package multicore
+
+import (
+	"fmt"
+
+	"gippr/internal/cache"
+	"gippr/internal/cpu"
+	"gippr/internal/policy"
+	"gippr/internal/trace"
+)
+
+// coreAddressStride separates per-core address spaces. Workload generators
+// use at most 44 bits of address (region id << 36 plus offsets), so
+// shifting the core id into bits 48+ guarantees disjointness.
+const coreAddressStride = 1 << 48
+
+// Core is one processor: a trace source, private L1/L2, and a timing model.
+type Core struct {
+	ID     int
+	Source trace.Source
+	L1, L2 *cache.Cache
+	Model  *cpu.WindowModel
+
+	Instructions uint64
+	L3Accesses   uint64
+	L3Misses     uint64
+	Finished     bool
+	refs         uint64
+}
+
+// System is an n-core chip with a shared LLC.
+type System struct {
+	Cores []*Core
+	L3    *cache.Cache
+	DRAM  int
+}
+
+// New builds a system: one core per source, private 32 KB L1 / 256 KB L2
+// (LRU), and the given policy on the shared 4 MB LLC.
+func New(llc cache.Policy, sources []trace.Source) *System {
+	if len(sources) == 0 {
+		panic("multicore: need at least one core")
+	}
+	s := &System{
+		L3:   cache.New(cache.L3Config, llc),
+		DRAM: cache.DRAMLatency,
+	}
+	for i, src := range sources {
+		s.Cores = append(s.Cores, &Core{
+			ID:     i,
+			Source: src,
+			L1:     cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
+			L2:     cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
+			Model:  cpu.DefaultWindowModel(),
+		})
+	}
+	return s
+}
+
+// step advances one core by one memory reference.
+func (s *System) step(c *Core, refsPerCore uint64) {
+	rec, ok := c.Source.Next()
+	if !ok || c.refs >= refsPerCore {
+		c.Finished = true
+		return
+	}
+	c.refs++
+	rec.Addr += uint64(c.ID) * coreAddressStride
+	rec.Core = uint8(c.ID)
+	c.Instructions += uint64(rec.Gap)
+	var latency int
+	switch {
+	case c.L1.Access(rec):
+		latency = c.L1.Config().HitLatency
+	case c.L2.Access(rec):
+		latency = c.L2.Config().HitLatency
+	default:
+		c.L3Accesses++
+		if s.L3.Access(rec) {
+			latency = s.L3.Config().HitLatency
+		} else {
+			c.L3Misses++
+			c.Model.StepMiss(rec.Gap, s.L3.Config().HitLatency+s.DRAM)
+			return
+		}
+	}
+	c.Model.Step(rec.Gap, latency)
+}
+
+// Run drives every core for up to refsPerCore references each, scheduling
+// by smallest simulated time. It returns the number of references executed.
+func (s *System) Run(refsPerCore int) uint64 {
+	var total uint64
+	for {
+		var next *Core
+		for _, c := range s.Cores {
+			if c.Finished {
+				continue
+			}
+			if next == nil || c.Model.Cycles() < next.Model.Cycles() {
+				next = c
+			}
+		}
+		if next == nil {
+			return total
+		}
+		before := next.Finished
+		s.step(next, uint64(refsPerCore))
+		if !before && !next.Finished {
+			total++
+		}
+	}
+}
+
+// CoreResult summarizes one core after a run.
+type CoreResult struct {
+	ID           int
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+	L3Accesses   uint64
+	L3Misses     uint64
+}
+
+// Result summarizes a whole-system run.
+type Result struct {
+	PerCore []CoreResult
+	L3      cache.Stats
+	// Throughput is total instructions divided by the slowest core's
+	// cycle count — the system-level instructions per cycle.
+	Throughput float64
+}
+
+// Results collects per-core and system statistics.
+func (s *System) Results() Result {
+	var res Result
+	var instrs uint64
+	var maxCycles float64
+	for _, c := range s.Cores {
+		cr := CoreResult{
+			ID:           c.ID,
+			Instructions: c.Model.Instructions(),
+			Cycles:       c.Model.Cycles(),
+			IPC:          c.Model.IPC(),
+			L3Accesses:   c.L3Accesses,
+			L3Misses:     c.L3Misses,
+		}
+		res.PerCore = append(res.PerCore, cr)
+		instrs += cr.Instructions
+		if cr.Cycles > maxCycles {
+			maxCycles = cr.Cycles
+		}
+	}
+	res.L3 = s.L3.Stats
+	if maxCycles > 0 {
+		res.Throughput = float64(instrs) / maxCycles
+	}
+	return res
+}
+
+// String renders a short per-core summary.
+func (r Result) String() string {
+	out := ""
+	for _, c := range r.PerCore {
+		out += fmt.Sprintf("core %d: %d instrs, IPC %.3f, L3 %d/%d misses\n",
+			c.ID, c.Instructions, c.IPC, c.L3Misses, c.L3Accesses)
+	}
+	out += fmt.Sprintf("system throughput: %.3f IPC, shared L3 hit rate %.1f%%\n",
+		r.Throughput, 100*r.L3.HitRate())
+	return out
+}

@@ -1,0 +1,193 @@
+// Package plrutree implements tree-based PseudoLRU state for one cache set
+// (Handy, "The Cache Memory Book"; paper Section 3).
+//
+// A set of k ways (k a power of two) is tracked with a complete binary tree
+// of k-1 one-bit internal nodes stored as a bitmask, so a 16-way set needs
+// exactly 15 bits — the storage claim the paper's overhead argument rests on.
+// The package provides the four algorithms of the paper's Figures 5, 6, 7
+// and 9:
+//
+//   - Victim (find_plru): walk from the root following the plru bits
+//     (1 = right, 0 = left) to the PseudoLRU leaf;
+//   - Promote: set the bits on the leaf-to-root path to point away from the
+//     block, making it the PMRU block (position 0);
+//   - Position (find_index): read a block's position in the PseudoLRU
+//     recency stack from the bits on its path;
+//   - SetPosition (set_index): write the bits on a block's path so that the
+//     block occupies a chosen position — the enabling primitive for
+//     PseudoLRU insertion/promotion vectors.
+//
+// Positions are in 0 (PMRU) .. k-1 (PLRU, the victim). A key structural
+// property, exploited by tests and by the GIPPR policy, is that the k
+// blocks' positions always form a permutation of 0..k-1, even though only
+// k-1 bits of state exist: sibling subtrees split every position range in
+// half according to their parent bit.
+//
+// Node indexing is the standard implicit heap layout: the root is node 1,
+// node n's children are 2n and 2n+1, and leaf k+w corresponds to way w.
+package plrutree
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxWays is the largest supported associativity: the k-1 internal-node bits
+// must fit in a uint64.
+const MaxWays = 64
+
+// Tree holds the PseudoLRU bits for one cache set. The zero value is not
+// usable; construct with New. Tree is a small value type (16 bytes) intended
+// to be embedded per set by replacement policies.
+type Tree struct {
+	k    uint32 // associativity, power of two
+	logk uint32 // log2(k)
+	bits uint64 // bit n (1 <= n < k) is the plru bit of internal node n
+}
+
+// New returns a PseudoLRU tree for a k-way set. k must be a power of two in
+// 2..MaxWays. All plru bits start at zero, so the initial victim is way 0
+// (every walk goes left) and way 0 initially holds position k-1.
+func New(k int) Tree {
+	if k < 2 || k > MaxWays || k&(k-1) != 0 {
+		panic(fmt.Sprintf("plrutree: associativity %d is not a power of two in 2..%d", k, MaxWays))
+	}
+	return Tree{k: uint32(k), logk: uint32(bits.TrailingZeros32(uint32(k)))}
+}
+
+// K returns the associativity.
+func (t *Tree) K() int { return int(t.k) }
+
+// Bits returns the raw plru bitmask (bit n = internal node n, 1 <= n < k).
+func (t *Tree) Bits() uint64 { return t.bits }
+
+// SetBits overwrites the raw plru bitmask; bits outside 1..k-1 are masked
+// off. Useful for tests and for snapshot/restore.
+func (t *Tree) SetBits(b uint64) {
+	mask := uint64(1)<<t.k - 2 // bits 1..k-1
+	t.bits = b & mask
+}
+
+// Reset clears all plru bits.
+func (t *Tree) Reset() { t.bits = 0 }
+
+func (t *Tree) bit(n uint32) uint64 { return (t.bits >> n) & 1 }
+
+func (t *Tree) setBit(n uint32, v uint64) {
+	t.bits = (t.bits &^ (1 << n)) | (v&1)<<n
+}
+
+// Victim implements find_plru (Figure 5): starting at the root, follow each
+// node's plru bit (1 = right child, 0 = left child) to a leaf and return its
+// way. The returned way always has Position == k-1.
+func (t *Tree) Victim() int {
+	p := uint32(1)
+	for p < t.k {
+		p = 2*p + uint32(t.bit(p))
+	}
+	return int(p - t.k)
+}
+
+// Promote implements promote (Figure 6): set every plru bit on way w's
+// leaf-to-root path to lead away from w, making w the PMRU block
+// (Position == 0). Only log2(k) bits change.
+func (t *Tree) Promote(w int) {
+	p := t.k + uint32(w)
+	for p > 1 {
+		parent := p >> 1
+		// If p is a left child (even), the parent bit must be 1 to lead
+		// away; if a right child (odd), it must be 0.
+		t.setBit(parent, uint64(^p&1))
+		p = parent
+	}
+}
+
+// Position implements find_index (Figure 7): read way w's position in the
+// PseudoLRU recency stack. Bit i of the position (i counted from the leaf's
+// parent upward, so the root contributes the most significant bit) is the
+// parent's plru bit if the i-th path node is a right child, else its
+// complement. Position k-1 is the victim; position 0 is the PMRU block.
+func (t *Tree) Position(w int) int {
+	p := t.k + uint32(w)
+	x := uint32(0)
+	for i := uint32(0); p > 1; i++ {
+		parent := p >> 1
+		b := uint32(t.bit(parent))
+		if p&1 == 0 { // left child: complement
+			b ^= 1
+		}
+		x |= b << i
+		p = parent
+	}
+	return int(x)
+}
+
+// SetPosition implements set_index (Figure 9): write the plru bits on way
+// w's path so that w occupies position x in the PseudoLRU recency stack.
+// Only log2(k) bits change, but other blocks' positions may change
+// drastically as a side effect — the property that makes PseudoLRU
+// insertion/promotion different from true-LRU IPV moves, and the reason the
+// paper evolves separate vectors for GIPPR.
+func (t *Tree) SetPosition(w, x int) {
+	if x < 0 || x >= int(t.k) {
+		panic(fmt.Sprintf("plrutree: position %d out of range 0..%d", x, t.k-1))
+	}
+	p := t.k + uint32(w)
+	ux := uint32(x)
+	for i := uint32(0); p > 1; i++ {
+		parent := p >> 1
+		b := uint64(ux>>i) & 1
+		if p&1 == 0 { // left child: store complement
+			b ^= 1
+		}
+		t.setBit(parent, b)
+		p = parent
+	}
+}
+
+// Positions returns the positions of all k ways. The result is always a
+// permutation of 0..k-1.
+func (t *Tree) Positions() []int {
+	ps := make([]int, t.k)
+	for w := range ps {
+		ps[w] = t.Position(w)
+	}
+	return ps
+}
+
+// WayAt returns the way currently occupying position x, the inverse of
+// Position. It walks the tree once (O(log k)): at each internal node the
+// child containing position-bit b is chosen by comparing b with the node's
+// plru bit, consuming position bits from most significant (root) to least.
+func (t *Tree) WayAt(x int) int {
+	if x < 0 || x >= int(t.k) {
+		panic(fmt.Sprintf("plrutree: position %d out of range 0..%d", x, t.k-1))
+	}
+	p := uint32(1)
+	for i := int(t.logk) - 1; i >= 0; i-- {
+		b := uint64(x>>uint(i)) & 1
+		// A right child's position bit equals the parent bit; a left
+		// child's is the complement. So to realize bit b we go right when
+		// b == parent bit, left otherwise.
+		if b == t.bit(p) {
+			p = 2*p + 1
+		} else {
+			p = 2 * p
+		}
+	}
+	return int(p - t.k)
+}
+
+// String renders the bits grouped by tree level, for debugging.
+func (t *Tree) String() string {
+	s := ""
+	for level, start := 0, uint32(1); start < t.k; level, start = level+1, start*2 {
+		if level > 0 {
+			s += " "
+		}
+		for n := start; n < start*2; n++ {
+			s += fmt.Sprintf("%d", t.bit(n))
+		}
+	}
+	return s
+}

@@ -1,0 +1,359 @@
+package plrutree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gippr/internal/xrand"
+)
+
+// refTree is an independent, deliberately naive implementation of the
+// paper's Figures 5-9 pseudocode, used to cross-check the bit-twiddled Tree.
+// Nodes are a slice indexed 1..k-1 of ints.
+type refTree struct {
+	k    int
+	bits []int // bits[n] for 1 <= n < k
+}
+
+func newRef(k int) *refTree { return &refTree{k: k, bits: make([]int, k)} }
+
+func (r *refTree) victim() int {
+	p := 1
+	for p < r.k {
+		p = 2*p + r.bits[p]
+	}
+	return p - r.k
+}
+
+func (r *refTree) promote(w int) {
+	p := r.k + w
+	for p > 1 {
+		parent := p / 2
+		if p%2 == 0 { // left child
+			r.bits[parent] = 1
+		} else {
+			r.bits[parent] = 0
+		}
+		p = parent
+	}
+}
+
+func (r *refTree) position(w int) int {
+	p := r.k + w
+	x, i := 0, 0
+	for p > 1 {
+		parent := p / 2
+		b := r.bits[parent]
+		if p%2 == 0 {
+			b = 1 - b
+		}
+		x |= b << i
+		i++
+		p = parent
+	}
+	return x
+}
+
+func (r *refTree) setPosition(w, x int) {
+	p := r.k + w
+	i := 0
+	for p > 1 {
+		parent := p / 2
+		b := (x >> i) & 1
+		if p%2 == 0 {
+			b = 1 - b
+		}
+		r.bits[parent] = b
+		p = parent
+		i++
+	}
+}
+
+var testedKs = []int{2, 4, 8, 16, 32, 64}
+
+func TestNewPanics(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 6, 128} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	for _, k := range testedKs {
+		tr := New(k)
+		if tr.Victim() != 0 {
+			t.Fatalf("k=%d: initial victim %d", k, tr.Victim())
+		}
+		if tr.Position(0) != k-1 {
+			t.Fatalf("k=%d: way 0 initial position %d, want %d", k, tr.Position(0), k-1)
+		}
+	}
+}
+
+func TestPromoteMakesPMRU(t *testing.T) {
+	for _, k := range testedKs {
+		tr := New(k)
+		for w := 0; w < k; w++ {
+			tr.Promote(w)
+			if got := tr.Position(w); got != 0 {
+				t.Fatalf("k=%d: after Promote(%d) position is %d", k, w, got)
+			}
+			if v := tr.Victim(); v == w {
+				t.Fatalf("k=%d: victim is the just-promoted way %d", k, w)
+			}
+		}
+	}
+}
+
+func TestSetPositionRoundTrip(t *testing.T) {
+	for _, k := range testedKs {
+		tr := New(k)
+		for w := 0; w < k; w++ {
+			for x := 0; x < k; x++ {
+				tr.SetPosition(w, x)
+				if got := tr.Position(w); got != x {
+					t.Fatalf("k=%d: SetPosition(%d,%d) read back %d", k, w, x, got)
+				}
+			}
+		}
+	}
+}
+
+func TestVictimHasMaxPosition(t *testing.T) {
+	for _, k := range testedKs {
+		tr := New(k)
+		rng := xrand.New(uint64(k) * 7)
+		for i := 0; i < 200; i++ {
+			tr.SetPosition(rng.Intn(k), rng.Intn(k))
+			v := tr.Victim()
+			if got := tr.Position(v); got != k-1 {
+				t.Fatalf("k=%d: victim %d has position %d", k, v, got)
+			}
+		}
+	}
+}
+
+func TestPositionsAlwaysPermutation(t *testing.T) {
+	for _, k := range testedKs {
+		tr := New(k)
+		rng := xrand.New(uint64(k) * 13)
+		check := func() {
+			seen := make([]bool, k)
+			for _, p := range tr.Positions() {
+				if p < 0 || p >= k || seen[p] {
+					t.Fatalf("k=%d: positions not a permutation: %v", k, tr.Positions())
+				}
+				seen[p] = true
+			}
+		}
+		check()
+		for i := 0; i < 500; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				tr.Promote(rng.Intn(k))
+			case 1:
+				tr.SetPosition(rng.Intn(k), rng.Intn(k))
+			case 2:
+				tr.SetBits(rng.Uint64())
+			}
+			check()
+		}
+	}
+}
+
+func TestWayAtInverse(t *testing.T) {
+	for _, k := range testedKs {
+		tr := New(k)
+		rng := xrand.New(uint64(k) * 17)
+		for i := 0; i < 200; i++ {
+			tr.SetBits(rng.Uint64())
+			for x := 0; x < k; x++ {
+				w := tr.WayAt(x)
+				if got := tr.Position(w); got != x {
+					t.Fatalf("k=%d: WayAt(%d)=%d but Position(%d)=%d", k, x, w, w, got)
+				}
+			}
+		}
+	}
+}
+
+func TestAgainstReference(t *testing.T) {
+	for _, k := range testedKs {
+		tr := New(k)
+		ref := newRef(k)
+		rng := xrand.New(uint64(k) * 31)
+		for i := 0; i < 2000; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				w := rng.Intn(k)
+				tr.Promote(w)
+				ref.promote(w)
+			case 1:
+				w, x := rng.Intn(k), rng.Intn(k)
+				tr.SetPosition(w, x)
+				ref.setPosition(w, x)
+			case 2:
+				if tr.Victim() != ref.victim() {
+					t.Fatalf("k=%d step %d: victim %d != ref %d", k, i, tr.Victim(), ref.victim())
+				}
+			}
+			for w := 0; w < k; w++ {
+				if tr.Position(w) != ref.position(w) {
+					t.Fatalf("k=%d step %d: position(%d) %d != ref %d",
+						k, i, w, tr.Position(w), ref.position(w))
+				}
+			}
+		}
+	}
+}
+
+func TestPromoteEqualsSetPositionZero(t *testing.T) {
+	for _, k := range testedKs {
+		a, b := New(k), New(k)
+		rng := xrand.New(uint64(k) * 37)
+		for i := 0; i < 300; i++ {
+			bits := rng.Uint64()
+			w := rng.Intn(k)
+			a.SetBits(bits)
+			b.SetBits(bits)
+			a.Promote(w)
+			b.SetPosition(w, 0)
+			if a.Bits() != b.Bits() {
+				t.Fatalf("k=%d: Promote(%d) bits %x != SetPosition(,0) bits %x", k, w, a.Bits(), b.Bits())
+			}
+		}
+	}
+}
+
+func TestSetPositionTouchesAtMostLogKBits(t *testing.T) {
+	for _, k := range testedKs {
+		logk := 0
+		for 1<<logk < k {
+			logk++
+		}
+		tr := New(k)
+		rng := xrand.New(uint64(k) * 41)
+		for i := 0; i < 300; i++ {
+			tr.SetBits(rng.Uint64())
+			before := tr.Bits()
+			tr.SetPosition(rng.Intn(k), rng.Intn(k))
+			diff := before ^ tr.Bits()
+			n := 0
+			for d := diff; d != 0; d &= d - 1 {
+				n++
+			}
+			if n > logk {
+				t.Fatalf("k=%d: SetPosition changed %d bits, max %d", k, n, logk)
+			}
+		}
+	}
+}
+
+func TestSetBitsMasks(t *testing.T) {
+	tr := New(4)
+	tr.SetBits(^uint64(0))
+	if tr.Bits() != 0b1110 {
+		t.Fatalf("SetBits did not mask: %b", tr.Bits())
+	}
+	tr.Reset()
+	if tr.Bits() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestPaperFig8Example(t *testing.T) {
+	// Figure 8 is a 16-way tree with given internal bits; rather than
+	// transcribe the (typeset-mangled) figure, verify its stated property
+	// on arbitrary states: if the root bit is 1, every block in the right
+	// half has the MSB of its position set, i.e. position >= k/2.
+	f := func(raw uint64) bool {
+		tr := New(16)
+		tr.SetBits(raw)
+		root := (tr.Bits() >> 1) & 1
+		for w := 8; w < 16; w++ { // right-half leaves
+			pos := tr.Position(w)
+			msb := pos >> 3
+			if root == 1 && msb != 1 {
+				return false
+			}
+			if root == 0 && msb != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPositionPanicsOutOfRange(t *testing.T) {
+	tr := New(8)
+	for _, x := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetPosition(0,%d) did not panic", x)
+				}
+			}()
+			tr.SetPosition(0, x)
+		}()
+	}
+}
+
+func TestWayAtPanicsOutOfRange(t *testing.T) {
+	tr := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	tr.WayAt(8)
+}
+
+func TestStringHasLevels(t *testing.T) {
+	tr := New(8)
+	s := tr.String()
+	// 8-way: levels of 1, 2 and 4 bits.
+	if len(s) != 1+1+2+1+4 {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func BenchmarkPromote(b *testing.B) {
+	tr := New(16)
+	for i := 0; i < b.N; i++ {
+		tr.Promote(i & 15)
+	}
+}
+
+func BenchmarkSetPosition(b *testing.B) {
+	tr := New(16)
+	for i := 0; i < b.N; i++ {
+		tr.SetPosition(i&15, (i>>4)&15)
+	}
+}
+
+func BenchmarkPosition(b *testing.B) {
+	tr := New(16)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += tr.Position(i & 15)
+	}
+	_ = s
+}
+
+func BenchmarkVictim(b *testing.B) {
+	tr := New(16)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += tr.Victim()
+	}
+	_ = s
+}

@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"math"
+
+	"gippr/internal/cache"
+	"gippr/internal/trace"
+)
+
+// Optimal replays an LLC access stream under Belady's MIN algorithm
+// (Belady, 1966): on each miss in a full set, the block with the farthest
+// next reference — including the incoming block itself — is the one not
+// kept. When the incoming block's own next use is the farthest, it bypasses
+// the cache (the standard formulation of MIN for non-demand-paged CPU
+// caches; without bypass MIN is not even optimal on a cyclic loop). MIN
+// requires perfect future knowledge, so — exactly as in the paper
+// (Section 4.7) — it is implemented as an offline trace algorithm over a
+// captured LLC access stream, not as an online cache.Policy, and is used
+// only for miss counts (the paper notes MIN is not well-defined for timing
+// in an out-of-order processor).
+//
+// The first warm accesses populate the cache without being counted,
+// mirroring cache.ReplayStream's warm-up convention so MIN's misses are
+// directly comparable with every other policy's.
+func Optimal(stream []trace.Record, cfg cache.Config, warm int) cache.ReplayStats {
+	sets := cfg.Sets()
+	ways := cfg.Ways
+	setMask := uint64(sets - 1)
+	blockShift := uint(0)
+	for bb := cfg.BlockBytes; bb > 1; bb >>= 1 {
+		blockShift++
+	}
+	if warm > len(stream) {
+		warm = len(stream)
+	}
+
+	// Pass 1: next-use index for every access (math.MaxInt64 = never again).
+	next := make([]int64, len(stream))
+	last := make(map[uint64]int64, 1<<16)
+	for i := len(stream) - 1; i >= 0; i-- {
+		b := stream[i].Addr >> blockShift
+		if n, ok := last[b]; ok {
+			next[i] = n
+		} else {
+			next[i] = math.MaxInt64
+		}
+		last[b] = int64(i)
+	}
+
+	// Pass 2: simulate with farthest-next-use eviction.
+	type optLine struct {
+		block   uint64
+		nextUse int64
+	}
+	occ := make([][]optLine, sets)
+	var rs cache.ReplayStats
+	for i, r := range stream {
+		b := r.Addr >> blockShift
+		s := b & setMask
+		lines := occ[s]
+		counted := i >= warm
+		if counted {
+			rs.Accesses++
+			rs.Instructions += uint64(r.Gap)
+		}
+		hit := false
+		for j := range lines {
+			if lines[j].block == b {
+				lines[j].nextUse = next[i]
+				hit = true
+				break
+			}
+		}
+		if hit {
+			if counted {
+				rs.Hits++
+			}
+			continue
+		}
+		if counted {
+			rs.Misses++
+		}
+		if len(lines) < ways {
+			occ[s] = append(lines, optLine{block: b, nextUse: next[i]})
+			continue
+		}
+		victim, far := 0, int64(-1)
+		for j := range lines {
+			if lines[j].nextUse > far {
+				victim, far = j, lines[j].nextUse
+			}
+		}
+		if next[i] >= far {
+			continue // bypass: the incoming block is re-used farthest of all
+		}
+		lines[victim] = optLine{block: b, nextUse: next[i]}
+	}
+	return rs
+}

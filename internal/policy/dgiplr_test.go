@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"testing"
+
+	"gippr/internal/cache"
+	"gippr/internal/ipv"
+)
+
+func TestDGIPLR2AdaptsToThrash(t *testing.T) {
+	cfg := cache.L3Config
+	stream := cyclic(90<<10, 500_000)
+	d := run(cfg, NewDGIPLR2(cfg.Sets(), cfg.Ways, [2]ipv.Vector{ipv.LRU(16), ipv.LIP(16)}), stream)
+	lru := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), stream)
+	if d.Misses >= lru.Misses {
+		t.Fatalf("2-DGIPLR (%d misses) did not beat LRU (%d) on thrash", d.Misses, lru.Misses)
+	}
+}
+
+func TestDGIPLR2TracksLRUOnQuickReuse(t *testing.T) {
+	cfg := cache.L3Config
+	stream := scanWithQuickReuse(400_000, 16<<10)
+	d := run(cfg, NewDGIPLR2(cfg.Sets(), cfg.Ways, [2]ipv.Vector{ipv.LRU(16), ipv.LIP(16)}), stream)
+	lru := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), stream)
+	if float64(d.Misses) > 1.15*float64(lru.Misses) {
+		t.Fatalf("2-DGIPLR misses %d too far above LRU %d on LRU-friendly pattern", d.Misses, lru.Misses)
+	}
+}
+
+func TestDGIPLR4BeatsWorstStatic(t *testing.T) {
+	cfg := cache.L3Config
+	vecs := [4]ipv.Vector{ipv.LRU(16), ipv.LIP(16), ipv.MidClimb(16), ipv.PaperGIPLR}
+	stream := cyclic(90<<10, 500_000)
+	d := run(cfg, NewDGIPLR4(cfg.Sets(), cfg.Ways, vecs), stream)
+	worst := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), stream) // LRU is the worst arm on thrash
+	if d.Misses >= worst.Misses {
+		t.Fatalf("4-DGIPLR (%d) no better than its worst arm (%d)", d.Misses, worst.Misses)
+	}
+}
+
+func TestDGIPLRTreeCounterpartsAgreeRoughly(t *testing.T) {
+	// The PseudoLRU version must track the true-LRU version within a
+	// modest margin — the paper's core storage argument relies on the
+	// tree approximation not giving much away.
+	cfg := cache.L3Config
+	vecs2 := [2]ipv.Vector{ipv.LRU(16), ipv.LIP(16)}
+	stream := append(cyclic(90<<10, 300_000), scanWithQuickReuse(300_000, 16<<10)...)
+	lruVer := run(cfg, NewDGIPLR2(cfg.Sets(), cfg.Ways, vecs2), stream)
+	treeVer := run(cfg, NewDGIPPR2(cfg.Sets(), cfg.Ways, vecs2), stream)
+	ratio := float64(treeVer.Misses) / float64(lruVer.Misses)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("tree/true-LRU miss ratio %.3f: approximation too lossy", ratio)
+	}
+}
+
+func TestDGIPLRPanicsOnMismatch(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewDGIPLR2(16, 16, [2]ipv.Vector{ipv.LRU(8), ipv.LRU(16)}) },
+		func() { NewDGIPLR4(16, 16, [4]ipv.Vector{ipv.LRU(16), ipv.LRU(16), ipv.LRU(16), ipv.LRU(8)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDGIPLROverheads(t *testing.T) {
+	p2 := NewDGIPLR2(4096, 16, [2]ipv.Vector{ipv.LRU(16), ipv.LIP(16)})
+	perSet, global := p2.OverheadBits()
+	if perSet != 64 || global != 11 {
+		t.Fatalf("2-DGIPLR overhead %v/%v", perSet, global)
+	}
+	p4 := NewDGIPLR4(4096, 16, [4]ipv.Vector{ipv.LRU(16), ipv.LIP(16), ipv.MidClimb(16), ipv.PaperGIPLR})
+	perSet, global = p4.OverheadBits()
+	if perSet != 64 || global != 33 {
+		t.Fatalf("4-DGIPLR overhead %v/%v", perSet, global)
+	}
+	if p2.Name() != "2-DGIPLR" || p4.Name() != "4-DGIPLR" {
+		t.Fatal("names")
+	}
+}

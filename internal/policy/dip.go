@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"gippr/internal/cache"
+	"gippr/internal/dueling"
+	"gippr/internal/recency"
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// bipEpsilonInverse is the bimodal throttle: BIP inserts at MRU once every
+// 1/epsilon fills (Qureshi et al. use epsilon = 1/32).
+const bipEpsilonInverse = 32
+
+// BIP is bimodal insertion (Qureshi et al., ISCA 2007): hits promote to MRU
+// as in LRU, but incoming blocks are inserted at the LRU position except for
+// a small fraction (1/32) inserted at MRU, which lets a thrashing working
+// set retain a rotating subset of itself.
+type BIP struct {
+	nop
+	stacks []*recency.Stack
+	ways   int
+	rng    *xrand.RNG
+}
+
+// NewBIP returns bimodal-insertion replacement.
+func NewBIP(sets, ways int) *BIP {
+	validateGeometry(sets, ways)
+	p := &BIP{stacks: make([]*recency.Stack, sets), ways: ways, rng: xrand.New(0x51b1)}
+	for i := range p.stacks {
+		p.stacks[i] = recency.New(ways)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *BIP) Name() string { return "BIP" }
+
+// OnHit implements cache.Policy.
+func (p *BIP) OnHit(set uint32, way int, _ trace.Record) { p.stacks[set].TouchLRU(way) }
+
+// Victim implements cache.Policy.
+func (p *BIP) Victim(set uint32, _ trace.Record) int { return p.stacks[set].Victim() }
+
+// OnFill implements cache.Policy: LRU-position insert, MRU with probability
+// 1/32.
+func (p *BIP) OnFill(set uint32, way int, _ trace.Record) {
+	if p.rng.OneIn(bipEpsilonInverse) {
+		p.stacks[set].MoveTo(way, 0)
+	} else {
+		p.stacks[set].MoveTo(way, p.ways-1)
+	}
+}
+
+// OverheadBits implements Overheader: the underlying LRU stack.
+func (p *BIP) OverheadBits() (float64, int) { return float64(p.ways * log2ceil(p.ways)), 0 }
+
+// DIP is dynamic insertion policy (Qureshi et al., ISCA 2007): set-dueling
+// between classic LRU insertion (MRU position) and BIP, on top of a full LRU
+// stack. It is the direct intellectual ancestor of DGIPPR's vector dueling.
+type DIP struct {
+	nop
+	stacks []*recency.Stack
+	duel   *dueling.Duel
+	ways   int
+	rng    *xrand.RNG
+}
+
+// NewDIP returns dynamic-insertion replacement with 32 leader sets per
+// policy and a 10-bit PSEL, as in the original paper.
+func NewDIP(sets, ways int) *DIP {
+	validateGeometry(sets, ways)
+	p := &DIP{
+		stacks: make([]*recency.Stack, sets),
+		duel:   dueling.NewDuel(sets, leadersFor(sets, 2), 10),
+		ways:   ways,
+		rng:    xrand.New(0xd1b),
+	}
+	for i := range p.stacks {
+		p.stacks[i] = recency.New(ways)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *DIP) Name() string { return "DIP" }
+
+// OnHit implements cache.Policy.
+func (p *DIP) OnHit(set uint32, way int, _ trace.Record) { p.stacks[set].TouchLRU(way) }
+
+// OnMiss implements cache.Policy.
+func (p *DIP) OnMiss(set uint32, _ trace.Record) { p.duel.OnMiss(set) }
+
+// Victim implements cache.Policy.
+func (p *DIP) Victim(set uint32, _ trace.Record) int { return p.stacks[set].Victim() }
+
+// OnFill implements cache.Policy: policy 0 = LRU (MRU insert), policy 1 =
+// BIP.
+func (p *DIP) OnFill(set uint32, way int, _ trace.Record) {
+	if p.duel.Choose(set) == 0 {
+		p.stacks[set].MoveTo(way, 0)
+		return
+	}
+	if p.rng.OneIn(bipEpsilonInverse) {
+		p.stacks[set].MoveTo(way, 0)
+	} else {
+		p.stacks[set].MoveTo(way, p.ways-1)
+	}
+}
+
+// OverheadBits implements Overheader: LRU stack plus the 10-bit PSEL.
+func (p *DIP) OverheadBits() (float64, int) { return float64(p.ways * log2ceil(p.ways)), 10 }
+
+var (
+	_ cache.Policy = (*BIP)(nil)
+	_ cache.Policy = (*DIP)(nil)
+	_ Overheader   = (*BIP)(nil)
+	_ Overheader   = (*DIP)(nil)
+)

@@ -1,0 +1,68 @@
+package policy
+
+import (
+	"testing"
+
+	"gippr/internal/cache"
+)
+
+func TestBIPRetainsFractionOnThrash(t *testing.T) {
+	cfg := testConfig()
+	stream := cyclic(384, 60000)
+	bip := run(cfg, NewBIP(cfg.Sets(), cfg.Ways), stream)
+	lru := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), stream)
+	if float64(bip.Misses) > 0.8*float64(lru.Misses) {
+		t.Fatalf("BIP misses %d vs LRU %d: expected thrash protection", bip.Misses, lru.Misses)
+	}
+}
+
+func TestBIPNearLRUOnFriendlyWorkload(t *testing.T) {
+	// A working set that fits: both hit almost always once warm.
+	cfg := testConfig()
+	stream := cyclic(128, 60000)
+	bip := run(cfg, NewBIP(cfg.Sets(), cfg.Ways), stream)
+	if bip.HitRate() < 0.95 {
+		t.Fatalf("BIP hit rate %.3f on a fitting loop", bip.HitRate())
+	}
+}
+
+func TestDIPAdaptsBothWays(t *testing.T) {
+	cfg := cache.L3Config
+	// Thrash: DIP must track BIP.
+	thrash := cyclic(90<<10, 500_000)
+	dip := run(cfg, NewDIP(cfg.Sets(), cfg.Ways), thrash)
+	lru := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), thrash)
+	bip := run(cfg, NewBIP(cfg.Sets(), cfg.Ways), thrash)
+	if dip.Misses >= lru.Misses {
+		t.Fatalf("DIP did not beat LRU on thrash (%d vs %d)", dip.Misses, lru.Misses)
+	}
+	if float64(dip.Misses) > 1.3*float64(bip.Misses) {
+		t.Fatalf("DIP misses %d too far above BIP %d on thrash", dip.Misses, bip.Misses)
+	}
+
+	// Quick-reuse scan: DIP must track LRU, where BIP loses.
+	scan := scanWithQuickReuse(500_000, 16<<10)
+	dip2 := run(cfg, NewDIP(cfg.Sets(), cfg.Ways), scan)
+	lru2 := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), scan)
+	bip2 := run(cfg, NewBIP(cfg.Sets(), cfg.Ways), scan)
+	if bip2.Misses <= lru2.Misses {
+		t.Fatalf("test premise broken: BIP (%d) should lose to LRU (%d) on quick reuse", bip2.Misses, lru2.Misses)
+	}
+	if float64(dip2.Misses) > 1.15*float64(lru2.Misses) {
+		t.Fatalf("DIP misses %d too far above LRU %d on quick reuse", dip2.Misses, lru2.Misses)
+	}
+}
+
+func TestDIPOverheadIncludesPSEL(t *testing.T) {
+	p := NewDIP(4096, 16)
+	perSet, global := p.OverheadBits()
+	if perSet != 64 || global != 10 {
+		t.Fatalf("DIP overhead %v/%v", perSet, global)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewBIP(16, 4).Name() != "BIP" || NewDIP(16, 4).Name() != "DIP" {
+		t.Fatal("names")
+	}
+}

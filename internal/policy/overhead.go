@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"gippr/internal/cache"
+)
+
+// OverheadRow is one line of the Section 3.6 storage comparison.
+type OverheadRow struct {
+	Policy       string
+	PerSetBits   float64
+	GlobalBits   int
+	BitsPerBlock float64
+	TotalKB      float64
+	Note         string
+}
+
+// OverheadTable computes the replacement-state storage of each named policy
+// for the given geometry, reproducing the paper's Section 3.6 comparison
+// (for the 4 MB 16-way LLC: LRU 32 KB, DRRIP 16 KB, PDP 24-32 KB plus a
+// microcontroller, GIPPR/DGIPPR 7 KB).
+func OverheadTable(cfg cache.Config, names []string) ([]OverheadRow, error) {
+	sets := cfg.Sets()
+	rows := make([]OverheadRow, 0, len(names))
+	for _, n := range names {
+		f, err := Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		p := f.New(sets, cfg.Ways)
+		oh, ok := p.(Overheader)
+		if !ok {
+			return nil, fmt.Errorf("policy: %s does not report overhead", f.Name)
+		}
+		perSet, global := oh.OverheadBits()
+		row := OverheadRow{
+			Policy:       f.Name,
+			PerSetBits:   perSet,
+			GlobalBits:   global,
+			BitsPerBlock: BitsPerBlock(perSet, global, sets, cfg.Ways),
+			TotalKB:      (perSet*float64(sets) + float64(global)) / 8 / 1024,
+		}
+		if n == "pdp" {
+			row.Note = "plus a ~10K-NAND-gate microcontroller (not counted in bits)"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatOverheadTable renders rows as an aligned ASCII table.
+func FormatOverheadTable(cfg cache.Config, rows []OverheadRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Replacement-state storage for %s (%d KB, %d-way, %d sets)\n",
+		cfg.Name, cfg.SizeBytes/1024, cfg.Ways, cfg.Sets())
+	fmt.Fprintf(&sb, "%-10s %12s %12s %14s %10s  %s\n",
+		"policy", "bits/set", "global bits", "bits/block", "total KB", "notes")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12.1f %12d %14.3f %10.2f  %s\n",
+			r.Policy, r.PerSetBits, r.GlobalBits, r.BitsPerBlock, r.TotalKB, r.Note)
+	}
+	return sb.String()
+}

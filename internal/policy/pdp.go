@@ -1,0 +1,212 @@
+package policy
+
+import (
+	"gippr/internal/cache"
+	"gippr/internal/trace"
+)
+
+// PDP configuration defaults. The paper configures PDP with 4 bits per
+// block and no bypass; dmax follows Duong et al.'s 256-access cap on
+// measured reuse distances.
+const (
+	pdpMaxDistance = 256   // largest reuse distance the sampler measures
+	pdpEpochLength = 32768 // accesses between protecting-distance recomputations
+	pdpSampleMask  = 63    // sample sets where set & mask == 0 (1 in 64)
+	pdpSweepPeriod = 1024  // sampled-set accesses between stale-entry sweeps
+	pdpInitialPD   = 64
+	pdpMinPD       = 8
+)
+
+// PDP is the Protecting Distance based Policy (Duong et al., MICRO 2012),
+// reimplemented from the publication: a reuse-distance sampler feeds a
+// periodic solver that picks the protecting distance dp maximizing the
+// expected hits per unit of cache occupancy, and each line is protected
+// from eviction until dp set-accesses have elapsed since its last touch.
+//
+// Reproduction notes (documented substitutions):
+//   - the paper's dedicated microcontroller is simply the solver code here;
+//   - per-line remaining-distance counters are represented as exact
+//     set-local timestamps rather than the quantized decrementing fields of
+//     the hardware proposal (the hardware quantization only coarsens the
+//     same decision); the overhead report still charges the paper's 4 bits
+//     per block;
+//   - bypass is disabled, matching the configuration the paper compares
+//     against ("we configure PDP to use 4 bits per block and to not bypass").
+type PDP struct {
+	nop
+	sets, ways int
+
+	now   []uint32 // per-set access counter
+	stamp []uint32 // per-line set-local time of last protection (fill or hit)
+	pd    uint32   // current protecting distance
+
+	// Reuse-distance sampler state (sampled sets only).
+	samp      map[uint64]uint32 // block -> set-local time of previous access
+	sampSet   map[uint64]uint32 // block -> its set (to read the right clock)
+	hist      []uint64          // hist[d], d in 1..pdpMaxDistance
+	infinite  uint64            // reuses beyond dmax, and never-reused sweeps
+	sampCount uint64
+
+	accesses uint64
+}
+
+// NewPDP returns a protecting-distance policy with the defaults above.
+func NewPDP(sets, ways int) *PDP {
+	validateGeometry(sets, ways)
+	return &PDP{
+		sets:    sets,
+		ways:    ways,
+		now:     make([]uint32, sets),
+		stamp:   make([]uint32, sets*ways),
+		pd:      pdpInitialPD,
+		samp:    make(map[uint64]uint32),
+		sampSet: make(map[uint64]uint32),
+		hist:    make([]uint64, pdpMaxDistance+1),
+	}
+}
+
+// Name implements cache.Policy.
+func (p *PDP) Name() string { return "PDP" }
+
+// PD returns the current protecting distance (for tests and reports).
+func (p *PDP) PD() int { return int(p.pd) }
+
+func (p *PDP) lines(set uint32) []uint32 {
+	base := int(set) * p.ways
+	return p.stamp[base : base+p.ways]
+}
+
+// tick advances a set's clock and runs the sampler; called once per access
+// from OnHit and OnMiss.
+func (p *PDP) tick(set uint32, r trace.Record) {
+	p.now[set]++
+	p.accesses++
+	if set&pdpSampleMask == 0 {
+		p.sample(set, r.Addr>>6) // 64-byte blocks, matching the L3 geometry
+	}
+	if p.accesses%pdpEpochLength == 0 {
+		p.solve()
+	}
+}
+
+func (p *PDP) sample(set uint32, block uint64) {
+	now := p.now[set]
+	if prev, ok := p.samp[block]; ok {
+		rd := now - prev
+		if rd >= 1 && rd <= pdpMaxDistance {
+			p.hist[rd]++
+		} else {
+			p.infinite++
+		}
+	}
+	p.samp[block] = now
+	p.sampSet[block] = set
+	p.sampCount++
+	if p.sampCount%pdpSweepPeriod == 0 {
+		p.sweep()
+	}
+}
+
+// sweep drops sampler entries whose reuse can no longer land within dmax,
+// counting them as infinite-distance; this bounds the sampler's footprint
+// under streaming workloads.
+func (p *PDP) sweep() {
+	for b, t := range p.samp {
+		if p.now[p.sampSet[b]]-t > pdpMaxDistance {
+			p.infinite++
+			delete(p.samp, b)
+			delete(p.sampSet, b)
+		}
+	}
+}
+
+// solve recomputes the protecting distance: maximize
+// E(d) = hits(d) / cost(d) with hits(d) the reuses at distance <= d and
+// cost(d) the expected occupancy those lines consume — reused lines occupy
+// their reuse distance, unreused lines occupy the full protecting distance.
+// The histogram is halved afterwards so the policy adapts to phase changes.
+func (p *PDP) solve() {
+	var total uint64 = p.infinite
+	for _, n := range p.hist[1:] {
+		total += n
+	}
+	if total == 0 {
+		return
+	}
+	scores := make([]float64, pdpMaxDistance+1)
+	var hits, weighted uint64
+	for d := 1; d <= pdpMaxDistance; d++ {
+		hits += p.hist[d]
+		weighted += p.hist[d] * uint64(d)
+		cost := float64(weighted) + float64(total-hits)*float64(d)
+		if cost > 0 {
+			scores[d] = float64(hits) / cost
+		}
+	}
+	best := argmaxFloat(scores[1:]) + 1
+	if best < pdpMinPD {
+		best = pdpMinPD
+	}
+	p.pd = uint32(best)
+	for d := range p.hist {
+		p.hist[d] >>= 1
+	}
+	p.infinite >>= 1
+}
+
+// OnHit implements cache.Policy: reprotect the line.
+func (p *PDP) OnHit(set uint32, way int, r trace.Record) {
+	p.tick(set, r)
+	p.lines(set)[way] = p.now[set]
+}
+
+// OnMiss implements cache.Policy.
+func (p *PDP) OnMiss(set uint32, r trace.Record) { p.tick(set, r) }
+
+// Victim implements cache.Policy. A line is protected while its age (set
+// accesses since its last touch) is at most the protecting distance; its
+// predicted reuse lands at age == pd, so protection is inclusive. Eviction
+// prefers the oldest unprotected line — one whose predicted reuse already
+// passed without materializing (a dead line). When every line is still
+// protected (PDP without bypass must evict something), the youngest line is
+// evicted: it is the one whose predicted reuse lies farthest in the future,
+// the Belady-inspired choice that gives PDP its thrash resistance — older
+// protected lines are closer to their predicted reuse and are preserved.
+func (p *PDP) Victim(set uint32, _ trace.Record) int {
+	lines := p.lines(set)
+	now := p.now[set]
+	deadWay, deadAge := -1, uint32(0)
+	youngWay, youngAge := 0, ^uint32(0)
+	for w, s := range lines {
+		age := now - s
+		if age > p.pd && age >= deadAge {
+			deadWay, deadAge = w, age
+		}
+		if age < youngAge {
+			youngWay, youngAge = w, age
+		}
+	}
+	if deadWay >= 0 {
+		return deadWay
+	}
+	return youngWay
+}
+
+// OnFill implements cache.Policy: protect the incoming line.
+func (p *PDP) OnFill(set uint32, way int, _ trace.Record) {
+	p.lines(set)[way] = p.now[set]
+}
+
+// OverheadBits implements Overheader: the paper charges PDP 4 bits per
+// block plus the reuse-distance sampler and microcontroller; we report the
+// per-block state and a nominal 256-entry histogram as global bits. The
+// microcontroller's 10K NAND gates have no bit-count equivalent and are
+// noted in the report text.
+func (p *PDP) OverheadBits() (float64, int) {
+	return float64(4 * p.ways), pdpMaxDistance * 16
+}
+
+var (
+	_ cache.Policy = (*PDP)(nil)
+	_ Overheader   = (*PDP)(nil)
+)

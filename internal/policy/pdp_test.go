@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"testing"
+
+	"gippr/internal/cache"
+	"gippr/internal/trace"
+)
+
+func TestPDPProtectsReusedLines(t *testing.T) {
+	// Hot loop + one-shot stream: PDP must keep the hot lines (reprotected
+	// on every hit) and sacrifice the never-reused stream lines.
+	cfg := testConfig()
+	stream := mixStreams(200, 80000, 21)
+	pdp := run(cfg, NewPDP(cfg.Sets(), cfg.Ways), stream)
+	lru := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), stream)
+	if pdp.Misses >= lru.Misses {
+		t.Fatalf("PDP misses %d not below LRU %d under scan interference", pdp.Misses, lru.Misses)
+	}
+}
+
+func TestPDPThrashResistance(t *testing.T) {
+	// On a cyclic loop beyond capacity PDP approaches MIN: once the solver
+	// locks onto the per-set reuse distance, protected-but-oldest lines
+	// survive to their reuse and the youngest are sacrificed.
+	cfg := cache.L3Config
+	blocks := cyclic(90<<10, 600_000)
+	pdp := run(cfg, NewPDP(cfg.Sets(), cfg.Ways), blocks)
+	lru := run(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), blocks)
+	if float64(pdp.Misses) > 0.6*float64(lru.Misses) {
+		t.Fatalf("PDP misses %d vs LRU %d: expected strong thrash resistance", pdp.Misses, lru.Misses)
+	}
+}
+
+func TestPDPSolverLocksOntoReuseDistance(t *testing.T) {
+	// Drive a single sampled set (set 0) with a fixed per-set reuse
+	// distance of 12 and check the solver's protecting distance lands at
+	// or just above it.
+	p := NewPDP(64, 16)
+	var recs []trace.Record
+	for i := 0; i < 3*pdpEpochLength; i++ {
+		block := uint64(i % 12)
+		recs = append(recs, trace.Record{Gap: 1, Addr: block * 64 * 64}) // all map to set 0
+	}
+	c := cache.New(cache.Config{Name: "p", SizeBytes: 64 * 16 * 64, Ways: 16, BlockBytes: 64, HitLatency: 1}, p)
+	for _, r := range recs {
+		c.Access(r)
+	}
+	if pd := p.PD(); pd < 10 || pd > 24 {
+		t.Fatalf("solver PD = %d, expected near the reuse distance 12", pd)
+	}
+}
+
+func TestPDPDefaultPD(t *testing.T) {
+	p := NewPDP(16, 16)
+	if p.PD() != pdpInitialPD {
+		t.Fatalf("initial PD = %d", p.PD())
+	}
+}
+
+func TestPDPVictimPrefersDeadLines(t *testing.T) {
+	p := NewPDP(64, 4)
+	c := cache.New(cache.Config{Name: "p", SizeBytes: 64 * 4 * 64, Ways: 4, BlockBytes: 64, HitLatency: 1}, p)
+	// Fill set 0 with 4 blocks (set stride is 64 blocks).
+	for b := uint64(0); b < 4; b++ {
+		c.Access(trace.Record{Gap: 1, Addr: b * 64 * 64})
+	}
+	// Keep blocks 1..3 fresh, let block 0 exceed the protecting distance.
+	for i := 0; i < pdpInitialPD+8; i++ {
+		for b := uint64(1); b < 4; b++ {
+			c.Access(trace.Record{Gap: 1, Addr: b * 64 * 64})
+		}
+	}
+	// A miss should now evict the dead block 0.
+	c.Access(trace.Record{Gap: 1, Addr: 9 * 64 * 64})
+	if c.Contains(0) {
+		t.Fatal("dead line survived eviction")
+	}
+	for b := uint64(1); b < 4; b++ {
+		if !c.Contains(b * 64 * 64) {
+			t.Fatalf("protected hot line %d evicted", b)
+		}
+	}
+}
+
+func TestPDPNoBypassAlwaysFills(t *testing.T) {
+	cfg := smallConfig()
+	p := NewPDP(cfg.Sets(), cfg.Ways)
+	c := cache.New(cfg, p)
+	// Stream far beyond capacity: every access must still be filled
+	// (paper configuration: PDP without bypass).
+	for b := uint64(0); b < 1000; b++ {
+		c.Access(trace.Record{Gap: 1, Addr: b * 64})
+		if !c.Contains(b * 64) {
+			t.Fatalf("block %d bypassed", b)
+		}
+	}
+}
+
+func TestPDPSamplerSweepBounds(t *testing.T) {
+	// A pure stream on sampled sets must not grow the sampler without
+	// bound: the sweep counts stale entries as infinite distance.
+	p := NewPDP(64, 16)
+	c := cache.New(cache.Config{Name: "p", SizeBytes: 64 * 16 * 64, Ways: 16, BlockBytes: 64, HitLatency: 1}, p)
+	for b := uint64(0); b < 300_000; b++ {
+		c.Access(trace.Record{Gap: 1, Addr: b * 64 * 64}) // every access to set 0, new block
+	}
+	if len(p.samp) > 4*pdpSweepPeriod {
+		t.Fatalf("sampler grew to %d entries", len(p.samp))
+	}
+	if p.infinite == 0 {
+		t.Fatal("streaming produced no infinite-distance samples")
+	}
+}
+
+func TestPDPOverhead(t *testing.T) {
+	p := NewPDP(4096, 16)
+	perSet, global := p.OverheadBits()
+	if perSet != 64 { // 4 bits x 16 ways
+		t.Fatalf("per-set bits = %v", perSet)
+	}
+	if global <= 0 {
+		t.Fatal("PDP must report sampler storage")
+	}
+}

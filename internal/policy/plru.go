@@ -1,0 +1,289 @@
+package policy
+
+import (
+	"fmt"
+
+	"gippr/internal/cache"
+	"gippr/internal/dueling"
+	"gippr/internal/ipv"
+	"gippr/internal/plrutree"
+	"gippr/internal/trace"
+)
+
+// PLRU is standard tree-based PseudoLRU (paper Section 3.1): on a hit or a
+// fill the touched block is promoted to the PMRU position; the victim is the
+// PLRU block found by walking the tree. k-1 bits per set.
+type PLRU struct {
+	nop
+	trees []plrutree.Tree
+	ways  int
+}
+
+// NewPLRU returns tree-based PseudoLRU replacement. ways must be a power of
+// two.
+func NewPLRU(sets, ways int) *PLRU {
+	validateGeometry(sets, ways)
+	trees := make([]plrutree.Tree, sets)
+	for i := range trees {
+		trees[i] = plrutree.New(ways)
+	}
+	return &PLRU{trees: trees, ways: ways}
+}
+
+// Name implements cache.Policy.
+func (p *PLRU) Name() string { return "PLRU" }
+
+// OnHit implements cache.Policy.
+func (p *PLRU) OnHit(set uint32, way int, _ trace.Record) { p.trees[set].Promote(way) }
+
+// OnFill implements cache.Policy.
+func (p *PLRU) OnFill(set uint32, way int, _ trace.Record) { p.trees[set].Promote(way) }
+
+// Victim implements cache.Policy.
+func (p *PLRU) Victim(set uint32, _ trace.Record) int { return p.trees[set].Victim() }
+
+// Tree exposes one set's tree (for tests).
+func (p *PLRU) Tree(set uint32) *plrutree.Tree { return &p.trees[set] }
+
+// OverheadBits implements Overheader: k-1 bits per set.
+func (p *PLRU) OverheadBits() (float64, int) { return float64(p.ways - 1), 0 }
+
+// GIPPR is the paper's main contribution (Section 3.4): tree-based
+// PseudoLRU whose insertion and promotion are driven by an evolved IPV. A
+// hit on a block at PseudoLRU-stack position i rewrites its leaf-to-root
+// path so it occupies position V[i]; a fill places the incoming block at
+// position V[k]. Storage is identical to plain PseudoLRU: k-1 bits per set.
+type GIPPR struct {
+	nop
+	name  string
+	vec   ipv.Vector
+	trees []plrutree.Tree
+	ways  int
+}
+
+// NewGIPPR returns a GIPPR policy with the given vector.
+func NewGIPPR(sets, ways int, v ipv.Vector) *GIPPR {
+	validateGeometry(sets, ways)
+	if err := v.Validate(); err != nil {
+		panic(err)
+	}
+	if v.K() != ways {
+		panic("policy: GIPPR vector associativity mismatch")
+	}
+	p := &GIPPR{
+		name:  "GIPPR" + v.String(),
+		vec:   v.Clone(),
+		trees: make([]plrutree.Tree, sets),
+		ways:  ways,
+	}
+	for i := range p.trees {
+		p.trees[i] = plrutree.New(ways)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *GIPPR) Name() string { return p.name }
+
+// SetName overrides the report name (e.g. "WN1-GIPPR").
+func (p *GIPPR) SetName(n string) { p.name = n }
+
+// Vector returns the IPV in use.
+func (p *GIPPR) Vector() ipv.Vector { return p.vec.Clone() }
+
+// OnHit implements cache.Policy: move the block from its PseudoLRU position
+// i to V[i].
+func (p *GIPPR) OnHit(set uint32, way int, _ trace.Record) {
+	t := &p.trees[set]
+	t.SetPosition(way, p.vec.Promotion(t.Position(way)))
+}
+
+// OnFill implements cache.Policy: place the incoming block at V[k].
+func (p *GIPPR) OnFill(set uint32, way int, _ trace.Record) {
+	p.trees[set].SetPosition(way, p.vec.Insertion())
+}
+
+// Victim implements cache.Policy: the PLRU block (position k-1).
+func (p *GIPPR) Victim(set uint32, _ trace.Record) int { return p.trees[set].Victim() }
+
+// Tree exposes one set's tree (for tests).
+func (p *GIPPR) Tree(set uint32) *plrutree.Tree { return &p.trees[set] }
+
+// OverheadBits implements Overheader: k-1 bits per set, same as PseudoLRU.
+func (p *GIPPR) OverheadBits() (float64, int) { return float64(p.ways - 1), 0 }
+
+// DGIPPR2 is the two-vector dynamic GIPPR (paper Section 3.5): 32 leader
+// sets per vector duel through a single 11-bit PSEL counter; follower sets
+// apply the winning vector. The PseudoLRU bits are shared across vectors —
+// switching vectors never touches the trees.
+type DGIPPR2 struct {
+	nop
+	name  string
+	vecs  [2]ipv.Vector
+	trees []plrutree.Tree
+	duel  *dueling.Duel
+	ways  int
+}
+
+// NewDGIPPR2 returns a 2-vector DGIPPR with the paper's duel configuration.
+func NewDGIPPR2(sets, ways int, vecs [2]ipv.Vector) *DGIPPR2 {
+	validateGeometry(sets, ways)
+	for _, v := range vecs {
+		if err := v.Validate(); err != nil {
+			panic(err)
+		}
+		if v.K() != ways {
+			panic("policy: DGIPPR2 vector associativity mismatch")
+		}
+	}
+	p := &DGIPPR2{
+		name:  "2-DGIPPR",
+		vecs:  [2]ipv.Vector{vecs[0].Clone(), vecs[1].Clone()},
+		trees: make([]plrutree.Tree, sets),
+		duel:  dueling.NewDuel(sets, leadersFor(sets, 2), dueling.CounterBits11),
+		ways:  ways,
+	}
+	for i := range p.trees {
+		p.trees[i] = plrutree.New(ways)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *DGIPPR2) Name() string { return p.name }
+
+// SetName overrides the report name.
+func (p *DGIPPR2) SetName(n string) { p.name = n }
+
+func (p *DGIPPR2) vec(set uint32) ipv.Vector { return p.vecs[p.duel.Choose(set)] }
+
+// OnMiss implements cache.Policy: train the duel on leader-set misses.
+func (p *DGIPPR2) OnMiss(set uint32, _ trace.Record) { p.duel.OnMiss(set) }
+
+// OnHit implements cache.Policy.
+func (p *DGIPPR2) OnHit(set uint32, way int, _ trace.Record) {
+	t := &p.trees[set]
+	v := p.vec(set)
+	t.SetPosition(way, v.Promotion(t.Position(way)))
+}
+
+// OnFill implements cache.Policy.
+func (p *DGIPPR2) OnFill(set uint32, way int, _ trace.Record) {
+	p.trees[set].SetPosition(way, p.vec(set).Insertion())
+}
+
+// Victim implements cache.Policy.
+func (p *DGIPPR2) Victim(set uint32, _ trace.Record) int { return p.trees[set].Victim() }
+
+// Winner returns the vector index follower sets currently use.
+func (p *DGIPPR2) Winner() int { return p.duel.Winner() }
+
+// OverheadBits implements Overheader: k-1 bits per set plus one 11-bit
+// counter for the whole cache.
+func (p *DGIPPR2) OverheadBits() (float64, int) { return float64(p.ways - 1), dueling.CounterBits11 }
+
+// DGIPPR4 is the four-vector dynamic GIPPR: multi-set-dueling with two pair
+// counters and a meta counter (three 11-bit counters total). The paper
+// recommends this configuration ("we recommend that PseudoLRU insertion and
+// promotion be deployed using at least four IPVs").
+type DGIPPR4 struct {
+	nop
+	name  string
+	vecs  [4]ipv.Vector
+	trees []plrutree.Tree
+	duel  *dueling.Tournament
+	ways  int
+}
+
+// NewDGIPPR4 returns a 4-vector DGIPPR with the paper's duel configuration.
+func NewDGIPPR4(sets, ways int, vecs [4]ipv.Vector) *DGIPPR4 {
+	return NewDGIPPR4WithDuel(sets, ways, vecs, leadersFor(sets, 4), dueling.CounterBits11)
+}
+
+// NewDGIPPR4WithDuel returns a 4-vector DGIPPR with an explicit leader-set
+// count and counter width, for the set-dueling ablation studies.
+func NewDGIPPR4WithDuel(sets, ways int, vecs [4]ipv.Vector, leaders, counterBits int) *DGIPPR4 {
+	validateGeometry(sets, ways)
+	for _, v := range vecs {
+		if err := v.Validate(); err != nil {
+			panic(err)
+		}
+		if v.K() != ways {
+			panic("policy: DGIPPR4 vector associativity mismatch")
+		}
+	}
+	p := &DGIPPR4{
+		name:  "4-DGIPPR",
+		trees: make([]plrutree.Tree, sets),
+		duel:  dueling.NewTournament(sets, leaders, counterBits),
+		ways:  ways,
+	}
+	for i, v := range vecs {
+		p.vecs[i] = v.Clone()
+	}
+	for i := range p.trees {
+		p.trees[i] = plrutree.New(ways)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *DGIPPR4) Name() string { return p.name }
+
+// SetName overrides the report name.
+func (p *DGIPPR4) SetName(n string) { p.name = n }
+
+func (p *DGIPPR4) vec(set uint32) ipv.Vector { return p.vecs[p.duel.Choose(set)] }
+
+// OnMiss implements cache.Policy.
+func (p *DGIPPR4) OnMiss(set uint32, _ trace.Record) { p.duel.OnMiss(set) }
+
+// OnHit implements cache.Policy.
+func (p *DGIPPR4) OnHit(set uint32, way int, _ trace.Record) {
+	t := &p.trees[set]
+	v := p.vec(set)
+	t.SetPosition(way, v.Promotion(t.Position(way)))
+}
+
+// OnFill implements cache.Policy.
+func (p *DGIPPR4) OnFill(set uint32, way int, _ trace.Record) {
+	p.trees[set].SetPosition(way, p.vec(set).Insertion())
+}
+
+// Victim implements cache.Policy.
+func (p *DGIPPR4) Victim(set uint32, _ trace.Record) int { return p.trees[set].Victim() }
+
+// Winner returns the vector index follower sets currently use.
+func (p *DGIPPR4) Winner() int { return p.duel.Winner() }
+
+// OverheadBits implements Overheader: k-1 bits per set plus three 11-bit
+// counters for the whole cache (33 bits, Section 3.6).
+func (p *DGIPPR4) OverheadBits() (float64, int) {
+	return float64(p.ways - 1), 3 * dueling.CounterBits11
+}
+
+// NewDGIPPRN builds a DGIPPR variant from 1, 2 or 4 vectors, the shapes the
+// paper evaluates. It is a convenience for sweep/ablation harnesses.
+func NewDGIPPRN(sets, ways int, vecs []ipv.Vector) cache.Policy {
+	switch len(vecs) {
+	case 1:
+		return NewGIPPR(sets, ways, vecs[0])
+	case 2:
+		return NewDGIPPR2(sets, ways, [2]ipv.Vector{vecs[0], vecs[1]})
+	case 4:
+		return NewDGIPPR4(sets, ways, [4]ipv.Vector{vecs[0], vecs[1], vecs[2], vecs[3]})
+	default:
+		panic(fmt.Sprintf("policy: DGIPPR supports 1, 2 or 4 vectors, got %d", len(vecs)))
+	}
+}
+
+var (
+	_ cache.Policy = (*PLRU)(nil)
+	_ cache.Policy = (*GIPPR)(nil)
+	_ cache.Policy = (*DGIPPR2)(nil)
+	_ cache.Policy = (*DGIPPR4)(nil)
+	_ Overheader   = (*PLRU)(nil)
+	_ Overheader   = (*GIPPR)(nil)
+	_ Overheader   = (*DGIPPR2)(nil)
+	_ Overheader   = (*DGIPPR4)(nil)
+)

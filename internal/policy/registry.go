@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"gippr/internal/cache"
+	"gippr/internal/ipv"
+)
+
+// Registry returns factories for every named policy, keyed by the names the
+// CLI tools and experiment harness use. The DGIPPR entries use the paper's
+// published workload-inclusive vectors; harnesses that need workload-neutral
+// or freshly evolved vectors construct policies directly.
+func Registry() map[string]Factory {
+	reg := map[string]Factory{
+		"lru":    {Name: "LRU", New: func(s, w int) cache.Policy { return NewTrueLRU(s, w) }},
+		"random": {Name: "Random", New: func(s, w int) cache.Policy { return NewRandom(s, w) }},
+		"fifo":   {Name: "FIFO", New: func(s, w int) cache.Policy { return NewFIFO(s, w) }},
+		"nru":    {Name: "NRU", New: func(s, w int) cache.Policy { return NewNRU(s, w) }},
+		"plru":   {Name: "PLRU", New: func(s, w int) cache.Policy { return NewPLRU(s, w) }},
+		"lip":    {Name: "LIP", New: func(s, w int) cache.Policy { return NewLIP(s, w) }},
+		"bip":    {Name: "BIP", New: func(s, w int) cache.Policy { return NewBIP(s, w) }},
+		"dip":    {Name: "DIP", New: func(s, w int) cache.Policy { return NewDIP(s, w) }},
+		"srrip":  {Name: "SRRIP", New: func(s, w int) cache.Policy { return NewSRRIP(s, w) }},
+		"brrip":  {Name: "BRRIP", New: func(s, w int) cache.Policy { return NewBRRIP(s, w) }},
+		"drrip":  {Name: "DRRIP", New: func(s, w int) cache.Policy { return NewDRRIP(s, w) }},
+		"pdp":    {Name: "PDP", New: func(s, w int) cache.Policy { return NewPDP(s, w) }},
+		"ship":   {Name: "SHiP", New: func(s, w int) cache.Policy { return NewSHiP(s, w) }},
+		"giplr": {Name: "GIPLR", New: func(s, w int) cache.Policy {
+			return NewGIPLR(s, w, paperVectorFor(w, ipv.PaperGIPLR))
+		}},
+		"gippr": {Name: "GIPPR", New: func(s, w int) cache.Policy {
+			g := NewGIPPR(s, w, paperVectorFor(w, ipv.PaperWIGIPPR))
+			g.SetName("GIPPR")
+			return g
+		}},
+		"2-dgippr": {Name: "2-DGIPPR", New: func(s, w int) cache.Policy {
+			return NewDGIPPR2(s, w, [2]ipv.Vector{
+				paperVectorFor(w, ipv.PaperWI2DGIPPR[0]),
+				paperVectorFor(w, ipv.PaperWI2DGIPPR[1]),
+			})
+		}},
+		"4-dgippr": {Name: "4-DGIPPR", New: func(s, w int) cache.Policy {
+			return NewDGIPPR4(s, w, [4]ipv.Vector{
+				paperVectorFor(w, ipv.PaperWI4DGIPPR[0]),
+				paperVectorFor(w, ipv.PaperWI4DGIPPR[1]),
+				paperVectorFor(w, ipv.PaperWI4DGIPPR[2]),
+				paperVectorFor(w, ipv.PaperWI4DGIPPR[3]),
+			})
+		}},
+	}
+	return reg
+}
+
+// Names returns the registry's keys in sorted order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the factory for a registry name.
+func Lookup(name string) (Factory, error) {
+	f, ok := Registry()[name]
+	if !ok {
+		return Factory{}, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+	}
+	return f, nil
+}
+
+// paperVectorFor adapts a published 16-way vector to other associativities
+// by scaling each entry proportionally, so the registry remains usable on
+// non-16-way geometries (tests exercise 4- and 8-way caches). For 16 ways
+// the vector is returned unchanged.
+func paperVectorFor(ways int, v ipv.Vector) ipv.Vector {
+	if v.K() == ways {
+		return v
+	}
+	out := make(ipv.Vector, ways+1)
+	for i := range out {
+		src := i * v.K() / ways
+		if i == ways {
+			src = v.K()
+		}
+		out[i] = v[src] * ways / v.K()
+		if out[i] >= ways {
+			out[i] = ways - 1
+		}
+	}
+	return out
+}

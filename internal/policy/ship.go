@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"gippr/internal/cache"
+	"gippr/internal/trace"
+)
+
+// SHiP configuration (Wu et al., MICRO 2011), SHiP-PC variant on SRRIP.
+const (
+	shipTableSize  = 16384 // signature history counter table entries
+	shipCounterMax = 3     // 2-bit counters
+)
+
+// SHiP is signature-based hit prediction over SRRIP machinery: each fill is
+// tagged with a hash of the memory instruction's PC; lines evicted without
+// reuse train the signature's counter down, reused lines train it up; fills
+// whose signature predicts no reuse are inserted at distant RRPV so they are
+// evicted quickly. The paper discusses SHiP as costlier related work (5 bits
+// per block plus a PC channel to the LLC); it is included here as the
+// "future work" combination target.
+type SHiP struct {
+	nop
+	st     rripState
+	shct   []uint8  // signature history counters
+	sig    []uint16 // per-line signature
+	reused []bool   // per-line outcome bit
+}
+
+// NewSHiP returns a SHiP-PC policy.
+func NewSHiP(sets, ways int) *SHiP {
+	validateGeometry(sets, ways)
+	p := &SHiP{
+		st:     newRRIPState(sets, ways),
+		shct:   make([]uint8, shipTableSize),
+		sig:    make([]uint16, sets*ways),
+		reused: make([]bool, sets*ways),
+	}
+	// Start weakly positive so cold signatures are given a chance.
+	for i := range p.shct {
+		p.shct[i] = 1
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *SHiP) Name() string { return "SHiP" }
+
+func shipSignature(pc uint64) uint16 {
+	h := pc * 0x9e3779b97f4a7c15
+	return uint16((h >> 48) & (shipTableSize - 1))
+}
+
+// OnHit implements cache.Policy.
+func (p *SHiP) OnHit(set uint32, way int, _ trace.Record) {
+	p.st.set(set)[way] = 0
+	idx := int(set)*p.st.ways + way
+	if !p.reused[idx] {
+		p.reused[idx] = true
+		if s := p.sig[idx]; p.shct[s] < shipCounterMax {
+			p.shct[s]++
+		}
+	}
+}
+
+// OnEvict implements cache.Policy: train down signatures whose lines died
+// without reuse.
+func (p *SHiP) OnEvict(set uint32, way int, _ trace.Record) {
+	idx := int(set)*p.st.ways + way
+	if !p.reused[idx] {
+		if s := p.sig[idx]; p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *SHiP) Victim(set uint32, _ trace.Record) int { return p.st.victim(set) }
+
+// OnFill implements cache.Policy.
+func (p *SHiP) OnFill(set uint32, way int, r trace.Record) {
+	idx := int(set)*p.st.ways + way
+	s := shipSignature(r.PC)
+	p.sig[idx] = s
+	p.reused[idx] = false
+	if p.shct[s] == 0 {
+		p.st.set(set)[way] = rrpvMax
+	} else {
+		p.st.set(set)[way] = rrpvLong
+	}
+}
+
+// OverheadBits implements Overheader: RRPV + signature + outcome per block
+// (the paper's "5 extra bits per cache block" counts a compressed
+// signature), plus the SHCT.
+func (p *SHiP) OverheadBits() (float64, int) {
+	perLine := rrpvBits + 14 + 1
+	return float64(perLine * p.st.ways), shipTableSize * 2
+}
+
+var (
+	_ cache.Policy = (*SHiP)(nil)
+	_ Overheader   = (*SHiP)(nil)
+)

@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"testing"
+
+	"gippr/internal/cache"
+	"gippr/internal/trace"
+)
+
+func TestUMONCountsHitPositions(t *testing.T) {
+	u := newUMON(4)
+	// Access pattern in one set: a b a -> a hits at position 1.
+	u.access(0, 100)
+	u.access(0, 101)
+	u.access(0, 100)
+	if u.hits[1] != 1 {
+		t.Fatalf("hits %v", u.hits)
+	}
+	if u.misses != 2 {
+		t.Fatalf("misses %d", u.misses)
+	}
+	// Immediate re-access hits at position 0.
+	u.access(0, 100)
+	if u.hits[0] != 1 {
+		t.Fatalf("hits %v", u.hits)
+	}
+}
+
+func TestUMONATDBoundedByWays(t *testing.T) {
+	u := newUMON(4)
+	for b := uint64(0); b < 100; b++ {
+		u.access(0, b)
+	}
+	if len(u.tags[0]) > 4 {
+		t.Fatalf("ATD grew to %d entries", len(u.tags[0]))
+	}
+}
+
+func TestUMONDecay(t *testing.T) {
+	u := newUMON(4)
+	u.hits[2] = 9
+	u.misses = 5
+	u.decay()
+	if u.hits[2] != 4 || u.misses != 2 {
+		t.Fatalf("decay gave hits=%d misses=%d", u.hits[2], u.misses)
+	}
+}
+
+func TestUCPAllocateGreedy(t *testing.T) {
+	// Core 0 has utility concentrated at low positions (small working
+	// set); core 1 keeps gaining through deep positions. With 8 ways the
+	// greedy allocation must give core 1 the larger share.
+	a, b := newUMON(8), newUMON(8)
+	a.hits = []uint64{100, 50, 0, 0, 0, 0, 0, 0}
+	b.hits = []uint64{100, 90, 80, 70, 60, 50, 40, 30}
+	alloc := ucpAllocate([]*umon{a, b}, 8)
+	if alloc[0]+alloc[1] != 8 {
+		t.Fatalf("allocation %v does not sum to ways", alloc)
+	}
+	if alloc[1] <= alloc[0] {
+		t.Fatalf("high-utility core got %v", alloc)
+	}
+	if alloc[0] < 1 {
+		t.Fatal("every core must keep at least one way")
+	}
+}
+
+func TestUCPAllocateEqualUtility(t *testing.T) {
+	a, b := newUMON(8), newUMON(8)
+	for i := range a.hits {
+		a.hits[i], b.hits[i] = 10, 10
+	}
+	alloc := ucpAllocate([]*umon{a, b}, 8)
+	if alloc[0]+alloc[1] != 8 || alloc[0] < 3 || alloc[1] < 3 {
+		t.Fatalf("equal utility split %v", alloc)
+	}
+}
+
+func TestPIPPDynAdaptsAllocations(t *testing.T) {
+	// Core 0 streams (no reuse); core 1 loops over a reusable set. After
+	// enough epochs the monitors must shift ways to core 1.
+	cfg := cache.Config{Name: "u", SizeBytes: 64 * 16 * 64, Ways: 16, BlockBytes: 64, HitLatency: 1}
+	p := NewPIPPDyn(cfg.Sets(), cfg.Ways, 2)
+	c := cache.New(cfg, p)
+	next := uint64(1 << 20)
+	hot := 0
+	for i := 0; i < 3*umonEpochLength; i++ {
+		if i%2 == 0 {
+			c.Access(trace.Record{Gap: 1, Addr: next * 64, Core: 0})
+			next++
+		} else {
+			c.Access(trace.Record{Gap: 1, Addr: uint64(hot%600) * 64, Core: 1})
+			hot++
+		}
+	}
+	alloc := p.Allocations()
+	if alloc[1] <= alloc[0] {
+		t.Fatalf("allocations %v: the reusing core did not win ways", alloc)
+	}
+}
+
+func TestPIPPDynBeatsLRUWithStreamingCoRunner(t *testing.T) {
+	cfg := testConfig()
+	recs := make([]trace.Record, 150_000)
+	next := uint64(1 << 20)
+	hot := 0
+	for i := range recs {
+		if i%2 == 0 {
+			recs[i] = trace.Record{Gap: 1, Addr: next * 64, Core: 0}
+			next++
+		} else {
+			recs[i] = trace.Record{Gap: 1, Addr: uint64(hot%200) * 64, Core: 1}
+			hot++
+		}
+	}
+	lru := runRecs(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), recs)
+	dyn := runRecs(cfg, NewPIPPDyn(cfg.Sets(), cfg.Ways, 2), recs)
+	if dyn.Misses >= lru.Misses {
+		t.Fatalf("PIPP-dyn misses %d not below LRU %d", dyn.Misses, lru.Misses)
+	}
+}
+
+func TestPIPPDynConstructorValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewPIPPDyn(16, 16, 0) },
+		func() { NewPIPPDyn(16, 16, 17) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPIPPDynOverheadCountsATD(t *testing.T) {
+	p := NewPIPPDyn(4096, 16, 4)
+	_, global := p.OverheadBits()
+	if global < 4*64*16*40 { // 4 cores x 64 sampled sets x 16 ways x ~tag
+		t.Fatalf("ATD storage undercounted: %d", global)
+	}
+	if p.Name() != "PIPP-dyn" {
+		t.Fatal("name")
+	}
+}

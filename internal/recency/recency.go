@@ -1,0 +1,104 @@
+// Package recency implements a true-LRU recency stack with generalized
+// insertion/promotion moves (paper Section 2).
+//
+// A k-way set's blocks occupy distinct positions 0 (MRU) .. k-1 (LRU). The
+// classic LRU policy promotes an accessed block to position 0 and inserts
+// incoming blocks at position 0; an insertion/promotion vector (IPV)
+// generalizes both: an accessed block at position i moves to V[i], and an
+// incoming block is inserted at V[k]. When a block moves from i to t < i,
+// the blocks in positions t..i-1 shift down one place; when t > i, the
+// blocks in positions i+1..t shift up one place (Section 2.3).
+//
+// This is the "integer per block" implementation the paper describes
+// (Section 2.1.2): log2(k) bits per block, k*log2(k) bits per set — the
+// expensive baseline that tree PseudoLRU (package plrutree) approximates
+// with k-1 bits per set.
+package recency
+
+import (
+	"fmt"
+
+	"gippr/internal/ipv"
+)
+
+// Stack is the recency state of one k-way set. Construct with New.
+type Stack struct {
+	pos []int // pos[way] = position of way in the stack
+	way []int // way[position] = way occupying that position (inverse of pos)
+}
+
+// New returns a stack for a k-way set (k >= 2, any value — true LRU does not
+// require a power of two). Initially way w occupies position w, so way k-1
+// is the first victim.
+func New(k int) *Stack {
+	if k < 2 {
+		panic("recency: associativity must be at least 2")
+	}
+	s := &Stack{pos: make([]int, k), way: make([]int, k)}
+	for w := 0; w < k; w++ {
+		s.pos[w] = w
+		s.way[w] = w
+	}
+	return s
+}
+
+// K returns the associativity.
+func (s *Stack) K() int { return len(s.pos) }
+
+// Position returns the position of way w.
+func (s *Stack) Position(w int) int { return s.pos[w] }
+
+// WayAt returns the way occupying position p.
+func (s *Stack) WayAt(p int) int { return s.way[p] }
+
+// Victim returns the way in the LRU position (k-1).
+func (s *Stack) Victim() int { return s.way[len(s.way)-1] }
+
+// MoveTo moves way w to position target, shifting the intervening blocks by
+// one place toward the vacated position. This is the primitive both
+// promotions and insertions reduce to.
+func (s *Stack) MoveTo(w, target int) {
+	k := len(s.pos)
+	if target < 0 || target >= k {
+		panic(fmt.Sprintf("recency: target position %d out of range 0..%d", target, k-1))
+	}
+	i := s.pos[w]
+	switch {
+	case target < i: // shift positions target..i-1 down by one
+		for p := i; p > target; p-- {
+			moved := s.way[p-1]
+			s.way[p] = moved
+			s.pos[moved] = p
+		}
+	case target > i: // shift positions i+1..target up by one
+		for p := i; p < target; p++ {
+			moved := s.way[p+1]
+			s.way[p] = moved
+			s.pos[moved] = p
+		}
+	default:
+		return
+	}
+	s.way[target] = w
+	s.pos[w] = target
+}
+
+// Touch applies vector v's promotion rule to an access hitting way w: the
+// block moves from its position i to v[i].
+func (s *Stack) Touch(w int, v ipv.Vector) {
+	s.MoveTo(w, v.Promotion(s.pos[w]))
+}
+
+// Fill applies vector v's insertion rule after a miss replaced the block in
+// way w (which must be the previous victim, at position k-1): the incoming
+// block moves from the LRU position to v[k].
+func (s *Stack) Fill(w int, v ipv.Vector) {
+	s.MoveTo(w, v.Insertion())
+}
+
+// TouchLRU is the classic LRU promotion: move way w to MRU.
+func (s *Stack) TouchLRU(w int) { s.MoveTo(w, 0) }
+
+// Positions returns a copy of the position of every way; always a
+// permutation of 0..k-1.
+func (s *Stack) Positions() []int { return append([]int(nil), s.pos...) }

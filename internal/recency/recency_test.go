@@ -1,0 +1,189 @@
+package recency
+
+import (
+	"testing"
+
+	"gippr/internal/ipv"
+	"gippr/internal/xrand"
+)
+
+func TestInitialLayout(t *testing.T) {
+	s := New(8)
+	for w := 0; w < 8; w++ {
+		if s.Position(w) != w || s.WayAt(w) != w {
+			t.Fatalf("initial layout broken at way %d", w)
+		}
+	}
+	if s.Victim() != 7 {
+		t.Fatalf("initial victim %d", s.Victim())
+	}
+	if s.K() != 8 {
+		t.Fatalf("K = %d", s.K())
+	}
+}
+
+func TestNewPanicsOnTinyK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	New(1)
+}
+
+func TestTouchLRUClassicBehaviour(t *testing.T) {
+	s := New(4)
+	// Touch way 2 (position 2): ways at positions 0,1 shift down.
+	s.TouchLRU(2)
+	want := map[int]int{2: 0, 0: 1, 1: 2, 3: 3} // way -> position
+	for w, p := range want {
+		if s.Position(w) != p {
+			t.Fatalf("after TouchLRU(2): way %d at %d, want %d", w, s.Position(w), p)
+		}
+	}
+	// Touching the MRU block is a no-op.
+	before := s.Positions()
+	s.TouchLRU(2)
+	for w, p := range s.Positions() {
+		if before[w] != p {
+			t.Fatal("touching MRU changed the stack")
+		}
+	}
+}
+
+func TestMoveToDownShifts(t *testing.T) {
+	s := New(8)
+	// Move way 5 (position 5) to position 1: positions 1..4 shift down.
+	s.MoveTo(5, 1)
+	if s.Position(5) != 1 {
+		t.Fatalf("way 5 at %d", s.Position(5))
+	}
+	for _, c := range []struct{ way, pos int }{{0, 0}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {6, 6}, {7, 7}} {
+		if s.Position(c.way) != c.pos {
+			t.Fatalf("way %d at %d, want %d", c.way, s.Position(c.way), c.pos)
+		}
+	}
+}
+
+func TestMoveToUpShifts(t *testing.T) {
+	s := New(8)
+	// Move way 2 (position 2) to position 6: positions 3..6 shift up.
+	s.MoveTo(2, 6)
+	if s.Position(2) != 6 {
+		t.Fatalf("way 2 at %d", s.Position(2))
+	}
+	for _, c := range []struct{ way, pos int }{{0, 0}, {1, 1}, {3, 2}, {4, 3}, {5, 4}, {6, 5}, {7, 7}} {
+		if s.Position(c.way) != c.pos {
+			t.Fatalf("way %d at %d, want %d", c.way, s.Position(c.way), c.pos)
+		}
+	}
+}
+
+func TestMoveToPanicsOutOfRange(t *testing.T) {
+	s := New(4)
+	for _, x := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MoveTo(0,%d) did not panic", x)
+				}
+			}()
+			s.MoveTo(0, x)
+		}()
+	}
+}
+
+func TestTouchFollowsVector(t *testing.T) {
+	// Paper Section 2.4 example: V = [0,...,0, k/2, k-1]: a block
+	// referenced at LRU moves to the middle, referenced again moves to MRU.
+	k := 16
+	v := ipv.MidClimb(k)
+	s := New(k)
+	w := s.Victim() // way at LRU position
+	s.Touch(w, v)
+	if s.Position(w) != k/2 {
+		t.Fatalf("first touch: position %d, want %d", s.Position(w), k/2)
+	}
+	s.Touch(w, v)
+	if s.Position(w) != 0 {
+		t.Fatalf("second touch: position %d, want 0", s.Position(w))
+	}
+}
+
+func TestFillInsertsAtVectorPosition(t *testing.T) {
+	k := 16
+	v := ipv.PaperGIPLR // insertion at 13
+	s := New(k)
+	victim := s.Victim()
+	s.Fill(victim, v)
+	if s.Position(victim) != 13 {
+		t.Fatalf("fill position %d, want 13", s.Position(victim))
+	}
+}
+
+func TestFillLRUVector(t *testing.T) {
+	s := New(8)
+	victim := s.Victim()
+	s.Fill(victim, ipv.LRU(8))
+	if s.Position(victim) != 0 {
+		t.Fatalf("LRU fill landed at %d", s.Position(victim))
+	}
+}
+
+func TestFillLIPVectorKeepsVictimInPlace(t *testing.T) {
+	s := New(8)
+	victim := s.Victim()
+	before := s.Positions()
+	s.Fill(victim, ipv.LIP(8))
+	for w, p := range s.Positions() {
+		if before[w] != p {
+			t.Fatal("LIP fill moved something")
+		}
+	}
+}
+
+func TestPermutationInvariant(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 8, 16} {
+		s := New(k)
+		rng := xrand.New(uint64(k))
+		for i := 0; i < 1000; i++ {
+			s.MoveTo(rng.Intn(k), rng.Intn(k))
+			seen := make([]bool, k)
+			for w := 0; w < k; w++ {
+				p := s.Position(w)
+				if p < 0 || p >= k || seen[p] {
+					t.Fatalf("k=%d: positions not a permutation: %v", k, s.Positions())
+				}
+				seen[p] = true
+				if s.WayAt(p) != w {
+					t.Fatalf("k=%d: inverse mapping broken at way %d", k, w)
+				}
+			}
+		}
+	}
+}
+
+func TestNonPowerOfTwoAssociativity(t *testing.T) {
+	// True LRU has no power-of-two requirement.
+	s := New(6)
+	s.MoveTo(3, 0)
+	s.MoveTo(5, 2)
+	if s.Victim() == 3 || s.Victim() == 5 {
+		t.Fatalf("recently moved way is the victim")
+	}
+}
+
+func BenchmarkTouchLRU16(b *testing.B) {
+	s := New(16)
+	for i := 0; i < b.N; i++ {
+		s.TouchLRU(i & 15)
+	}
+}
+
+func BenchmarkTouchVector16(b *testing.B) {
+	s := New(16)
+	v := ipv.PaperGIPLR
+	for i := 0; i < b.N; i++ {
+		s.Touch(i&15, v)
+	}
+}

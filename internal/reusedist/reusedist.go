@@ -1,0 +1,205 @@
+// Package reusedist computes exact reuse-distance (LRU stack distance)
+// profiles of reference streams: for each access, the number of distinct
+// blocks referenced since the previous access to the same block. Reuse
+// distance is the analytical backbone of the policies under study — a block
+// hits in a fully-associative LRU cache of capacity C exactly when its
+// reuse distance is below C, and PDP's protecting distances are per-set
+// reuse distances — so the profiler doubles as a workload-characterization
+// tool (cmd/gippr-report's workload section) and as an oracle for tests.
+//
+// The implementation is Bengt Olken's classic algorithm: keep each block's
+// last access time and a Fenwick tree over time slots marking which of them
+// are "live" (the most recent access of some block). The reuse distance of
+// an access is the number of live slots after the block's previous access:
+// O(log n) per access after coordinate compression over a bounded window.
+package reusedist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Infinite is the distance reported for first-time (cold) accesses.
+const Infinite = math.MaxInt64
+
+// Profiler computes reuse distances online. The zero value is not usable;
+// construct with New.
+type Profiler struct {
+	fen   []int          // Fenwick tree over access slots: 1 = live slot
+	last  map[uint64]int // block -> slot of its most recent access
+	slot  int            // next slot index (1-based for the Fenwick tree)
+	dists *Histogram
+}
+
+// New returns a profiler sized for up to capacity accesses (the Fenwick
+// tree is preallocated; accesses beyond the capacity panic).
+func New(capacity int) *Profiler {
+	if capacity < 1 {
+		panic("reusedist: capacity must be positive")
+	}
+	return &Profiler{
+		fen:   make([]int, capacity+1),
+		last:  make(map[uint64]int),
+		dists: NewHistogram(),
+	}
+}
+
+func (p *Profiler) add(i, delta int) {
+	for ; i < len(p.fen); i += i & -i {
+		p.fen[i] += delta
+	}
+}
+
+func (p *Profiler) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += p.fen[i]
+	}
+	return s
+}
+
+// Access records a reference to block and returns its reuse distance
+// (Infinite for the first reference).
+func (p *Profiler) Access(block uint64) int64 {
+	p.slot++
+	if p.slot >= len(p.fen) {
+		panic(fmt.Sprintf("reusedist: capacity %d exceeded", len(p.fen)-1))
+	}
+	var dist int64 = Infinite
+	if prev, ok := p.last[block]; ok {
+		// Live slots strictly after prev = distinct blocks since then.
+		dist = int64(p.sum(p.slot-1) - p.sum(prev))
+		p.add(prev, -1)
+	}
+	p.last[block] = p.slot
+	p.add(p.slot, 1)
+	p.dists.Add(dist)
+	return dist
+}
+
+// Histogram returns the profile accumulated so far (shared, not a copy).
+func (p *Profiler) Histogram() *Histogram { return p.dists }
+
+// Histogram accumulates reuse distances in power-of-two buckets plus a
+// cold-access count.
+type Histogram struct {
+	// Buckets[i] counts distances in [2^(i-1), 2^i) with Buckets[0]
+	// counting distance 0.
+	Buckets [48]uint64
+	Cold    uint64
+	Total   uint64
+	sum     float64
+	finite  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one distance.
+func (h *Histogram) Add(dist int64) {
+	h.Total++
+	if dist == Infinite {
+		h.Cold++
+		return
+	}
+	h.finite++
+	h.sum += float64(dist)
+	b := 0
+	for d := dist; d > 0; d >>= 1 {
+		b++
+	}
+	if b >= len(h.Buckets) {
+		b = len(h.Buckets) - 1
+	}
+	h.Buckets[b]++
+}
+
+// MeanFinite returns the mean over re-references (cold accesses excluded),
+// or 0 when there were none.
+func (h *Histogram) MeanFinite() float64 {
+	if h.finite == 0 {
+		return 0
+	}
+	return h.sum / float64(h.finite)
+}
+
+// ColdFraction returns the fraction of accesses that were first touches.
+func (h *Histogram) ColdFraction() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Cold) / float64(h.Total)
+}
+
+// HitRateAt returns the fraction of all accesses whose reuse distance is
+// strictly below capacity — the hit rate of a fully-associative LRU cache
+// of that capacity on this stream (cold accesses always miss). Bucket
+// granularity rounds capacity down to a power of two.
+func (h *Histogram) HitRateAt(capacity int64) float64 {
+	if h.Total == 0 || capacity <= 0 {
+		return 0
+	}
+	var hits uint64
+	limit := 0
+	for d := capacity - 1; d > 0; d >>= 1 {
+		limit++
+	}
+	for b := 0; b <= limit && b < len(h.Buckets); b++ {
+		hits += h.Buckets[b]
+	}
+	return float64(hits) / float64(h.Total)
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %d, cold %.1f%%, mean finite distance %.0f\n",
+		h.Total, 100*h.ColdFraction(), h.MeanFinite())
+	for b, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if b > 0 {
+			lo = int64(1) << (b - 1)
+		}
+		fmt.Fprintf(&sb, "  [%8d, %8d): %d\n", lo, int64(1)<<b, c)
+	}
+	return sb.String()
+}
+
+// Profile computes the histogram of a block stream in one call.
+func Profile(blocks []uint64) *Histogram {
+	p := New(len(blocks) + 1)
+	for _, b := range blocks {
+		p.Access(b)
+	}
+	return p.Histogram()
+}
+
+// Percentile returns the q-quantile (0..1) of finite distances using
+// bucket upper bounds, or 0 with no finite samples.
+func (h *Histogram) Percentile(q float64) int64 {
+	if h.finite == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.finite)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	idxs := make([]int, 0, len(h.Buckets))
+	for b := range h.Buckets {
+		idxs = append(idxs, b)
+	}
+	sort.Ints(idxs)
+	for _, b := range idxs {
+		cum += h.Buckets[b]
+		if cum >= target {
+			return int64(1) << b
+		}
+	}
+	return int64(1) << (len(h.Buckets) - 1)
+}

@@ -1,0 +1,167 @@
+package reusedist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gippr/internal/xrand"
+)
+
+// naiveDistance is the O(n^2) reference: distinct blocks between the
+// previous access to stream[i] and position i.
+func naiveDistances(stream []uint64) []int64 {
+	out := make([]int64, len(stream))
+	for i, b := range stream {
+		prev := -1
+		for j := i - 1; j >= 0; j-- {
+			if stream[j] == b {
+				prev = j
+				break
+			}
+		}
+		if prev < 0 {
+			out[i] = Infinite
+			continue
+		}
+		distinct := map[uint64]bool{}
+		for j := prev + 1; j < i; j++ {
+			distinct[stream[j]] = true
+		}
+		out[i] = int64(len(distinct))
+	}
+	return out
+}
+
+func TestKnownSequence(t *testing.T) {
+	// a b c b a: distances inf, inf, inf, 1 (c), 3 (b,c ... b,c distinct
+	// after a's first access = {b,c} -> 2).
+	p := New(16)
+	want := []int64{Infinite, Infinite, Infinite, 1, 2}
+	stream := []uint64{1, 2, 3, 2, 1}
+	for i, b := range stream {
+		if got := p.Access(b); got != want[i] {
+			t.Fatalf("access %d: distance %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestImmediateReuseIsZero(t *testing.T) {
+	p := New(8)
+	p.Access(7)
+	if got := p.Access(7); got != 0 {
+		t.Fatalf("immediate reuse distance %d", got)
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 200 + rng.Intn(300)
+		stream := make([]uint64, n)
+		for i := range stream {
+			stream[i] = rng.Uint64n(40)
+		}
+		want := naiveDistances(stream)
+		p := New(n + 1)
+		for i, b := range stream {
+			if p.Access(b) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicLoopDistance(t *testing.T) {
+	// A cyclic loop over N blocks has constant reuse distance N-1.
+	const n = 32
+	p := New(8 * n)
+	for round := 0; round < 7; round++ {
+		for b := uint64(0); b < n; b++ {
+			d := p.Access(b)
+			if round == 0 {
+				continue
+			}
+			if d != n-1 {
+				t.Fatalf("round %d block %d: distance %d, want %d", round, b, d, n-1)
+			}
+		}
+	}
+}
+
+func TestCapacityPanic(t *testing.T) {
+	p := New(2)
+	p.Access(1)
+	p.Access(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exceeding capacity did not panic")
+		}
+	}()
+	p.Access(3)
+}
+
+func TestHistogramColdAndMean(t *testing.T) {
+	h := Profile([]uint64{1, 2, 3, 1, 2, 3})
+	if h.Total != 6 || h.Cold != 3 {
+		t.Fatalf("total/cold = %d/%d", h.Total, h.Cold)
+	}
+	if h.ColdFraction() != 0.5 {
+		t.Fatalf("cold fraction %v", h.ColdFraction())
+	}
+	if h.MeanFinite() != 2 {
+		t.Fatalf("mean finite %v", h.MeanFinite())
+	}
+}
+
+func TestHitRateAtMatchesLRUIntuition(t *testing.T) {
+	// Loop of 32 blocks: infinite LRU cache of >= 32 blocks hits all
+	// re-references; capacity 16 hits none.
+	var stream []uint64
+	for r := 0; r < 10; r++ {
+		for b := uint64(0); b < 32; b++ {
+			stream = append(stream, b)
+		}
+	}
+	h := Profile(stream)
+	reRefs := float64(h.Total-h.Cold) / float64(h.Total)
+	if got := h.HitRateAt(64); got < reRefs-0.01 {
+		t.Fatalf("HitRateAt(64) = %v, want ~%v", got, reRefs)
+	}
+	if got := h.HitRateAt(16); got != 0 {
+		t.Fatalf("HitRateAt(16) = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	h := Profile([]uint64{1, 2, 3, 4, 1, 2, 3, 4}) // distances all 3
+	p50 := h.Percentile(0.5)
+	if p50 < 3 || p50 > 4 {
+		t.Fatalf("p50 = %d for constant distance 3 (bucket upper bound expected)", p50)
+	}
+	empty := NewHistogram()
+	if empty.Percentile(0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := Profile([]uint64{1, 1, 2, 1})
+	s := h.String()
+	if !strings.Contains(s, "cold") || !strings.Contains(s, "[") {
+		t.Fatalf("rendering: %q", s)
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	New(0)
+}

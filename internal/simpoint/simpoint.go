@@ -1,0 +1,231 @@
+// Package simpoint implements a miniature SimPoint (Sherwood et al.,
+// ASPLOS 2002; Perelman et al., SIGMETRICS 2003), the phase-selection
+// methodology the paper uses to pick representative simulation intervals
+// ("we use SimPoint to identify up to 6 segments of one billion
+// instructions each...  the results reported per benchmark are the weighted
+// average of the results for the individual simpoints", Section 4.6).
+//
+// The original clusters basic-block vectors; a trace-driven reproduction
+// has no basic blocks, so intervals are summarized by the closest available
+// analogue: a fixed-width signature of which address regions the interval
+// touches, L1-filtered intensity, and write fraction. Intervals are
+// clustered with k-means (deterministic seeding), and each cluster's
+// medoid interval becomes a simpoint whose weight is the fraction of
+// intervals in its cluster — exactly how the paper's per-benchmark weighted
+// averages are formed.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// signatureDims is the dimensionality of an interval's feature vector: a
+// 62-bucket address-region histogram plus intensity and write-rate
+// features.
+const signatureDims = 64
+
+// Interval is one fixed-length slice of a trace with its feature vector.
+type Interval struct {
+	Index   int // position in the trace, in intervals
+	Records int
+	Vector  [signatureDims]float64
+}
+
+// Extract splits a record stream into intervals of intervalLen references
+// and computes each interval's normalized feature vector. A trailing
+// partial interval shorter than half the length is dropped.
+func Extract(recs []trace.Record, intervalLen int) []Interval {
+	if intervalLen < 1 {
+		panic("simpoint: interval length must be positive")
+	}
+	var out []Interval
+	for start := 0; start < len(recs); start += intervalLen {
+		end := start + intervalLen
+		if end > len(recs) {
+			if len(recs)-start < intervalLen/2 {
+				break
+			}
+			end = len(recs)
+		}
+		iv := Interval{Index: len(out), Records: end - start}
+		var writes, instrs uint64
+		for _, r := range recs[start:end] {
+			// Region histogram: hash the 1 MB-region id into 62 buckets.
+			region := r.Addr >> 20
+			h := xrand.Mix(region, 0x51b9) % 62
+			iv.Vector[h]++
+			if r.Write {
+				writes++
+			}
+			instrs += uint64(r.Gap)
+		}
+		n := float64(iv.Records)
+		for d := 0; d < 62; d++ {
+			iv.Vector[d] /= n
+		}
+		iv.Vector[62] = float64(writes) / n
+		if instrs > 0 {
+			iv.Vector[63] = n / float64(instrs) // memory intensity
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Point is one chosen simpoint: a representative interval and the weight
+// of the phase it represents.
+type Point struct {
+	Interval Interval
+	Weight   float64
+	Cluster  int
+}
+
+// Pick clusters the intervals into at most k phases with k-means and
+// returns one weighted representative per non-empty cluster, ordered by
+// descending weight. Deterministic for a given seed.
+func Pick(intervals []Interval, k int, seed uint64) []Point {
+	if k < 1 {
+		panic("simpoint: k must be positive")
+	}
+	if len(intervals) == 0 {
+		return nil
+	}
+	if k > len(intervals) {
+		k = len(intervals)
+	}
+	rng := xrand.New(seed)
+
+	// k-means++ style seeding: first centroid random, then proportional
+	// to squared distance.
+	centroids := make([][signatureDims]float64, 0, k)
+	centroids = append(centroids, intervals[rng.Intn(len(intervals))].Vector)
+	for len(centroids) < k {
+		dists := make([]float64, len(intervals))
+		total := 0.0
+		for i, iv := range intervals {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(iv.Vector, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			break // all points coincide with centroids
+		}
+		r := rng.Float64() * total
+		pick := 0
+		for i, d := range dists {
+			r -= d
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, intervals[pick].Vector)
+	}
+
+	assign := make([]int, len(intervals))
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, iv := range intervals {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(iv.Vector, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		var sums = make([][signatureDims]float64, len(centroids))
+		counts := make([]int, len(centroids))
+		for i, iv := range intervals {
+			c := assign[i]
+			counts[c]++
+			for d := range iv.Vector {
+				sums[c][d] += iv.Vector[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+	}
+
+	// Medoid of each non-empty cluster + weight.
+	var points []Point
+	for c := range centroids {
+		bestIdx, bestD, n := -1, math.Inf(1), 0
+		for i, iv := range intervals {
+			if assign[i] != c {
+				continue
+			}
+			n++
+			if d := sqDist(iv.Vector, centroids[c]); d < bestD {
+				bestIdx, bestD = i, d
+			}
+		}
+		if bestIdx < 0 {
+			continue
+		}
+		points = append(points, Point{
+			Interval: intervals[bestIdx],
+			Weight:   float64(n) / float64(len(intervals)),
+			Cluster:  c,
+		})
+	}
+	// Descending weight, stable by interval index.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && (points[j].Weight > points[j-1].Weight ||
+			(points[j].Weight == points[j-1].Weight && points[j].Interval.Index < points[j-1].Interval.Index)); j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	return points
+}
+
+func sqDist(a, b [signatureDims]float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Slice returns the trace records of a chosen simpoint given the original
+// stream and the interval length used for Extract.
+func Slice(recs []trace.Record, p Point, intervalLen int) []trace.Record {
+	start := p.Interval.Index * intervalLen
+	end := start + p.Interval.Records
+	if start > len(recs) {
+		start = len(recs)
+	}
+	if end > len(recs) {
+		end = len(recs)
+	}
+	return recs[start:end]
+}
+
+// String renders a point.
+func (p Point) String() string {
+	return fmt.Sprintf("interval %d (weight %.2f, cluster %d)", p.Interval.Index, p.Weight, p.Cluster)
+}

@@ -1,0 +1,168 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"gippr/internal/trace"
+	"gippr/internal/workload"
+)
+
+// twoPhaseTrace builds a stream with two obviously different phases:
+// a small-loop phase and a streaming phase, alternating.
+func twoPhaseTrace(n, period int) []trace.Record {
+	recs := make([]trace.Record, n)
+	next := uint64(1 << 30)
+	for i := range recs {
+		if (i/period)%2 == 0 {
+			recs[i] = trace.Record{Gap: 2, Addr: uint64(i%64) * 64}
+		} else {
+			recs[i] = trace.Record{Gap: 8, Addr: next * 64, Write: true}
+			next++
+		}
+	}
+	return recs
+}
+
+func TestExtractIntervalCount(t *testing.T) {
+	recs := twoPhaseTrace(10_000, 1000)
+	ivs := Extract(recs, 1000)
+	if len(ivs) != 10 {
+		t.Fatalf("%d intervals", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.Index != i || iv.Records != 1000 {
+			t.Fatalf("interval %d malformed: %+v", i, iv)
+		}
+	}
+}
+
+func TestExtractDropsTinyTail(t *testing.T) {
+	recs := twoPhaseTrace(10_300, 1000)
+	ivs := Extract(recs, 1000)
+	if len(ivs) != 10 {
+		t.Fatalf("tiny tail not dropped: %d intervals", len(ivs))
+	}
+	// A tail of at least half an interval is kept.
+	ivs = Extract(twoPhaseTrace(10_600, 1000), 1000)
+	if len(ivs) != 11 {
+		t.Fatalf("substantial tail dropped: %d intervals", len(ivs))
+	}
+}
+
+func TestExtractPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	Extract(nil, 0)
+}
+
+func TestFeatureVectorsSeparatePhases(t *testing.T) {
+	recs := twoPhaseTrace(20_000, 1000)
+	ivs := Extract(recs, 1000)
+	// Same-phase intervals must be much closer than cross-phase ones.
+	same := sqDist(ivs[0].Vector, ivs[2].Vector)
+	cross := sqDist(ivs[0].Vector, ivs[1].Vector)
+	if same*10 > cross {
+		t.Fatalf("phases not separable: same %g cross %g", same, cross)
+	}
+}
+
+func TestPickFindsTwoPhases(t *testing.T) {
+	recs := twoPhaseTrace(40_000, 1000)
+	points := Pick(Extract(recs, 1000), 2, 7)
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	total := 0.0
+	for _, p := range points {
+		total += p.Weight
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", total)
+	}
+	// The two phases alternate equally: both weights near 0.5 and the two
+	// representatives come from different phases (one even, one odd
+	// interval index).
+	if math.Abs(points[0].Weight-0.5) > 0.11 {
+		t.Fatalf("weights %v and %v, expected ~0.5 each", points[0].Weight, points[1].Weight)
+	}
+	if points[0].Interval.Index%2 == points[1].Interval.Index%2 {
+		t.Fatalf("both representatives from the same phase: %v, %v", points[0], points[1])
+	}
+}
+
+func TestPickDeterministic(t *testing.T) {
+	ivs := Extract(twoPhaseTrace(20_000, 1000), 1000)
+	a := Pick(ivs, 3, 5)
+	b := Pick(ivs, 3, 5)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic point count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic picks")
+		}
+	}
+}
+
+func TestPickClampsK(t *testing.T) {
+	ivs := Extract(twoPhaseTrace(3000, 1000), 1000)
+	points := Pick(ivs, 10, 1)
+	if len(points) > 3 {
+		t.Fatalf("more points than intervals: %d", len(points))
+	}
+}
+
+func TestPickEmptyAndPanics(t *testing.T) {
+	if Pick(nil, 3, 1) != nil {
+		t.Fatal("points from no intervals")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	Pick([]Interval{{}}, 0, 1)
+}
+
+func TestSliceRecoversInterval(t *testing.T) {
+	recs := twoPhaseTrace(10_000, 1000)
+	ivs := Extract(recs, 1000)
+	points := Pick(ivs, 2, 3)
+	for _, p := range points {
+		s := Slice(recs, p, 1000)
+		if len(s) != p.Interval.Records {
+			t.Fatalf("slice of %d records, want %d", len(s), p.Interval.Records)
+		}
+		if &s[0] != &recs[p.Interval.Index*1000] {
+			t.Fatal("slice does not alias the original stream")
+		}
+	}
+}
+
+func TestOnRealWorkload(t *testing.T) {
+	// hmmer_like alternates two loops every 250K accesses; with 50K-record
+	// intervals over 500K records, SimPoint must find two clear phases.
+	w, err := workload.ByName("hmmer_like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := w.Phases[0].Records(42, 500_000)
+	points := Pick(Extract(recs, 50_000), 2, 9)
+	if len(points) != 2 {
+		t.Fatalf("%d phases found", len(points))
+	}
+	if points[0].Weight < 0.3 || points[0].Weight > 0.7 {
+		t.Fatalf("phase weights %v / %v, expected a balanced split", points[0].Weight, points[1].Weight)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := Point{Interval: Interval{Index: 3}, Weight: 0.25, Cluster: 1}
+	if p.String() == "" {
+		t.Fatal("empty string")
+	}
+}

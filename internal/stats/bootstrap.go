@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"gippr/internal/xrand"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point    float64
+	Lo, Hi   float64
+	Level    float64 // e.g. 0.95
+	Resample int
+}
+
+// BootstrapGeoMean estimates a confidence interval for the geometric mean
+// of xs by the percentile bootstrap: resample xs with replacement, compute
+// each resample's geometric mean, and take the (1-level)/2 quantiles. Used
+// to report whether two policies' geomean speedups are distinguishable
+// given only 29 workloads — a question the paper leaves to eyeballing.
+func BootstrapGeoMean(xs []float64, level float64, resamples int, seed uint64) CI {
+	if len(xs) == 0 {
+		return CI{Level: level, Resample: resamples}
+	}
+	if level <= 0 || level >= 1 {
+		panic("stats: confidence level must be in (0,1)")
+	}
+	if resamples < 10 {
+		panic("stats: need at least 10 bootstrap resamples")
+	}
+	rng := xrand.New(seed)
+	means := make([]float64, resamples)
+	sample := make([]float64, len(xs))
+	for r := range means {
+		for i := range sample {
+			sample[i] = xs[rng.Intn(len(xs))]
+		}
+		means[r] = GeoMean(sample)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return CI{
+		Point:    GeoMean(xs),
+		Lo:       Percentile(means, alpha),
+		Hi:       Percentile(means, 1-alpha),
+		Level:    level,
+		Resample: resamples,
+	}
+}
+
+// Contains reports whether the interval contains v.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns Hi - Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+// Overlaps reports whether two intervals intersect — the coarse test for
+// "these two policies are statistically indistinguishable on this suite".
+func (c CI) Overlaps(o CI) bool {
+	return !(c.Hi < o.Lo || o.Hi < c.Lo) &&
+		!math.IsNaN(c.Lo) && !math.IsNaN(o.Lo)
+}

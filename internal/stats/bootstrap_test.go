@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"gippr/internal/xrand"
+)
+
+func TestBootstrapContainsPoint(t *testing.T) {
+	xs := []float64{1.0, 1.1, 0.9, 1.2, 1.05, 0.95, 1.15}
+	ci := BootstrapGeoMean(xs, 0.95, 500, 1)
+	if !ci.Contains(ci.Point) {
+		t.Fatalf("interval [%v, %v] excludes its own point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Lo > ci.Hi {
+		t.Fatal("inverted interval")
+	}
+	if ci.Point != GeoMean(xs) {
+		t.Fatal("point is not the sample geomean")
+	}
+}
+
+func TestBootstrapConstantSampleIsTight(t *testing.T) {
+	xs := []float64{2, 2, 2, 2, 2}
+	ci := BootstrapGeoMean(xs, 0.95, 200, 3)
+	if ci.Width() != 0 || ci.Lo != 2 {
+		t.Fatalf("constant sample interval [%v, %v]", ci.Lo, ci.Hi)
+	}
+}
+
+func TestBootstrapNarrowsWithSampleSize(t *testing.T) {
+	rng := xrand.New(7)
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.8 + 0.4*rng.Float64()
+		}
+		return xs
+	}
+	small := BootstrapGeoMean(mk(8), 0.95, 400, 11)
+	large := BootstrapGeoMean(mk(256), 0.95, 400, 11)
+	if large.Width() >= small.Width() {
+		t.Fatalf("CI did not narrow: n=8 width %v, n=256 width %v", small.Width(), large.Width())
+	}
+}
+
+func TestBootstrapCoverage(t *testing.T) {
+	// Rough frequentist sanity: across many draws from a known
+	// distribution, the 90% interval should contain the true geomean far
+	// more often than not.
+	rng := xrand.New(99)
+	const trials = 60
+	trueGM := 1.0 // symmetric around 1 in log space
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			// log-uniform in [ln 0.8, ln 1.25]: geomean exactly 1.
+			u := rng.Float64()
+			xs[i] = 0.8 * math.Pow(1.25/0.8, u)
+		}
+		ci := BootstrapGeoMean(xs, 0.90, 300, uint64(trial))
+		if ci.Contains(trueGM) {
+			hits++
+		}
+	}
+	if hits < trials*3/4 {
+		t.Fatalf("90%% CI contained the truth only %d/%d times", hits, trials)
+	}
+}
+
+func TestBootstrapOverlaps(t *testing.T) {
+	a := CI{Lo: 1.0, Hi: 1.2}
+	b := CI{Lo: 1.1, Hi: 1.4}
+	c := CI{Lo: 1.3, Hi: 1.5}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("overlapping intervals not detected")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint intervals overlap")
+	}
+}
+
+func TestBootstrapEmptyAndPanics(t *testing.T) {
+	if ci := BootstrapGeoMean(nil, 0.95, 100, 1); ci.Point != 0 {
+		t.Fatalf("empty sample CI %+v", ci)
+	}
+	for i, f := range []func(){
+		func() { BootstrapGeoMean([]float64{1}, 0, 100, 1) },
+		func() { BootstrapGeoMean([]float64{1}, 1, 100, 1) },
+		func() { BootstrapGeoMean([]float64{1}, 0.95, 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,155 @@
+// Package stats provides the small set of statistics used throughout the
+// evaluation: geometric and weighted means, MPKI, speedups, and simple
+// descriptive summaries. These mirror the reporting conventions of the paper
+// (geometric-mean speedup over LRU, weighted averages over SimPoint phases,
+// misses per thousand instructions).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. It returns 0 for an empty slice
+// and panics if any element is not positive (a speedup or normalized-MPKI
+// ratio of zero or below indicates a bug upstream).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns the weighted arithmetic mean of xs with the given
+// weights. It panics if the lengths differ or the total weight is not
+// positive. This is how per-benchmark results are combined from per-phase
+// (SimPoint-like) results.
+func WeightedMean(xs, weights []float64) float64 {
+	if len(xs) != len(weights) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sum, wsum float64
+	for i, x := range xs {
+		if weights[i] < 0 {
+			panic("stats: negative weight")
+		}
+		sum += x * weights[i]
+		wsum += weights[i]
+	}
+	if wsum <= 0 {
+		panic("stats: WeightedMean with non-positive total weight")
+	}
+	return sum / wsum
+}
+
+// MPKI returns misses per thousand instructions.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(misses) / float64(instructions)
+}
+
+// Speedup returns the speedup of a policy with cycle count cycles relative to
+// a baseline with cycle count baseCycles: baseCycles/cycles. Values above 1
+// mean the policy is faster than the baseline.
+func Speedup(baseCycles, cycles float64) float64 {
+	if cycles <= 0 {
+		panic("stats: Speedup with non-positive cycles")
+	}
+	return baseCycles / cycles
+}
+
+// Normalize returns x/base, the convention used for "normalized MPKI"
+// figures (values below 1 mean fewer misses than the baseline).
+func Normalize(x, base float64) float64 {
+	if base == 0 {
+		if x == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return x / base
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Median     float64
+	P10, P90         float64
+	GeoMean          float64
+	AllPositive      bool
+	FractionAboveOne float64 // fraction of samples strictly above 1.0
+}
+
+// Summarize computes descriptive statistics of xs. The input is not modified.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), AllPositive: true}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Mean = Mean(sorted)
+	s.Median = Percentile(sorted, 0.5)
+	s.P10 = Percentile(sorted, 0.10)
+	s.P90 = Percentile(sorted, 0.90)
+	above := 0
+	for _, x := range sorted {
+		if x <= 0 {
+			s.AllPositive = false
+		}
+		if x > 1 {
+			above++
+		}
+	}
+	s.FractionAboveOne = float64(above) / float64(len(sorted))
+	if s.AllPositive {
+		s.GeoMean = GeoMean(sorted)
+	}
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// slice using linear interpolation. It panics on an empty slice.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestGeoMeanBasics(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{4}); !almostEqual(got, 4) {
+		t.Fatalf("GeoMean([4]) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2) {
+		t.Fatalf("GeoMean([1,4]) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almostEqual(got, 2) {
+		t.Fatalf("GeoMean constant = %v", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with zero did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		xs := []float64{1.1, 0.9, 2.5, 0.4, 1.0}
+		g := GeoMean(xs)
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3 * x
+		}
+		return math.Abs(GeoMean(scaled)-3*g) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2) {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if !almostEqual(got, 2) {
+		t.Fatalf("equal weights: %v", got)
+	}
+	got = WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if !almostEqual(got, 1.5) {
+		t.Fatalf("3:1 weights: %v", got)
+	}
+	got = WeightedMean([]float64{5, 100}, []float64{1, 0})
+	if !almostEqual(got, 5) {
+		t.Fatalf("zero weight not ignored: %v", got)
+	}
+}
+
+func TestWeightedMeanPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"length mismatch", func() { WeightedMean([]float64{1}, []float64{1, 2}) }},
+		{"zero total", func() { WeightedMean([]float64{1}, []float64{0}) }},
+		{"negative weight", func() { WeightedMean([]float64{1, 2}, []float64{2, -1}) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("did not panic")
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(5, 1000); !almostEqual(got, 5) {
+		t.Fatalf("MPKI(5,1000) = %v", got)
+	}
+	if got := MPKI(1, 2000); !almostEqual(got, 0.5) {
+		t.Fatalf("MPKI(1,2000) = %v", got)
+	}
+	if got := MPKI(10, 0); got != 0 {
+		t.Fatalf("MPKI with zero instructions = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); !almostEqual(got, 2) {
+		t.Fatalf("Speedup = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Speedup with zero cycles did not panic")
+		}
+	}()
+	Speedup(1, 0)
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(9, 10); !almostEqual(got, 0.9) {
+		t.Fatalf("Normalize = %v", got)
+	}
+	if got := Normalize(0, 0); got != 1 {
+		t.Fatalf("Normalize(0,0) = %v", got)
+	}
+	if got := Normalize(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("Normalize(1,0) = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almostEqual(got, c.want) {
+			t.Fatalf("Percentile(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+	// interpolation between elements
+	if got := Percentile([]float64{0, 10}, 0.25); !almostEqual(got, 2.5) {
+		t.Fatalf("interpolated percentile = %v", got)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.5, 1.5, 2.5, 3.5})
+	if s.N != 4 || !almostEqual(s.Min, 0.5) || !almostEqual(s.Max, 3.5) {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if !almostEqual(s.Mean, 2) || !almostEqual(s.Median, 2) {
+		t.Fatalf("bad central stats %+v", s)
+	}
+	if !almostEqual(s.FractionAboveOne, 0.75) {
+		t.Fatalf("FractionAboveOne = %v", s.FractionAboveOne)
+	}
+	if !s.AllPositive || s.GeoMean <= 0 {
+		t.Fatalf("positivity: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyAndNegative(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{-1, 2})
+	if s.AllPositive {
+		t.Fatal("negative sample flagged AllPositive")
+	}
+	if s.GeoMean != 0 {
+		t.Fatalf("GeoMean computed for non-positive sample: %v", s.GeoMean)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}

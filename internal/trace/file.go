@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// CreateFile opens path for trace writing, transparently gzip-compressing
+// when the name ends in ".gz". Call the returned close function (which
+// flushes) when done.
+func CreateFile(path string) (*Writer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	tw, err := NewWriter(w)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	closer := func() error {
+		if err := tw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if gz != nil {
+			if err := gz.Close(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		return f.Close()
+	}
+	return tw, closer, nil
+}
+
+// OpenFile opens a trace file written by CreateFile, transparently
+// decompressing ".gz" names. Call the returned close function when done.
+func OpenFile(path string) (*Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r io.Reader = f
+	var gz *gzip.Reader
+	if strings.HasSuffix(path, ".gz") {
+		gz, err = gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("trace: opening gzip %s: %w", path, err)
+		}
+		r = gz
+	}
+	tr, err := NewReader(r)
+	if err != nil {
+		if gz != nil {
+			gz.Close()
+		}
+		f.Close()
+		return nil, nil, err
+	}
+	closer := func() error {
+		if gz != nil {
+			if err := gz.Close(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		return f.Close()
+	}
+	return tr, closer, nil
+}
+
+// WriteFile stores records at path (gzip when the name ends in ".gz").
+func WriteFile(path string, recs []Record) error {
+	tw, closeFn, err := CreateFile(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			closeFn()
+			return err
+		}
+	}
+	return closeFn()
+}
+
+// ReadFile loads every record from path.
+func ReadFile(path string) ([]Record, error) {
+	tr, closeFn, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := tr.ReadAll()
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	return recs, err
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+	for _, name := range []string{"plain.trc", "compressed.trc.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, recs); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: %d records", name, len(got))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("%s: record %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	dir := t.TempDir()
+	recs := make([]Record, 20000)
+	for i := range recs {
+		recs[i] = Record{Gap: 4, PC: 0x400000, Addr: uint64(i) * 64}
+	}
+	plain := filepath.Join(dir, "t.trc")
+	zipped := filepath.Join(dir, "t.trc.gz")
+	if err := WriteFile(plain, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(zipped, recs); err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := os.Stat(plain)
+	sz, _ := os.Stat(zipped)
+	if sz.Size() >= sp.Size() {
+		t.Fatalf("gzip did not shrink: %d vs %d bytes", sz.Size(), sp.Size())
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, _, err := OpenFile(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
+		t.Fatal("missing file opened")
+	}
+	// A .gz name with non-gzip contents must fail cleanly.
+	bad := filepath.Join(t.TempDir(), "bad.trc.gz")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(bad); err == nil {
+		t.Fatal("bogus gzip accepted")
+	}
+	// A plain file with a bad header must fail cleanly.
+	badMagic := filepath.Join(t.TempDir(), "bad.trc")
+	if err := os.WriteFile(badMagic, []byte("WRONGMAGIC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(badMagic); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCreateFileInMissingDirFails(t *testing.T) {
+	if _, _, err := CreateFile(filepath.Join(t.TempDir(), "no", "such", "dir.trc")); err == nil {
+		t.Fatal("create in missing directory succeeded")
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader checks the binary trace reader never panics on arbitrary
+// input and only ever returns well-formed records.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid two-record trace and some corruptions of it.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Gap: 3, PC: 0x400000, Addr: 0x1000, Write: true})
+	w.Write(Record{Gap: 1, PC: 0x400004, Addr: 0x1040})
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("GIPPRTRC\x01"))
+	f.Add([]byte("not a trace at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			rec, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return // corrupt tail: reported, not panicked
+			}
+			if rec.Gap == 0 {
+				t.Fatal("reader produced a zero-gap record")
+			}
+		}
+	})
+}

@@ -1,0 +1,307 @@
+// Package workload provides the synthetic SPEC CPU 2006 stand-ins described
+// in DESIGN.md. The paper evaluates on traces of the 29 SPEC CPU 2006
+// benchmarks; those traces are proprietary, so this package substitutes 29
+// named deterministic generators ("mcf_like", "libquantum_like", ...) whose
+// last-level-cache behaviour falls in the same regimes: cache-fitting loops,
+// cyclic thrashing slightly beyond LLC capacity, pure streaming, streaming
+// with delayed single reuse, skewed (Zipf) popularity, pointer chases, and
+// phased mixtures of these. Sizes are chosen relative to the simulated
+// hierarchy (32 KB L1 / 256 KB L2 / 4 MB LLC, 64-byte blocks), which is what
+// determines how a replacement policy ranks — the property the reproduction
+// needs to preserve.
+//
+// Every generator is an infinite trace.Source driven by a seeded
+// deterministic RNG; the same (workload, phase, seed) always produces the
+// same stream.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// BlockBytes is the memory block granularity generators emit addresses in.
+const BlockBytes = 64
+
+// gapRange samples instruction gaps uniformly in [lo, hi].
+type gapRange struct{ lo, hi uint32 }
+
+func (g gapRange) sample(rng *xrand.RNG) uint32 {
+	if g.hi <= g.lo {
+		return g.lo
+	}
+	return g.lo + uint32(rng.Intn(int(g.hi-g.lo+1)))
+}
+
+// region carves out a disjoint address range for a generator instance so
+// independently parameterized generators never alias.
+type region struct {
+	base uint64
+	pcs  [8]uint64
+}
+
+func newRegion(id uint64) region {
+	r := region{base: id << 36} // 64 GB apart
+	for i := range r.pcs {
+		r.pcs[i] = 0x4000_0000_0000 | id<<16 | uint64(i)*4
+	}
+	return r
+}
+
+func (r *region) addr(block uint64) uint64 { return r.base + block*BlockBytes }
+
+// loopGen cyclically scans a working set of `blocks` blocks in sequential
+// order: the canonical fixed-reuse-distance pattern. A working set under the
+// LLC capacity hits always once warm; one slightly over it thrashes LRU
+// completely while insertion-filtering policies retain a stable fraction.
+type loopGen struct {
+	reg    region
+	blocks uint64
+	pos    uint64
+	gap    gapRange
+	rng    *xrand.RNG
+}
+
+func newLoop(reg region, blocks uint64, gap gapRange, seed uint64) *loopGen {
+	return &loopGen{reg: reg, blocks: blocks, gap: gap, rng: xrand.New(seed)}
+}
+
+func (g *loopGen) Next() (trace.Record, bool) {
+	r := trace.Record{
+		Gap:  g.gap.sample(g.rng),
+		PC:   g.reg.pcs[0],
+		Addr: g.reg.addr(g.pos),
+	}
+	g.pos++
+	if g.pos == g.blocks {
+		g.pos = 0
+	}
+	return r, true
+}
+
+// streamGen touches each block exactly once, forever: the zero-reuse pattern
+// of Liu et al.'s "cache bursts" discussion in the paper's Section 2.2. It
+// wraps far beyond any cache's capacity so reuse never lands.
+type streamGen struct {
+	reg  region
+	pos  uint64
+	span uint64
+	gap  gapRange
+	rng  *xrand.RNG
+}
+
+func newStream(reg region, gap gapRange, seed uint64) *streamGen {
+	return &streamGen{reg: reg, span: 1 << 28 /* 16 GB of blocks */, gap: gap, rng: xrand.New(seed)}
+}
+
+func (g *streamGen) Next() (trace.Record, bool) {
+	r := trace.Record{
+		Gap:   g.gap.sample(g.rng),
+		PC:    g.reg.pcs[1],
+		Addr:  g.reg.addr(g.pos),
+		Write: g.rng.OneIn(4),
+	}
+	g.pos++
+	if g.pos == g.span {
+		g.pos = 0
+	}
+	return r, true
+}
+
+// scanReuseGen streams new blocks and revisits each exactly once after
+// `delay` further new blocks, alternating new/reuse accesses. The reuse has
+// a short per-set stack distance, so true LRU captures it while aggressive
+// insertion policies (LIP, SRRIP-class) evict the block before its single
+// reuse — the "LRU-friendly, everything else hurts" regime of 447.dealII.
+type scanReuseGen struct {
+	reg   region
+	head  uint64
+	delay uint64
+	reuse bool
+	gap   gapRange
+	rng   *xrand.RNG
+}
+
+func newScanReuse(reg region, delay uint64, gap gapRange, seed uint64) *scanReuseGen {
+	return &scanReuseGen{reg: reg, delay: delay, gap: gap, rng: xrand.New(seed)}
+}
+
+func (g *scanReuseGen) Next() (trace.Record, bool) {
+	r := trace.Record{Gap: g.gap.sample(g.rng), PC: g.reg.pcs[2]}
+	if g.reuse && g.head > g.delay {
+		r.Addr = g.reg.addr((g.head - g.delay) % (1 << 28))
+		g.reuse = false
+	} else {
+		r.Addr = g.reg.addr(g.head % (1 << 28))
+		g.head++
+		g.reuse = true
+	}
+	return r, true
+}
+
+// uniformGen touches uniformly random blocks within a working set.
+type uniformGen struct {
+	reg    region
+	blocks uint64
+	gap    gapRange
+	rng    *xrand.RNG
+}
+
+func newUniform(reg region, blocks uint64, gap gapRange, seed uint64) *uniformGen {
+	return &uniformGen{reg: reg, blocks: blocks, gap: gap, rng: xrand.New(seed)}
+}
+
+func (g *uniformGen) Next() (trace.Record, bool) {
+	return trace.Record{
+		Gap:  g.gap.sample(g.rng),
+		PC:   g.reg.pcs[3],
+		Addr: g.reg.addr(g.rng.Uint64n(g.blocks)),
+	}, true
+}
+
+// zipfGen draws blocks from a Zipf(alpha) popularity distribution over a
+// working set, modelling skewed hot/cold data. Sampling is by binary search
+// over a precomputed CDF.
+type zipfGen struct {
+	reg region
+	cdf []float64
+	gap gapRange
+	rng *xrand.RNG
+}
+
+func newZipf(reg region, blocks uint64, alpha float64, gap gapRange, seed uint64) *zipfGen {
+	cdf := make([]float64, blocks)
+	sum := 0.0
+	for i := range cdf {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipfGen{reg: reg, cdf: cdf, gap: gap, rng: xrand.New(seed)}
+}
+
+func (g *zipfGen) Next() (trace.Record, bool) {
+	u := g.rng.Float64()
+	i := sort.SearchFloat64s(g.cdf, u)
+	if i >= len(g.cdf) {
+		i = len(g.cdf) - 1
+	}
+	// Scatter ranks over the region so hot blocks do not clump into the
+	// same cache sets.
+	block := (uint64(i) * 0x9e3779b97f4a7c15) % uint64(len(g.cdf))
+	return trace.Record{
+		Gap:  g.gap.sample(g.rng),
+		PC:   g.reg.pcs[4],
+		Addr: g.reg.addr(block),
+	}, true
+}
+
+// chaseGen follows a fixed random-permutation cycle over a working set: the
+// pointer-chasing pattern of 429.mcf and 471.omnetpp. Its reuse distance
+// equals the working-set size, like a loop, but successive accesses hit
+// arbitrary sets, so per-set arrival order is irregular.
+type chaseGen struct {
+	reg  region
+	next []uint32
+	cur  uint32
+	gap  gapRange
+	rng  *xrand.RNG
+}
+
+func newChase(reg region, blocks uint64, gap gapRange, seed uint64) *chaseGen {
+	rng := xrand.New(seed)
+	perm := rng.Perm(int(blocks))
+	next := make([]uint32, blocks)
+	for i := 0; i < len(perm); i++ {
+		next[perm[i]] = uint32(perm[(i+1)%len(perm)])
+	}
+	return &chaseGen{reg: reg, next: next, gap: gap, rng: rng}
+}
+
+func (g *chaseGen) Next() (trace.Record, bool) {
+	r := trace.Record{
+		Gap:  g.gap.sample(g.rng),
+		PC:   g.reg.pcs[5],
+		Addr: g.reg.addr(uint64(g.cur)),
+	}
+	g.cur = g.next[g.cur]
+	return r, true
+}
+
+// mixGen interleaves child generators, choosing one per access with the
+// given weights — the standard way to model a hot structure under streaming
+// interference.
+type mixGen struct {
+	children []trace.Source
+	cdf      []float64
+	rng      *xrand.RNG
+}
+
+func newMix(seed uint64, weights []float64, children ...trace.Source) *mixGen {
+	if len(weights) != len(children) {
+		panic("workload: mix weights/children mismatch")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &mixGen{children: children, cdf: cdf, rng: xrand.New(seed)}
+}
+
+func (g *mixGen) Next() (trace.Record, bool) {
+	u := g.rng.Float64()
+	i := sort.SearchFloat64s(g.cdf, u)
+	if i >= len(g.children) {
+		i = len(g.children) - 1
+	}
+	return g.children[i].Next()
+}
+
+// phasedGen round-robins child generators, switching every `period`
+// accesses: coarse program phases within one trace, the behaviour that
+// rewards run-time adaptivity (456.hmmer in the paper).
+type phasedGen struct {
+	children []trace.Source
+	period   uint64
+	count    uint64
+	cur      int
+}
+
+func newPhased(period uint64, children ...trace.Source) *phasedGen {
+	return &phasedGen{children: children, period: period}
+}
+
+func (g *phasedGen) Next() (trace.Record, bool) {
+	r, ok := g.children[g.cur].Next()
+	g.count++
+	if g.count%g.period == 0 {
+		g.cur = (g.cur + 1) % len(g.children)
+	}
+	return r, ok
+}
+
+// Limit caps an infinite source at n records.
+type Limit struct {
+	Src trace.Source
+	N   uint64
+	i   uint64
+}
+
+// Next implements trace.Source.
+func (l *Limit) Next() (trace.Record, bool) {
+	if l.i >= l.N {
+		return trace.Record{}, false
+	}
+	l.i++
+	return l.Src.Next()
+}

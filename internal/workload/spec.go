@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// ParseSpec parses a textual workload specification into workloads usable
+// everywhere the built-in suite is, letting users model their own
+// applications without recompiling (cmd/gippr-sim's -spec flag).
+//
+// The format is line-oriented; '#' starts a comment:
+//
+//	workload my_app
+//	phase 0.7
+//	  mix 0.6 loop blocks=48K gap=2:6
+//	  mix 0.4 stream gap=2:6
+//	phase 0.3 switch=250K
+//	  chase blocks=80K gap=3:7
+//	  loop blocks=4K gap=3:7
+//
+// A workload holds one or more weighted phases. Each phase holds one or
+// more generators: with plain `mix` weights they interleave per access;
+// with `switch=N` on the phase line they alternate every N accesses
+// (coarse program phases). Generator kinds and their options:
+//
+//	loop      blocks=N gap=LO:HI        cyclic sequential sweep
+//	stream    gap=LO:HI                 one-shot streaming, never reuses
+//	scanreuse delay=N gap=LO:HI         each block re-referenced once after N new blocks
+//	uniform   blocks=N gap=LO:HI        uniformly random over N blocks
+//	zipf      blocks=N alpha=F gap=LO:HI  skewed popularity
+//	chase     blocks=N gap=LO:HI        random-permutation pointer chase
+//
+// Sizes accept K and M suffixes (binary: 48K = 49152 blocks of 64 bytes).
+// Address regions are derived from the workload name, disjoint from the
+// built-in suite's regions.
+func ParseSpec(text string) ([]Workload, error) {
+	type genSpec struct {
+		weight float64
+		kind   string
+		opts   map[string]string
+	}
+	type phaseSpec struct {
+		weight float64
+		period uint64 // 0: mix; >0: phased switching
+		gens   []genSpec
+	}
+	type wlSpec struct {
+		name   string
+		phases []phaseSpec
+	}
+
+	var specs []wlSpec
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("workload spec line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "workload":
+			if len(fields) != 2 {
+				return nil, errf("want 'workload NAME'")
+			}
+			specs = append(specs, wlSpec{name: fields[1]})
+		case "phase":
+			if len(specs) == 0 {
+				return nil, errf("'phase' before any 'workload'")
+			}
+			if len(fields) < 2 {
+				return nil, errf("want 'phase WEIGHT [switch=N]'")
+			}
+			w, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || w <= 0 {
+				return nil, errf("bad phase weight %q", fields[1])
+			}
+			ph := phaseSpec{weight: w}
+			for _, f := range fields[2:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok || k != "switch" {
+					return nil, errf("unknown phase option %q", f)
+				}
+				n, err := parseSize(v)
+				if err != nil || n == 0 {
+					return nil, errf("bad switch period %q", v)
+				}
+				ph.period = n
+			}
+			wl := &specs[len(specs)-1]
+			wl.phases = append(wl.phases, ph)
+		default:
+			if len(specs) == 0 || len(specs[len(specs)-1].phases) == 0 {
+				return nil, errf("generator line before any 'phase'")
+			}
+			g := genSpec{weight: 1, opts: map[string]string{}}
+			rest := fields
+			if fields[0] == "mix" {
+				if len(fields) < 3 {
+					return nil, errf("want 'mix WEIGHT KIND ...'")
+				}
+				w, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil || w <= 0 {
+					return nil, errf("bad mix weight %q", fields[1])
+				}
+				g.weight = w
+				rest = fields[2:]
+			}
+			g.kind = rest[0]
+			for _, f := range rest[1:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, errf("bad option %q (want key=value)", f)
+				}
+				g.opts[k] = v
+			}
+			if err := validateGenSpec(g.kind, g.opts); err != nil {
+				return nil, errf("%v", err)
+			}
+			wl := &specs[len(specs)-1]
+			ph := &wl.phases[len(wl.phases)-1]
+			ph.gens = append(ph.gens, g)
+		}
+	}
+
+	// Build Workloads. Region ids derive from the workload name, offset
+	// far above the built-in suite's ids (which are below 2^10).
+	var out []Workload
+	seen := map[string]bool{}
+	for _, ws := range specs {
+		if ws.name == "" || seen[ws.name] {
+			return nil, fmt.Errorf("workload spec: duplicate or empty workload name %q", ws.name)
+		}
+		seen[ws.name] = true
+		if len(ws.phases) == 0 {
+			return nil, fmt.Errorf("workload spec: %s has no phases", ws.name)
+		}
+		w := Workload{Name: ws.name}
+		for pi, ps := range ws.phases {
+			if len(ps.gens) == 0 {
+				return nil, fmt.Errorf("workload spec: %s phase %d has no generators", ws.name, pi+1)
+			}
+			ps := ps
+			pi := pi
+			name := ws.name
+			w.Phases = append(w.Phases, Phase{
+				Weight: ps.weight,
+				Source: func(seed uint64) trace.Source {
+					var children []trace.Source
+					var weights []float64
+					for gi, g := range ps.gens {
+						reg := newRegion(specRegionID(name, pi, gi))
+						children = append(children, buildGen(g.kind, g.opts, reg, xrand.Mix(seed, uint64(gi)+1)))
+						weights = append(weights, g.weight)
+					}
+					if len(children) == 1 {
+						return children[0]
+					}
+					if ps.period > 0 {
+						return newPhased(ps.period, children...)
+					}
+					return newMix(seed, weights, children...)
+				},
+			})
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload spec: no workloads defined")
+	}
+	return out, nil
+}
+
+// specRegionID hashes a (workload, phase, generator) coordinate into a
+// region id far above the built-in suite's (which are < 2^10). Collisions
+// across distinct custom workloads are possible in principle but need a
+// 2^-44-scale coincidence.
+func specRegionID(name string, phase, gen int) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	h = xrand.Mix(h, uint64(phase)*131+uint64(gen)+7)
+	return 1<<12 | (h % (1 << 14) << 4) | uint64(gen)
+}
+
+func validateGenSpec(kind string, opts map[string]string) error {
+	need := map[string][]string{
+		"loop":      {"blocks", "gap"},
+		"stream":    {"gap"},
+		"scanreuse": {"delay", "gap"},
+		"uniform":   {"blocks", "gap"},
+		"zipf":      {"blocks", "alpha", "gap"},
+		"chase":     {"blocks", "gap"},
+	}
+	req, ok := need[kind]
+	if !ok {
+		return fmt.Errorf("unknown generator kind %q", kind)
+	}
+	for _, k := range req {
+		if _, ok := opts[k]; !ok {
+			return fmt.Errorf("%s requires %s=", kind, k)
+		}
+	}
+	for k := range opts {
+		found := false
+		for _, r := range req {
+			if k == r {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s does not take option %q", kind, k)
+		}
+	}
+	// Validate the values eagerly so errors surface at parse time.
+	if v, ok := opts["blocks"]; ok {
+		if n, err := parseSize(v); err != nil || n == 0 {
+			return fmt.Errorf("bad blocks=%q", v)
+		}
+	}
+	if v, ok := opts["delay"]; ok {
+		if n, err := parseSize(v); err != nil || n == 0 {
+			return fmt.Errorf("bad delay=%q", v)
+		}
+	}
+	if v, ok := opts["alpha"]; ok {
+		if a, err := strconv.ParseFloat(v, 64); err != nil || a <= 0 {
+			return fmt.Errorf("bad alpha=%q", v)
+		}
+	}
+	if v, ok := opts["gap"]; ok {
+		if _, err := parseGap(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildGen(kind string, opts map[string]string, reg region, seed uint64) trace.Source {
+	gap, _ := parseGap(opts["gap"])
+	size := func(k string) uint64 { n, _ := parseSize(opts[k]); return n }
+	switch kind {
+	case "loop":
+		return newLoop(reg, size("blocks"), gap, seed)
+	case "stream":
+		return newStream(reg, gap, seed)
+	case "scanreuse":
+		return newScanReuse(reg, size("delay"), gap, seed)
+	case "uniform":
+		return newUniform(reg, size("blocks"), gap, seed)
+	case "zipf":
+		alpha, _ := strconv.ParseFloat(opts["alpha"], 64)
+		return newZipf(reg, size("blocks"), alpha, gap, seed)
+	case "chase":
+		return newChase(reg, size("blocks"), gap, seed)
+	}
+	panic("workload: unreachable generator kind " + kind) // validated earlier
+}
+
+// parseSize parses an integer with an optional binary K/M suffix.
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 40)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+// parseGap parses "LO:HI" (or a single value) into a gap range.
+func parseGap(s string) (gapRange, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		hi = lo
+	}
+	l, err1 := strconv.ParseUint(lo, 10, 16)
+	h, err2 := strconv.ParseUint(hi, 10, 16)
+	if err1 != nil || err2 != nil || l == 0 || h < l {
+		return gapRange{}, fmt.Errorf("bad gap %q (want LO:HI with 1 <= LO <= HI)", s)
+	}
+	return gapRange{lo: uint32(l), hi: uint32(h)}, nil
+}

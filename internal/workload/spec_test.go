@@ -1,0 +1,155 @@
+package workload
+
+import "testing"
+
+const sampleSpec = `
+# a two-phase custom workload
+workload my_app
+phase 0.7
+  mix 0.6 loop blocks=48K gap=2:6
+  mix 0.4 stream gap=2:6
+phase 0.3 switch=1K
+  chase blocks=8K gap=3:7
+  loop blocks=4K gap=3:7
+
+workload tiny
+phase 1
+  zipf blocks=2K alpha=1.1 gap=10:20
+`
+
+func TestParseSpec(t *testing.T) {
+	ws, err := ParseSpec(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	if ws[0].Name != "my_app" || len(ws[0].Phases) != 2 {
+		t.Fatalf("first workload %s with %d phases", ws[0].Name, len(ws[0].Phases))
+	}
+	if ws[0].Phases[0].Weight != 0.7 || ws[0].Phases[1].Weight != 0.3 {
+		t.Fatal("phase weights")
+	}
+	// Streams must generate and be deterministic.
+	a := ws[0].Phases[0].Records(5, 3000)
+	b := ws[0].Phases[0].Records(5, 3000)
+	if len(a) != 3000 {
+		t.Fatalf("generated %d records", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("spec workload not deterministic")
+		}
+	}
+}
+
+func TestParseSpecGapBounds(t *testing.T) {
+	ws, err := ParseSpec("workload w\nphase 1\n  loop blocks=1K gap=3:5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ws[0].Phases[0].Records(1, 2000) {
+		if r.Gap < 3 || r.Gap > 5 {
+			t.Fatalf("gap %d outside 3:5", r.Gap)
+		}
+	}
+}
+
+func TestParseSpecSwitchAlternates(t *testing.T) {
+	ws, err := ParseSpec("workload w\nphase 1 switch=100\n  loop blocks=16 gap=1\n  stream gap=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ws[0].Phases[0].Records(1, 400)
+	regions := map[uint64]int{}
+	for _, r := range recs {
+		regions[r.Addr>>36]++
+	}
+	if len(regions) != 2 {
+		t.Fatalf("switch phase touched %d regions", len(regions))
+	}
+	for reg, n := range regions {
+		if n != 200 {
+			t.Fatalf("region %d got %d accesses, want 200", reg, n)
+		}
+	}
+}
+
+func TestParseSpecSingleGapValue(t *testing.T) {
+	ws, err := ParseSpec("workload w\nphase 1\n  stream gap=4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ws[0].Phases[0].Records(1, 100) {
+		if r.Gap != 4 {
+			t.Fatalf("gap %d", r.Gap)
+		}
+	}
+}
+
+func TestParseSpecRegionsDisjointFromSuite(t *testing.T) {
+	ws, err := ParseSpec("workload w\nphase 1\n  loop blocks=1K gap=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ws[0].Phases[0].Records(1, 100)
+	suiteMax := uint64(len(Suite()) * 8)
+	for _, r := range recs {
+		if r.Addr>>36 < suiteMax {
+			t.Fatalf("custom workload region %d collides with the built-in suite", r.Addr>>36)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"phase before workload":  "phase 1\n loop blocks=1 gap=1",
+		"gen before phase":       "workload w\n loop blocks=1 gap=1",
+		"bad weight":             "workload w\nphase zero\n loop blocks=1 gap=1",
+		"unknown kind":           "workload w\nphase 1\n warble blocks=1 gap=1",
+		"missing option":         "workload w\nphase 1\n loop gap=1",
+		"unknown option":         "workload w\nphase 1\n stream gap=1 blocks=4",
+		"bad gap":                "workload w\nphase 1\n stream gap=5:2",
+		"zero gap":               "workload w\nphase 1\n stream gap=0:2",
+		"bad blocks":             "workload w\nphase 1\n loop blocks=none gap=1",
+		"bad alpha":              "workload w\nphase 1\n zipf blocks=1K alpha=-1 gap=1",
+		"bad mix weight":         "workload w\nphase 1\n mix x loop blocks=1 gap=1",
+		"bad switch":             "workload w\nphase 1 switch=0\n stream gap=1",
+		"unknown phase option":   "workload w\nphase 1 bogus=3\n stream gap=1",
+		"duplicate names":        "workload w\nphase 1\n stream gap=1\nworkload w\nphase 1\n stream gap=1",
+		"empty":                  "   \n# only comments\n",
+		"workload without phase": "workload w",
+		"phase without gens":     "workload w\nphase 1",
+	}
+	for name, spec := range cases {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("%s: accepted %q", name, spec)
+		}
+	}
+}
+
+func TestParseSpecSizeSuffixes(t *testing.T) {
+	if n, err := parseSize("48K"); err != nil || n != 48<<10 {
+		t.Fatalf("48K -> %d, %v", n, err)
+	}
+	if n, err := parseSize("2M"); err != nil || n != 2<<20 {
+		t.Fatalf("2M -> %d, %v", n, err)
+	}
+	if n, err := parseSize("7"); err != nil || n != 7 {
+		t.Fatalf("7 -> %d, %v", n, err)
+	}
+	if _, err := parseSize("K"); err == nil {
+		t.Fatal("bare suffix accepted")
+	}
+}
+
+func TestParseSpecCommentsIgnored(t *testing.T) {
+	ws, err := ParseSpec("workload w # trailing comment\nphase 1 # another\n  stream gap=1 # third\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Name != "w" {
+		t.Fatal("comment parsing broke the name")
+	}
+}

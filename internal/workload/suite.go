@@ -1,0 +1,413 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// Phase is one SimPoint-like program phase: a weighted, independently
+// seeded access-stream generator. Per-benchmark results are the weighted
+// average of per-phase results, matching the paper's SimPoint methodology
+// (Section 4.6).
+type Phase struct {
+	Weight float64
+	// Source builds a fresh generator for the phase; seed perturbs the
+	// stream deterministically (the same seed always gives the same
+	// stream).
+	Source func(seed uint64) trace.Source
+}
+
+// Workload is one named benchmark stand-in.
+type Workload struct {
+	Name   string
+	Phases []Phase
+}
+
+// Block-count helpers relative to the simulated hierarchy: the 4 MB LLC
+// holds 65536 64-byte blocks (4096 sets x 16 ways), the 256 KB L2 holds
+// 4096, the 32 KB L1 holds 512.
+const (
+	llcBlocks = 65536
+	l2Blocks  = 4096
+)
+
+// Suite returns the 29 benchmark stand-ins. Each call builds fresh
+// definitions; generators are only instantiated when a Phase's Source is
+// invoked. The archetypes (documented inline) are chosen so the suite spans
+// the regimes that differentiate replacement policies; see DESIGN.md
+// Section 1 for the substitution rationale.
+func Suite() []Workload {
+	// region ids partition the address space: workload w, generator g ->
+	// id w*8+g. Workload indices are fixed by position below.
+	var ws []Workload
+	rid := func(g int) uint64 { return uint64(len(ws)*8 + g) }
+	add := func(name string, phases ...Phase) {
+		if len(phases) == 0 {
+			panic("workload: no phases for " + name)
+		}
+		ws = append(ws, Workload{Name: name, Phases: phases})
+	}
+	one := func(f func(seed uint64) trace.Source) []Phase {
+		return []Phase{{Weight: 1, Source: f}}
+	}
+
+	// --- memory-intensive archetypes -------------------------------------
+
+	// mcf_like: large pointer chases over 12.5 MB and 2.5 MB structures
+	// plus skewed node popularity; the 2.5 MB chase fits the LLC only if it
+	// is protected from the large chase's pollution.
+	{
+		r0, r1, r2 := rid(0), rid(1), rid(2)
+		add("mcf_like",
+			Phase{Weight: 0.6, Source: func(seed uint64) trace.Source {
+				return newMix(seed, []float64{0.5, 0.3, 0.2},
+					newChase(newRegion(r0), 200<<10, gapRange{1, 4}, xrand.Mix(seed, 1)),
+					newChase(newRegion(r1), 40<<10, gapRange{1, 4}, xrand.Mix(seed, 2)),
+					newZipf(newRegion(r2), 96<<10, 0.8, gapRange{1, 4}, xrand.Mix(seed, 3)))
+			}},
+			Phase{Weight: 0.4, Source: func(seed uint64) trace.Source {
+				return newMix(seed, []float64{0.6, 0.4},
+					newChase(newRegion(r0), 200<<10, gapRange{1, 3}, xrand.Mix(seed, 4)),
+					newChase(newRegion(r1), 36<<10, gapRange{1, 3}, xrand.Mix(seed, 5)))
+			}})
+	}
+
+	// libquantum_like: cyclic sequential sweep over a 10 MB array — the
+	// canonical LRU-thrashing loop (2.5x LLC capacity).
+	{
+		r0 := rid(0)
+		add("libquantum_like", one(func(seed uint64) trace.Source {
+			return newLoop(newRegion(r0), 160<<10, gapRange{4, 8}, seed)
+		})...)
+	}
+
+	// lbm_like: streaming stencil with a modest reusable working set.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("lbm_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.7, 0.3},
+				newStream(newRegion(r0), gapRange{2, 5}, xrand.Mix(seed, 1)),
+				newLoop(newRegion(r1), 32<<10, gapRange{2, 5}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// milc_like: large uniformly random lattice accesses over a hot loop.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("milc_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.6, 0.4},
+				newUniform(newRegion(r0), 192<<10, gapRange{2, 6}, xrand.Mix(seed, 1)),
+				newLoop(newRegion(r1), 48<<10, gapRange{2, 6}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// soplex_like: sparse solver — delayed-reuse scans plus skewed column
+	// reuse plus a fitting loop.
+	{
+		r0, r1, r2 := rid(0), rid(1), rid(2)
+		add("soplex_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.5, 0.3, 0.2},
+				newScanReuse(newRegion(r0), 30<<10, gapRange{2, 6}, xrand.Mix(seed, 1)),
+				newZipf(newRegion(r1), 128<<10, 0.9, gapRange{2, 6}, xrand.Mix(seed, 2)),
+				newLoop(newRegion(r2), 20<<10, gapRange{2, 6}, xrand.Mix(seed, 3)))
+		})...)
+	}
+
+	// sphinx3_like: acoustic-model sweep slightly beyond LLC capacity over
+	// a skewed dictionary.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("sphinx3_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.6, 0.4},
+				newLoop(newRegion(r0), 100<<10, gapRange{2, 5}, xrand.Mix(seed, 1)),
+				newZipf(newRegion(r1), 32<<10, 1.0, gapRange{2, 5}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// cactusADM_like: grid sweep at ~1.4x LLC capacity — pure cyclic
+	// thrash, the workload where the paper reports GIPPR's largest win
+	// (39-49%).
+	{
+		r0 := rid(0)
+		add("cactusADM_like", one(func(seed uint64) trace.Source {
+			return newLoop(newRegion(r0), 90<<10, gapRange{5, 10}, seed)
+		})...)
+	}
+
+	// leslie3d_like: streaming plus a slightly-thrashing loop.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("leslie3d_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.5, 0.5},
+				newStream(newRegion(r0), gapRange{3, 7}, xrand.Mix(seed, 1)),
+				newLoop(newRegion(r1), 70<<10, gapRange{3, 7}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// GemsFDTD_like: field sweeps with reuse just inside LLC capacity plus
+	// streaming — the regime where aggressive insertion hurts (the paper
+	// shows DRRIP and PDP losing on 459.GemsFDTD).
+	{
+		r0, r1 := rid(0), rid(1)
+		add("GemsFDTD_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.5, 0.5},
+				newScanReuse(newRegion(r0), 50<<10, gapRange{2, 6}, xrand.Mix(seed, 1)),
+				newStream(newRegion(r1), gapRange{2, 6}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// omnetpp_like: pointer-heavy event simulation slightly over capacity.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("omnetpp_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.6, 0.4},
+				newChase(newRegion(r0), 80<<10, gapRange{2, 6}, xrand.Mix(seed, 1)),
+				newZipf(newRegion(r1), 64<<10, 0.9, gapRange{2, 6}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// xalancbmk_like: XML transform — skewed tree nodes, a hot fitting
+	// loop, and output streaming; two phases with different balances.
+	{
+		r0, r1, r2 := rid(0), rid(1), rid(2)
+		add("xalancbmk_like",
+			Phase{Weight: 0.7, Source: func(seed uint64) trace.Source {
+				return newMix(seed, []float64{0.4, 0.4, 0.2},
+					newZipf(newRegion(r0), 128<<10, 1.1, gapRange{3, 7}, xrand.Mix(seed, 1)),
+					newLoop(newRegion(r1), 10<<10, gapRange{3, 7}, xrand.Mix(seed, 2)),
+					newStream(newRegion(r2), gapRange{3, 7}, xrand.Mix(seed, 3)))
+			}},
+			Phase{Weight: 0.3, Source: func(seed uint64) trace.Source {
+				return newMix(seed, []float64{0.6, 0.4},
+					newZipf(newRegion(r0), 128<<10, 1.1, gapRange{3, 7}, xrand.Mix(seed, 4)),
+					newStream(newRegion(r2), gapRange{3, 7}, xrand.Mix(seed, 5)))
+			}})
+	}
+
+	// bwaves_like: large block-tridiagonal sweep, ~1.9x LLC.
+	{
+		r0 := rid(0)
+		add("bwaves_like", one(func(seed uint64) trace.Source {
+			return newLoop(newRegion(r0), 120<<10, gapRange{4, 9}, seed)
+		})...)
+	}
+
+	// zeusmp_like: half streaming, half fitting loop.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("zeusmp_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.5, 0.5},
+				newStream(newRegion(r0), gapRange{3, 8}, xrand.Mix(seed, 1)),
+				newLoop(newRegion(r1), 30<<10, gapRange{3, 8}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// wrf_like: weather model — mixed loop/stream/skew.
+	{
+		r0, r1, r2 := rid(0), rid(1), rid(2)
+		add("wrf_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.4, 0.3, 0.3},
+				newLoop(newRegion(r0), 60<<10, gapRange{4, 9}, xrand.Mix(seed, 1)),
+				newStream(newRegion(r1), gapRange{4, 9}, xrand.Mix(seed, 2)),
+				newZipf(newRegion(r2), 16<<10, 0.8, gapRange{4, 9}, xrand.Mix(seed, 3)))
+		})...)
+	}
+
+	// astar_like: pathfinding pointer chase with a hot open list.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("astar_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.7, 0.3},
+				newChase(newRegion(r0), 50<<10, gapRange{3, 7}, xrand.Mix(seed, 1)),
+				newUniform(newRegion(r1), 8<<10, gapRange{3, 7}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// --- moderate / phase-changing archetypes -----------------------------
+
+	// gcc_like: compilation phases alternating small hot structures,
+	// delayed-reuse IR walks and streaming.
+	{
+		r0, r1, r2 := rid(0), rid(1), rid(2)
+		add("gcc_like", one(func(seed uint64) trace.Source {
+			return newPhased(400_000,
+				newLoop(newRegion(r0), 6<<10, gapRange{4, 9}, xrand.Mix(seed, 1)),
+				newScanReuse(newRegion(r1), 20<<10, gapRange{4, 9}, xrand.Mix(seed, 2)),
+				newStream(newRegion(r2), gapRange{4, 9}, xrand.Mix(seed, 3)))
+		})...)
+	}
+
+	// bzip2_like: alternating compression blocks — small loop, then a
+	// working set beyond the LLC.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("bzip2_like", one(func(seed uint64) trace.Source {
+			return newPhased(300_000,
+				newLoop(newRegion(r0), 12<<10, gapRange{3, 7}, xrand.Mix(seed, 1)),
+				newUniform(newRegion(r1), 96<<10, gapRange{3, 7}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// hmmer_like: pronounced phase alternation between a thrashing sweep
+	// and a fitting table — the adaptivity stress test where the paper's
+	// 2-DGIPPR falters but 4-DGIPPR is near optimal.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("hmmer_like", one(func(seed uint64) trace.Source {
+			return newPhased(250_000,
+				newLoop(newRegion(r0), 70<<10, gapRange{4, 8}, xrand.Mix(seed, 1)),
+				newLoop(newRegion(r1), 3<<10, gapRange{4, 8}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// h264ref_like: small hot frame buffer plus short-delay reference
+	// frames; mostly L2-resident.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("h264ref_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.6, 0.4},
+				newLoop(newRegion(r0), 2<<10, gapRange{6, 12}, xrand.Mix(seed, 1)),
+				newScanReuse(newRegion(r1), 8<<10, gapRange{6, 12}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// perlbench_like: interpreter — skewed opcode/data structures with
+	// light streaming.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("perlbench_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.8, 0.2},
+				newZipf(newRegion(r0), 24<<10, 1.0, gapRange{5, 10}, xrand.Mix(seed, 1)),
+				newStream(newRegion(r1), gapRange{5, 10}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// gromacs_like: molecular dynamics — fitting neighbour lists plus
+	// moderate random force lookups.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("gromacs_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.6, 0.4},
+				newLoop(newRegion(r0), 7<<10, gapRange{6, 11}, xrand.Mix(seed, 1)),
+				newUniform(newRegion(r1), 20<<10, gapRange{6, 11}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// dealII_like: finite elements — delayed single reuse with short
+	// per-set stack distance plus a fitting loop: the workload the paper
+	// singles out as hurt by every non-LRU policy.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("dealII_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.7, 0.3},
+				newScanReuse(newRegion(r0), 16<<10, gapRange{3, 6}, xrand.Mix(seed, 1)),
+				newLoop(newRegion(r1), 8<<10, gapRange{3, 6}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// tonto_like: quantum chemistry — fitting tensors with skewed basis
+	// lookups.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("tonto_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.5, 0.5},
+				newLoop(newRegion(r0), 5<<10, gapRange{7, 13}, xrand.Mix(seed, 1)),
+				newZipf(newRegion(r1), 12<<10, 0.9, gapRange{7, 13}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// sjeng_like: game-tree search — lightly skewed transposition table far
+	// beyond LLC capacity; low locality, low sensitivity.
+	{
+		r0 := rid(0)
+		add("sjeng_like", one(func(seed uint64) trace.Source {
+			return newZipf(newRegion(r0), 160<<10, 1.2, gapRange{7, 14}, seed)
+		})...)
+	}
+
+	// --- cache-insensitive archetypes -------------------------------------
+
+	// gobmk_like: small board structures, fits comfortably.
+	{
+		r0 := rid(0)
+		add("gobmk_like", one(func(seed uint64) trace.Source {
+			return newUniform(newRegion(r0), 6<<10, gapRange{7, 14}, seed)
+		})...)
+	}
+
+	// namd_like: tight molecular kernel, fits in L2/LLC.
+	{
+		r0 := rid(0)
+		add("namd_like", one(func(seed uint64) trace.Source {
+			return newLoop(newRegion(r0), 4<<10, gapRange{9, 16}, seed)
+		})...)
+	}
+
+	// calculix_like: small matrix kernels with negligible streaming.
+	{
+		r0, r1 := rid(0), rid(1)
+		add("calculix_like", one(func(seed uint64) trace.Source {
+			return newMix(seed, []float64{0.9, 0.1},
+				newLoop(newRegion(r0), 3<<10, gapRange{9, 17}, xrand.Mix(seed, 1)),
+				newStream(newRegion(r1), gapRange{9, 17}, xrand.Mix(seed, 2)))
+		})...)
+	}
+
+	// povray_like: tiny skewed scene data; every policy equal (the paper
+	// notes MIN == LRU here).
+	{
+		r0 := rid(0)
+		add("povray_like", one(func(seed uint64) trace.Source {
+			return newZipf(newRegion(r0), 2<<10, 1.1, gapRange{10, 20}, seed)
+		})...)
+	}
+
+	// gamess_like: tiny loop, L1/L2 resident.
+	{
+		r0 := rid(0)
+		add("gamess_like", one(func(seed uint64) trace.Source {
+			return newLoop(newRegion(r0), 1<<10, gapRange{10, 20}, seed)
+		})...)
+	}
+
+	return ws
+}
+
+// Names returns the suite's workload names in suite order.
+func Names() []string {
+	s := Suite()
+	names := make([]string, len(s))
+	for i, w := range s {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName finds a workload in the suite.
+func ByName(name string) (Workload, error) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	sorted := Names()
+	sort.Strings(sorted)
+	return Workload{}, fmt.Errorf("workload: unknown workload %q (known: %v)", name, sorted)
+}
+
+// Records materializes n records of one phase with the given seed.
+func (p Phase) Records(seed uint64, n int) []trace.Record {
+	src := p.Source(seed)
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"testing"
+
+	"gippr/internal/trace"
+)
+
+func TestSuiteHas29Workloads(t *testing.T) {
+	s := Suite()
+	if len(s) != 29 {
+		t.Fatalf("suite has %d workloads, want 29 (SPEC CPU 2006 count)", len(s))
+	}
+}
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Fatalf("duplicate workload name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPhaseWeightsPositiveAndFinite(t *testing.T) {
+	for _, w := range Suite() {
+		total := 0.0
+		for _, p := range w.Phases {
+			if p.Weight <= 0 {
+				t.Fatalf("%s: non-positive phase weight", w.Name)
+			}
+			total += p.Weight
+		}
+		if total <= 0 {
+			t.Fatalf("%s: zero total weight", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("mcf_like")
+	if err != nil || w.Name != "mcf_like" {
+		t.Fatalf("ByName: %v %v", w.Name, err)
+	}
+	if _, err := ByName("not_a_workload"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range Suite()[:5] {
+		a := w.Phases[0].Records(42, 2000)
+		b := w.Phases[0].Records(42, 2000)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", w.Name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: record %d differs across identical seeds", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeStreams(t *testing.T) {
+	w, _ := ByName("mcf_like")
+	a := w.Phases[0].Records(1, 2000)
+	b := w.Phases[0].Records(2, 2000)
+	same := 0
+	for i := range a {
+		if a[i].Addr == b[i].Addr {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGapsWithinDeclaredRanges(t *testing.T) {
+	for _, w := range Suite() {
+		for pi, p := range w.Phases {
+			for _, r := range p.Records(7, 3000) {
+				if r.Gap < 1 || r.Gap > 64 {
+					t.Fatalf("%s phase %d: gap %d out of sane range", w.Name, pi, r.Gap)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkloadsUseDisjointAddressRegions(t *testing.T) {
+	// Each generator owns a 64 GB region; distinct workloads must never
+	// alias (otherwise results would couple across benchmarks).
+	regions := map[uint64]string{}
+	for _, w := range Suite() {
+		for pi, p := range w.Phases {
+			for _, r := range p.Records(3, 2000) {
+				reg := r.Addr >> 36
+				if owner, ok := regions[reg]; ok && owner != w.Name {
+					t.Fatalf("region %d shared by %s and %s (phase %d)", reg, owner, w.Name, pi)
+				}
+				regions[reg] = w.Name
+			}
+		}
+	}
+}
+
+func TestPCsAreStable(t *testing.T) {
+	w, _ := ByName("libquantum_like")
+	recs := w.Phases[0].Records(5, 1000)
+	pcs := map[uint64]bool{}
+	for _, r := range recs {
+		pcs[r.PC] = true
+	}
+	if len(pcs) > 16 {
+		t.Fatalf("single-generator workload uses %d distinct PCs", len(pcs))
+	}
+}
+
+func TestLoopGeneratorCycles(t *testing.T) {
+	g := newLoop(newRegion(999), 4, gapRange{1, 1}, 0)
+	var addrs []uint64
+	for i := 0; i < 8; i++ {
+		r, _ := g.Next()
+		addrs = append(addrs, r.Addr)
+	}
+	for i := 0; i < 4; i++ {
+		if addrs[i] != addrs[i+4] {
+			t.Fatalf("loop did not cycle: %v", addrs)
+		}
+	}
+}
+
+func TestStreamNeverRepeatsSoon(t *testing.T) {
+	g := newStream(newRegion(998), gapRange{1, 1}, 0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		r, _ := g.Next()
+		if seen[r.Addr] {
+			t.Fatalf("stream repeated address at step %d", i)
+		}
+		seen[r.Addr] = true
+	}
+}
+
+func TestScanReuseRevisitsExactlyOnce(t *testing.T) {
+	g := newScanReuse(newRegion(997), 10, gapRange{1, 1}, 0)
+	count := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		r, _ := g.Next()
+		count[r.Addr]++
+	}
+	over := 0
+	for _, c := range count {
+		if c > 2 {
+			over++
+		}
+	}
+	if over > 0 {
+		t.Fatalf("%d blocks visited more than twice", over)
+	}
+	twice := 0
+	for _, c := range count {
+		if c == 2 {
+			twice++
+		}
+	}
+	if twice < 2000 {
+		t.Fatalf("only %d blocks reused; delayed reuse not happening", twice)
+	}
+}
+
+func TestChaseCoversWholeWorkingSet(t *testing.T) {
+	const blocks = 64
+	g := newChase(newRegion(996), blocks, gapRange{1, 1}, 3)
+	seen := map[uint64]bool{}
+	for i := 0; i < blocks; i++ {
+		r, _ := g.Next()
+		seen[r.Addr] = true
+	}
+	if len(seen) != blocks {
+		t.Fatalf("chase visited %d of %d blocks in one cycle", len(seen), blocks)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := newZipf(newRegion(995), 1024, 1.2, gapRange{1, 1}, 9)
+	count := map[uint64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		count[r.Addr]++
+	}
+	max := 0
+	for _, c := range count {
+		if c > max {
+			max = c
+		}
+	}
+	// The hottest block of a Zipf(1.2) over 1024 should take a clearly
+	// disproportionate share (uniform would be ~49).
+	if max < 1000 {
+		t.Fatalf("hottest block has %d of %d accesses; zipf not skewed", max, n)
+	}
+}
+
+func TestMixRespectsWeights(t *testing.T) {
+	a := newLoop(newRegion(994), 16, gapRange{1, 1}, 1)
+	b := newLoop(newRegion(993), 16, gapRange{1, 1}, 2)
+	m := newMix(7, []float64{0.9, 0.1}, a, b)
+	fromA := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r, _ := m.Next()
+		if r.Addr>>36 == 994 {
+			fromA++
+		}
+	}
+	frac := float64(fromA) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("mix weight 0.9 delivered %.3f", frac)
+	}
+}
+
+func TestPhasedSwitches(t *testing.T) {
+	a := newLoop(newRegion(992), 16, gapRange{1, 1}, 1)
+	b := newLoop(newRegion(991), 16, gapRange{1, 1}, 2)
+	p := newPhased(100, a, b)
+	regions := map[uint64]int{}
+	for i := 0; i < 400; i++ {
+		r, _ := p.Next()
+		regions[r.Addr>>36]++
+	}
+	if regions[992] != 200 || regions[991] != 200 {
+		t.Fatalf("phased split %v", regions)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	g := newStream(newRegion(990), gapRange{1, 1}, 0)
+	l := &Limit{Src: g, N: 5}
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("limit yielded %d", n)
+	}
+}
+
+func TestRecordsShortStream(t *testing.T) {
+	w, _ := ByName("gamess_like")
+	var src trace.Source = w.Phases[0].Source(1)
+	if src == nil {
+		t.Fatal("nil source")
+	}
+	recs := w.Phases[0].Records(1, 100)
+	if len(recs) != 100 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}

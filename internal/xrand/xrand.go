@@ -1,0 +1,97 @@
+// Package xrand provides a tiny, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; JPDC 2014): a 64-bit
+// counter-based mixer with a full 2^64 period and excellent statistical
+// quality for simulation purposes. We use it instead of math/rand for three
+// reasons: (1) reproducibility is a hard requirement — every figure in
+// EXPERIMENTS.md must regenerate bit-identically across runs and Go versions;
+// (2) replacement policies such as BIP and BRRIP make a pseudo-random decision
+// on every insertion, so the generator sits on the simulator's hot path and
+// must be allocation-free and inlinable; (3) each cache set, workload phase
+// and GA run needs its own independently seeded stream.
+package xrand
+
+// RNG is a deterministic pseudo-random number generator. The zero value is a
+// valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds give statistically
+// independent streams.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift bounded rejection-free approximation is
+	// unnecessary here: modulo bias for n << 2^64 is far below simulation
+	// noise, and the plain form keeps this inlinable.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// OneIn returns true with probability 1/n. It panics if n <= 0.
+func (r *RNG) OneIn(n int) bool { return r.Intn(n) == 0 }
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice of ints.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Mix deterministically combines two seeds into one, for deriving per-set or
+// per-phase streams from a master seed.
+func Mix(a, b uint64) uint64 {
+	z := a ^ (b * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

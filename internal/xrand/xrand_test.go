@@ -1,0 +1,193 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if got := r.Uint64(); got != first {
+		t.Fatalf("Seed did not reset the stream: got %d want %d", got, first)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-value RNG looks broken")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v suspiciously far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) fired %v of the time", frac)
+	}
+}
+
+func TestOneIn(t *testing.T) {
+	r := New(17)
+	hits := 0
+	const n = 64000
+	for i := 0; i < n; i++ {
+		if r.OneIn(32) {
+			hits++
+		}
+	}
+	// Expect ~2000; allow generous slack.
+	if hits < 1500 || hits > 2500 {
+		t.Fatalf("OneIn(32) fired %d of %d times", hits, n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		p := r.Perm(50)
+		seen := make([]bool, 50)
+		for _, v := range p {
+			if v < 0 || v >= 50 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermEmptyAndSingle(t *testing.T) {
+	r := New(1)
+	if p := r.Perm(0); len(p) != 0 {
+		t.Fatalf("Perm(0) = %v", p)
+	}
+	if p := r.Perm(1); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("Perm(1) = %v", p)
+	}
+}
+
+func TestMixDeterministicAndSpreads(t *testing.T) {
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix(1,2) == Mix(2,1): poor mixing")
+	}
+	if Mix(1, 2) == Mix(1, 3) {
+		t.Fatal("Mix collision on nearby inputs")
+	}
+}
+
+func TestUint32NonConstant(t *testing.T) {
+	r := New(23)
+	a, b := r.Uint32(), r.Uint32()
+	if a == b {
+		t.Fatalf("consecutive Uint32 equal: %d", a)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(29)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed the multiset: sum %d -> %d", sum, got)
+	}
+}
