@@ -1,0 +1,29 @@
+# Tier-1 checks plus the race/bench gates the parallel evaluation engine
+# relies on. `make check` is what CI should run on every PR.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# The determinism tests (internal/experiments, internal/ga, parallel_test.go
+# files) only prove anything when the race detector watches the fan-out.
+race: vet
+	$(GO) test -race ./...
+
+# Short-mode benchmarks: one iteration each at smoke scale, enough to catch
+# a benchmark that no longer compiles or panics without paying full cost.
+bench:
+	GIPPR_SCALE=smoke $(GO) test -bench=. -benchtime=1x ./...
+
+check: race

@@ -11,6 +11,7 @@ package gippr
 // ./cmd/gippr-report`. Scale follows GIPPR_SCALE (default: "default").
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -185,6 +186,27 @@ func BenchmarkVectorsLearned(b *testing.B) {
 		res = experiments.VectorsLearned(lab())
 	}
 	b.ReportMetric(res.FreshFit, "best-fitness")
+}
+
+// BenchmarkLabGrid measures the parallel evaluation engine on a smoke-scale
+// multi-policy grid: each iteration builds a fresh Lab (no memoization
+// carry-over) and evaluates 4 policies x 8 workloads end to end, stream
+// capture included. Sub-benchmark wall-clock times at workers=1 vs 4 show
+// the engine's speedup on multi-core hardware; on a single-core machine the
+// times converge instead (the pool degrades to the serial loop).
+func BenchmarkLabGrid(b *testing.B) {
+	specs := []experiments.Spec{
+		experiments.SpecLRU, experiments.SpecPLRU,
+		experiments.SpecDRRIP, experiments.SpecSRRIP,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l := experiments.NewLab(experiments.Smoke).SetWorkers(workers)
+				l.PrefetchWorkloads(specs, l.Suite()[:8], false)
+			}
+		})
+	}
 }
 
 // --- ablation benches (DESIGN.md section 4) ------------------------------

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gippr-report [-scale smoke|default|full] [-only fig1,fig4,...]
+//	gippr-report [-scale smoke|default|full] [-only fig1,fig4,...] [-workers N]
 //
 // The scale flag overrides the GIPPR_SCALE environment variable. With no
 // -only flag, all figures are produced in paper order.
@@ -22,6 +22,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale: smoke, default or full (overrides GIPPR_SCALE)")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint")
+	workers := flag.Int("workers", 0, "worker goroutines for the evaluation grid (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -46,9 +47,9 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	lab := experiments.NewLab(scale)
-	fmt.Printf("gippr-report: scale=%s (%d records/phase, warm %.0f%%)\n\n",
-		scale.Name, scale.PhaseRecords, 100*scale.WarmFrac)
+	lab := experiments.NewLab(scale).SetWorkers(*workers)
+	fmt.Printf("gippr-report: scale=%s (%d records/phase, warm %.0f%%, %d workers)\n\n",
+		scale.Name, scale.PhaseRecords, 100*scale.WarmFrac, lab.Workers)
 
 	section := func(name string, f func()) {
 		if !sel(name) {

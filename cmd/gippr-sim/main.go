@@ -5,7 +5,7 @@
 // Usage:
 //
 //	gippr-sim [-workloads mcf_like,lbm_like|all] [-policies lru,drrip,4-dgippr|all]
-//	          [-records N] [-warm frac] [-ipv "0 0 1 ..."]
+//	          [-records N] [-warm frac] [-ipv "0 0 1 ..."] [-workers N]
 //
 // With -ipv, an additional GIPPR policy using the given vector is included.
 package main
@@ -19,6 +19,7 @@ import (
 	"gippr/internal/cache"
 	"gippr/internal/cpu"
 	"gippr/internal/ipv"
+	"gippr/internal/parallel"
 	"gippr/internal/policy"
 	"gippr/internal/stats"
 	"gippr/internal/trace"
@@ -34,6 +35,7 @@ func main() {
 	ipvFlag := flag.String("ipv", "", "additional GIPPR vector to simulate, e.g. \"0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13\"")
 	specFile := flag.String("spec", "", "file of custom workload definitions (see workload.ParseSpec); adds them to -workloads")
 	list := flag.Bool("list", false, "list known workloads and policies, then exit")
+	workers := flag.Int("workers", 0, "worker goroutines for the simulation grid (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -105,33 +107,48 @@ func main() {
 		})
 	}
 
+	// Fan the (workload, policy) grid out over the worker pool. Every cell
+	// builds its own hierarchy and policy instances from fixed seeds, so the
+	// results are bit-identical to the serial loop at any worker count; rows
+	// print in the original order afterwards.
+	type row struct {
+		mpki, hitr, ipc float64
+		misses          uint64
+	}
 	l3 := cache.L3Config
-	fmt.Printf("%-18s %-12s %10s %10s %10s %8s\n", "workload", "policy", "LLC MPKI", "LLC hit%", "IPC", "misses")
-	for _, w := range wls {
-		for _, ps := range pols {
-			var mpkis, ipcs, hitrs, weights []float64
-			var misses uint64
-			for pi, ph := range w.Phases {
-				h := hierarchyWith(ps.mk(l3.Sets(), l3.Ways))
-				h.RecordLLC = true
-				src := &workload.Limit{Src: ph.Source(xrand.Mix(uint64(pi), 0x5eed)), N: uint64(*records)}
-				h.Run(src)
-				stream := h.LLCStream
-				res := cpu.WindowReplay(stream, l3, ps.mk(l3.Sets(), l3.Ways),
-					int(float64(len(stream))**warm), cpu.DefaultWindowModel())
-				mpkis = append(mpkis, stats.MPKI(res.Misses, res.Instructions))
-				hitrs = append(hitrs, 100*float64(res.Hits)/float64(max(res.Accesses, 1)))
-				ipcs = append(ipcs, float64(res.Instructions)/res.Cycles)
-				weights = append(weights, ph.Weight)
-				misses += res.Misses
-			}
-			fmt.Printf("%-18s %-12s %10.3f %10.2f %10.3f %8d\n",
-				w.Name, ps.name,
-				stats.WeightedMean(mpkis, weights),
-				stats.WeightedMean(hitrs, weights),
-				stats.WeightedMean(ipcs, weights),
-				misses)
+	rows := make([]row, len(wls)*len(pols))
+	parallel.For(*workers, len(rows), func(idx int) {
+		w, ps := wls[idx/len(pols)], pols[idx%len(pols)]
+		var mpkis, ipcs, hitrs, weights []float64
+		var misses uint64
+		for pi, ph := range w.Phases {
+			h := hierarchyWith(ps.mk(l3.Sets(), l3.Ways))
+			h.RecordLLC = true
+			h.ReserveLLC(*records)
+			src := &workload.Limit{Src: ph.Source(xrand.Mix(uint64(pi), 0x5eed)), N: uint64(*records)}
+			h.Run(src)
+			stream := h.LLCStream
+			res := cpu.WindowReplay(stream, l3, ps.mk(l3.Sets(), l3.Ways),
+				int(float64(len(stream))**warm), cpu.DefaultWindowModel())
+			mpkis = append(mpkis, stats.MPKI(res.Misses, res.Instructions))
+			hitrs = append(hitrs, 100*float64(res.Hits)/float64(max(res.Accesses, 1)))
+			ipcs = append(ipcs, float64(res.Instructions)/res.Cycles)
+			weights = append(weights, ph.Weight)
+			misses += res.Misses
 		}
+		rows[idx] = row{
+			mpki:   stats.WeightedMean(mpkis, weights),
+			hitr:   stats.WeightedMean(hitrs, weights),
+			ipc:    stats.WeightedMean(ipcs, weights),
+			misses: misses,
+		}
+	})
+
+	fmt.Printf("%-18s %-12s %10s %10s %10s %8s\n", "workload", "policy", "LLC MPKI", "LLC hit%", "IPC", "misses")
+	for idx, r := range rows {
+		fmt.Printf("%-18s %-12s %10.3f %10.2f %10.3f %8d\n",
+			wls[idx/len(pols)].Name, pols[idx%len(pols)].name,
+			r.mpki, r.hitr, r.ipc, r.misses)
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gippr-sweep [-n 400] [-scale smoke|default|full] [-seed N] [-csv]
+//	            [-workers N]
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale (overrides GIPPR_SCALE)")
 	seed := flag.Uint64("seed", 0xF161, "random seed")
 	csv := flag.Bool("csv", false, "emit the full sorted curve as CSV (index,speedup) for plotting")
+	workers := flag.Int("workers", 0, "worker goroutines for stream building and fitness evaluation (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -42,8 +44,8 @@ func main() {
 		*n = scale.RandomIPVs
 	}
 
-	lab := experiments.NewLab(scale)
-	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale)...\n", scale.Name)
+	lab := experiments.NewLab(scale).SetWorkers(*workers)
+	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale, %d workers)...\n", scale.Name, lab.Workers)
 	env := lab.GAEnv()
 
 	start := time.Now()

@@ -1,8 +1,12 @@
 package gippr
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"gippr/internal/experiments"
+	"gippr/internal/policy"
 	"gippr/internal/trace"
 )
 
@@ -133,6 +137,51 @@ func TestEvolveThroughFacade(t *testing.T) {
 	}
 	if fit <= 0 || len(hist) != 2 {
 		t.Fatalf("fit %v hist %v", fit, hist)
+	}
+}
+
+// TestLabConcurrentMPKIMemoizedOnce is the regression test for the Lab
+// memoization race: two goroutines asking for the same (spec, workload) cell
+// must share one replay per phase, not duplicate it. The policy constructor
+// count is the observable — before the singleflight fix, a concurrent miss
+// ran the expensive replay (and thus the constructor) once per caller.
+func TestLabConcurrentMPKIMemoizedOnce(t *testing.T) {
+	lab := experiments.NewLab(experiments.Smoke)
+	w, err := WorkloadByName("mcf_like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var built atomic.Int32
+	spec := experiments.Spec{Key: "counted", Label: "counted",
+		New: func(_ string, sets, ways int) Policy {
+			built.Add(1)
+			return policy.NewTrueLRU(sets, ways)
+		}}
+
+	var wg sync.WaitGroup
+	res := make([]float64, 2)
+	start := make(chan struct{})
+	for i := range res {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res[i] = lab.MPKI(spec, w)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if res[0] != res[1] {
+		t.Fatalf("concurrent MPKI calls disagree: %v vs %v", res[0], res[1])
+	}
+	if got, want := built.Load(), int32(len(w.Phases)); got != want {
+		t.Fatalf("policy constructed %d times for %d phases: replay duplicated", got, want)
+	}
+	// A later call must hit the memo without any further replay.
+	lab.MPKI(spec, w)
+	if built.Load() != int32(len(w.Phases)) {
+		t.Fatal("memoized entry not reused")
 	}
 }
 

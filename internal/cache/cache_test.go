@@ -234,6 +234,43 @@ func TestRecordLLCGaps(t *testing.T) {
 	}
 }
 
+func TestReserveLLC(t *testing.T) {
+	h := newTestHierarchy()
+	h.RecordLLC = true
+	h.ReserveLLC(100)
+	if cap(h.LLCStream) < 100 {
+		t.Fatalf("reserved cap = %d", cap(h.LLCStream))
+	}
+	base := &h.LLCStream[:1][0] // identity of the reserved backing array
+	for i := 0; i < 100; i++ {
+		h.Access(trace.Record{Gap: 1, Addr: uint64(i) * 1 << 20}) // distinct sets+tags, all LLC misses
+	}
+	if len(h.LLCStream) != 100 {
+		t.Fatalf("captured %d records", len(h.LLCStream))
+	}
+	if &h.LLCStream[0] != base {
+		t.Fatal("capture regrew the buffer despite reservation")
+	}
+
+	// Reserving again with enough headroom already present is a no-op.
+	h.LLCStream = h.LLCStream[:0]
+	before := cap(h.LLCStream)
+	h.ReserveLLC(before)
+	if cap(h.LLCStream) != before {
+		t.Fatalf("no-op reserve changed cap %d -> %d", before, cap(h.LLCStream))
+	}
+
+	// Reserving preserves already-captured records.
+	h.LLCStream = append(h.LLCStream[:0], trace.Record{Addr: 42})
+	h.ReserveLLC(1 << 16)
+	if len(h.LLCStream) != 1 || h.LLCStream[0].Addr != 42 {
+		t.Fatal("reserve dropped existing records")
+	}
+	if cap(h.LLCStream) < 1+1<<16 {
+		t.Fatalf("grow-with-contents cap = %d", cap(h.LLCStream))
+	}
+}
+
 func TestHierarchyRun(t *testing.T) {
 	h := newTestHierarchy()
 	src := trace.NewSliceSource([]trace.Record{rec(0), rec(64), rec(0)})

@@ -55,6 +55,21 @@ func NewHierarchy(l1, l2, l3 *Cache) *Hierarchy {
 	return &Hierarchy{L1: l1, L2: l2, L3: l3, DRAM: DRAMLatency}
 }
 
+// ReserveLLC pre-sizes the LLCStream capture buffer for a run of at most n
+// references. The captured stream can never exceed the number of references
+// pushed in, so reserving the source's record budget up front turns the
+// capture loop's millions of appends into plain stores — no geometric
+// regrowth, no copying of a multi-megabyte backing array per doubling.
+// Callers that keep the stream long-term should copy it down to its final
+// length (the budget is an upper bound; L1/L2 filter most references out).
+func (h *Hierarchy) ReserveLLC(n int) {
+	if n > 0 && cap(h.LLCStream)-len(h.LLCStream) < n {
+		grown := make([]trace.Record, len(h.LLCStream), len(h.LLCStream)+n)
+		copy(grown, h.LLCStream)
+		h.LLCStream = grown
+	}
+}
+
 // MakeInclusive enforces inclusion: an eviction from the L3
 // back-invalidates the block in L1 and L2, and an L2 eviction
 // back-invalidates L1. Policies that bypass the LLC must not be used in an

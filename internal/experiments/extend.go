@@ -13,6 +13,7 @@ import (
 	"gippr/internal/cache"
 	"gippr/internal/ipv"
 	"gippr/internal/multicore"
+	"gippr/internal/parallel"
 	"gippr/internal/policy"
 	"gippr/internal/stats"
 	"gippr/internal/trace"
@@ -51,25 +52,33 @@ func Multicore(l *Lab) *Table {
 		t.Columns = append(t.Columns, s.label)
 	}
 	mixNames := []string{"intensive", "half", "pointer", "friendly"}
-	for _, mixName := range mixNames {
-		mix := MulticoreMixes[mixName]
-		throughput := func(mk func() cache.Policy) float64 {
-			var srcs []trace.Source
-			for i, wname := range mix {
-				w, err := workload.ByName(wname)
-				if err != nil {
-					panic(err)
-				}
-				srcs = append(srcs, w.Phases[0].Source(xrand.Mix(uint64(i), 0x3c)))
+	throughput := func(mix [4]string, mk func() cache.Policy) float64 {
+		var srcs []trace.Source
+		for i, wname := range mix {
+			w, err := workload.ByName(wname)
+			if err != nil {
+				panic(err)
 			}
-			sys := multicore.New(mk(), srcs)
-			sys.Run(refs)
-			return sys.Results().Throughput
+			srcs = append(srcs, w.Phases[0].Source(xrand.Mix(uint64(i), 0x3c)))
 		}
-		base := throughput(specs[0].mk)
+		sys := multicore.New(mk(), srcs)
+		sys.Run(refs)
+		return sys.Results().Throughput
+	}
+	// Every (mix, policy) run is an independent deterministic simulation
+	// (fresh policy, per-core seeded sources), so the whole matrix fans out.
+	vals := make([][]float64, len(mixNames))
+	for i := range vals {
+		vals[i] = make([]float64, len(specs))
+	}
+	parallel.For(l.Workers, len(mixNames)*len(specs), func(idx int) {
+		mi, si := idx/len(specs), idx%len(specs)
+		vals[mi][si] = throughput(MulticoreMixes[mixNames[mi]], specs[si].mk)
+	})
+	for mi, mixName := range mixNames {
 		row := TableRow{Name: mixName}
-		for _, s := range specs[1:] {
-			row.Values = append(row.Values, throughput(s.mk)/base)
+		for si := range specs[1:] {
+			row.Values = append(row.Values, vals[mi][si+1]/vals[mi][0])
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -88,7 +97,26 @@ func AssocSweep(l *Lab) *Table {
 		Columns: []string{"PLRU", "GIPPR", "DRRIP"},
 	}
 	sensitive := []string{"cactusADM_like", "libquantum_like", "sphinx3_like", "lbm_like", "mcf_like", "omnetpp_like"}
-	for _, ways := range []int{8, 16, 32, 64} {
+	sensWs := make([]workload.Workload, len(sensitive))
+	for i, name := range sensitive {
+		w, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		sensWs[i] = w
+	}
+	l.PrefetchStreams(sensWs)
+	allWays := []int{8, 16, 32, 64}
+	// One cell per (geometry, policy column); each cell replays its six
+	// workloads serially and writes only its own table slot.
+	cells := make([][]float64, len(allWays))
+	for i := range cells {
+		cells[i] = make([]float64, len(t.Columns))
+	}
+	parallel.For(l.Workers, len(allWays)*len(t.Columns), func(idx int) {
+		wi, ci := idx/len(t.Columns), idx%len(t.Columns)
+		ways := allWays[wi]
+		col := t.Columns[ci]
 		cfg := cache.Config{
 			Name: fmt.Sprintf("L3/%dw", ways), SizeBytes: l.Cfg.SizeBytes,
 			Ways: ways, BlockBytes: l.Cfg.BlockBytes, HitLatency: l.Cfg.HitLatency,
@@ -100,27 +128,22 @@ func AssocSweep(l *Lab) *Table {
 			"GIPPR": func() cache.Policy { return policy.NewGIPPR(sets, ways, scaleVector(WIVector1(), ways)) },
 			"DRRIP": func() cache.Policy { return policy.NewDRRIP(sets, ways) },
 		}
-		row := TableRow{Name: fmt.Sprintf("%d-way", ways)}
-		for _, col := range t.Columns {
-			var ratios []float64
-			for _, name := range sensitive {
-				w, err := workload.ByName(name)
-				if err != nil {
-					panic(err)
-				}
-				var polMisses, lruMisses uint64 = 0, 0
-				for _, st := range l.Streams(w) {
-					warm := l.warm(len(st.Records))
-					polMisses += cache.ReplayStream(st.Records, cfg, mk[col](), warm).Misses
-					lruMisses += cache.ReplayStream(st.Records, cfg, mk["LRU"](), warm).Misses
-				}
-				if lruMisses > 0 {
-					ratios = append(ratios, float64(polMisses)/float64(lruMisses))
-				}
+		var ratios []float64
+		for _, w := range sensWs {
+			var polMisses, lruMisses uint64 = 0, 0
+			for _, st := range l.Streams(w) {
+				warm := l.warm(len(st.Records))
+				polMisses += cache.ReplayStream(st.Records, cfg, mk[col](), warm).Misses
+				lruMisses += cache.ReplayStream(st.Records, cfg, mk["LRU"](), warm).Misses
 			}
-			row.Values = append(row.Values, stats.GeoMean(ratios))
+			if lruMisses > 0 {
+				ratios = append(ratios, float64(polMisses)/float64(lruMisses))
+			}
 		}
-		t.Rows = append(t.Rows, row)
+		cells[wi][ci] = stats.GeoMean(ratios)
+	})
+	for wi, ways := range allWays {
+		t.Rows = append(t.Rows, TableRow{Name: fmt.Sprintf("%d-way", ways), Values: cells[wi]})
 	}
 	return t
 }
@@ -170,11 +193,16 @@ func RRIPVSearch(l *Lab) RRIPVResult {
 	sensitive := []string{"cactusADM_like", "dealII_like", "sphinx3_like", "mcf_like"}
 	var streams [][]trace.Record
 	var warms []int
-	for _, name := range sensitive {
+	sensWs := make([]workload.Workload, len(sensitive))
+	for i, name := range sensitive {
 		w, err := workload.ByName(name)
 		if err != nil {
 			panic(err)
 		}
+		sensWs[i] = w
+	}
+	l.PrefetchStreams(sensWs)
+	for _, w := range sensWs {
 		for _, s := range l.Streams(w) {
 			recs := s.Records
 			if max := l.Scale.PhaseRecords / 2; len(recs) > max {
@@ -199,17 +227,29 @@ func RRIPVSearch(l *Lab) RRIPVResult {
 		}
 		return 1 - float64(miss)/float64(acc) // hit rate as the score
 	}
+	// The 1024-point space is scored in parallel; the argmax scan below
+	// walks the same enumeration order as the old nested loops (strict >, so
+	// ties resolve to the lowest index), keeping the result bit-identical
+	// for any worker count.
+	const nVec = 4 * 4 * 4 * 4 * 4
+	decode := func(i int) policy.RRIPVector {
+		return policy.RRIPVector{
+			Promote: [4]uint8{uint8(i >> 6 & 3), uint8(i >> 4 & 3), uint8(i >> 2 & 3), uint8(i & 3)},
+			Insert:  uint8(i >> 8 & 3),
+		}
+	}
+	fits := make([]float64, nVec)
+	parallel.For(l.Workers, nVec, func(i int) { fits[i] = fitness(decode(i)) })
 	res := RRIPVResult{BestFitness: -1}
-	for p0 := uint8(0); p0 < 4; p0++ {
-		for p1 := uint8(0); p1 < 4; p1++ {
-			for p2 := uint8(0); p2 < 4; p2++ {
-				for p3 := uint8(0); p3 < 4; p3++ {
-					for ins := uint8(0); ins < 4; ins++ {
-						v := policy.RRIPVector{Promote: [4]uint8{p0, p1, p2, p3}, Insert: ins}
-						f := fitness(v)
+	for p0 := 0; p0 < 4; p0++ {
+		for p1 := 0; p1 < 4; p1++ {
+			for p2 := 0; p2 < 4; p2++ {
+				for p3 := 0; p3 < 4; p3++ {
+					for ins := 0; ins < 4; ins++ {
+						i := ins<<8 | p0<<6 | p1<<4 | p2<<2 | p3
 						res.Evaluated++
-						if f > res.BestFitness {
-							res.BestFitness, res.Best = f, v
+						if fits[i] > res.BestFitness {
+							res.BestFitness, res.Best = fits[i], decode(i)
 						}
 					}
 				}

@@ -54,6 +54,7 @@ func Fig3() *ipv.Graph { return ipv.TransitionGraph(ipv.PaperGIPLR) }
 // reproduce: PLRU ~ LRU, Random ~ LRU overall, GIPLR a few percent ahead.
 func Fig4(l *Lab) *Table {
 	specs := []Spec{SpecPLRU, SpecRandom, SpecGIPLR}
+	l.Prefetch(append([]Spec{SpecLRU}, specs...), false)
 	t := &Table{Title: "Figure 4: speedup over LRU (window model)"}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.Label)
@@ -74,6 +75,7 @@ func Fig4(l *Lab) *Table {
 // 4-vector column. Shapes: 4-DGIPPR <= GIPPR < 1, MIN far below all.
 func Fig10(l *Lab) *Table {
 	specs := []Spec{SpecWNGIPPR, SpecWN2DGIPPR, SpecWN4DGIPPR}
+	l.Prefetch(append([]Spec{SpecLRU}, specs...), true)
 	t := &Table{Title: "Figure 10: MPKI normalized to LRU"}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.Label)
@@ -96,6 +98,7 @@ func Fig10(l *Lab) *Table {
 // 90.2%, 91.0%), MIN near 67%.
 func Fig11(l *Lab) *Table {
 	specs := []Spec{SpecDRRIP, SpecPDP, SpecWN4DGIPPR}
+	l.Prefetch(append([]Spec{SpecLRU}, specs...), true)
 	t := &Table{Title: "Figure 11: MPKI normalized to LRU"}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.Label)
@@ -121,6 +124,7 @@ func Fig12(l *Lab) *Table {
 		SpecWNGIPPR, SpecWN2DGIPPR, SpecWN4DGIPPR,
 		SpecWIGIPPR, SpecWI2DGIPPR, SpecWI4DGIPPR,
 	}
+	l.Prefetch(append([]Spec{SpecLRU}, specs...), false)
 	t := &Table{Title: "Figure 12: workload-neutral vs workload-inclusive speedup over LRU"}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.Label)
@@ -153,6 +157,7 @@ type Fig13Result struct {
 // and on the subset (15.6%, 16.4%, 15.6%).
 func Fig13(l *Lab) Fig13Result {
 	specs := []Spec{SpecDRRIP, SpecPDP, SpecWN4DGIPPR}
+	l.Prefetch(append([]Spec{SpecLRU}, specs...), false)
 	t := &Table{Title: "Figure 13: speedup over LRU (window model)"}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.Label)

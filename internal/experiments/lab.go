@@ -8,6 +8,7 @@ import (
 	"gippr/internal/cpu"
 	"gippr/internal/ga"
 	"gippr/internal/ipv"
+	"gippr/internal/parallel"
 	"gippr/internal/policy"
 	"gippr/internal/stats"
 	"gippr/internal/trace"
@@ -33,18 +34,41 @@ type phaseResult struct {
 	Accesses uint64
 }
 
-// Lab owns the streams and memoized results for one scale. It is not safe
-// for concurrent use.
+// flight is a per-key singleflight slot: the first goroutine to claim the
+// key runs the computation inside once; everyone else blocks on the same
+// once and reads the settled value. Values are only read after once.Do
+// returns, which establishes the happens-before edge — no atomics needed.
+type flight struct {
+	once sync.Once
+	res  phaseResult
+}
+
+// streamFlight is the per-workload equivalent for LLC stream construction.
+type streamFlight struct {
+	once    sync.Once
+	streams []ga.Stream
+}
+
+// Lab owns the streams and memoized results for one scale. It is safe for
+// concurrent use: stream builds and replays for distinct keys proceed in
+// parallel, while concurrent requests for the same key are coalesced into a
+// single computation (singleflight) — the lab-wide mutex only guards the
+// memoization map lookups, never a replay.
 type Lab struct {
 	Scale Scale
 	Cfg   cache.Config // the LLC under study
 
-	suite   []workload.Workload
-	streams map[string][]ga.Stream // workload -> one LLC stream per phase
-	results map[string]phaseResult // key: policyKey|workload|phase
-	optimal map[string]phaseResult // key: workload|phase
+	// Workers bounds the goroutines used by the lab's own fan-out entry
+	// points (Prefetch and friends). It does not limit how many goroutines
+	// may call into the lab concurrently. Values below 1 mean GOMAXPROCS.
+	Workers int
 
-	mu sync.Mutex
+	suite   []workload.Workload
+	streams map[string]*streamFlight // workload -> one LLC stream per phase
+	results map[string]*flight       // key: policyKey|workload|phase
+	optimal map[string]*flight       // key: workload|phase
+
+	mu sync.Mutex // guards the three maps' entries, not their computation
 }
 
 // NewLab returns a lab over the full 29-workload suite at the given scale,
@@ -53,11 +77,19 @@ func NewLab(s Scale) *Lab {
 	return &Lab{
 		Scale:   s,
 		Cfg:     cache.L3Config,
+		Workers: parallel.DefaultWorkers(),
 		suite:   workload.Suite(),
-		streams: make(map[string][]ga.Stream),
-		results: make(map[string]phaseResult),
-		optimal: make(map[string]phaseResult),
+		streams: make(map[string]*streamFlight),
+		results: make(map[string]*flight),
+		optimal: make(map[string]*flight),
 	}
+}
+
+// SetWorkers sets the fan-out width used by Prefetch (values below 1 mean
+// GOMAXPROCS) and returns the lab for chaining.
+func (l *Lab) SetWorkers(n int) *Lab {
+	l.Workers = parallel.Clamp(n)
+	return l
 }
 
 // Suite returns the workloads under study.
@@ -74,13 +106,25 @@ func phaseSeed(name string, phase int) uint64 {
 
 // Streams builds (once) and returns the LLC-filtered streams of a workload,
 // one per phase, by pushing PhaseRecords references through a fresh
-// LRU-managed L1/L2.
+// LRU-managed L1/L2. Builds for different workloads run concurrently; a
+// second caller asking for a workload mid-build waits for that build only,
+// and memoized lookups never block behind any build.
 func (l *Lab) Streams(w workload.Workload) []ga.Stream {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if s, ok := l.streams[w.Name]; ok {
-		return s
+	f, ok := l.streams[w.Name]
+	if !ok {
+		f = &streamFlight{}
+		l.streams[w.Name] = f
 	}
+	l.mu.Unlock()
+
+	f.once.Do(func() { f.streams = l.buildStreams(w) })
+	return f.streams
+}
+
+// buildStreams is the expensive hierarchy replay behind Streams, run exactly
+// once per workload.
+func (l *Lab) buildStreams(w workload.Workload) []ga.Stream {
 	out := make([]ga.Stream, 0, len(w.Phases))
 	for pi, ph := range w.Phases {
 		h := cache.NewHierarchy(
@@ -89,68 +133,79 @@ func (l *Lab) Streams(w workload.Workload) []ga.Stream {
 			cache.New(l.Cfg, policy.NewTrueLRU(l.Cfg.Sets(), l.Cfg.Ways)),
 		)
 		h.RecordLLC = true
+		// The LLC stream is bounded by the source's record budget; reserving
+		// it up front removes every regrowth copy from the capture loop.
+		h.ReserveLLC(l.Scale.PhaseRecords)
 		src := &workload.Limit{Src: ph.Source(phaseSeed(w.Name, pi)), N: uint64(l.Scale.PhaseRecords)}
 		h.Run(src)
+		recs := h.LLCStream
+		// The budget is an upper bound — L1/L2 filter most references. The
+		// stream lives for the lab's lifetime, so copy it down to its real
+		// size rather than pinning the mostly-empty reservation.
+		if cap(recs) > len(recs)+len(recs)/4 {
+			recs = append(make([]trace.Record, 0, len(recs)), recs...)
+		}
 		out = append(out, ga.Stream{
 			Workload: w.Name,
 			Weight:   ph.Weight,
-			Records:  h.LLCStream,
+			Records:  recs,
 		})
 	}
-	l.streams[w.Name] = out
 	return out
 }
 
 func (l *Lab) warm(n int) int { return int(float64(n) * l.Scale.WarmFrac) }
 
-// phaseRun replays one phase's stream under one policy, memoized.
-func (l *Lab) phaseRun(spec Spec, w workload.Workload, phase int) phaseResult {
-	key := fmt.Sprintf("%s|%s|%d", spec.Key, w.Name, phase)
+// claim returns the singleflight slot for key in m, creating it if absent.
+func (l *Lab) claim(m map[string]*flight, key string) *flight {
 	l.mu.Lock()
-	if r, ok := l.results[key]; ok {
-		l.mu.Unlock()
-		return r
+	f, ok := m[key]
+	if !ok {
+		f = &flight{}
+		m[key] = f
 	}
 	l.mu.Unlock()
-
-	st := l.Streams(w)[phase]
-	pol := spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
-	res := cpu.WindowReplay(st.Records, l.Cfg, pol, l.warm(len(st.Records)), cpu.DefaultWindowModel())
-	pr := phaseResult{
-		MPKI:     stats.MPKI(res.Misses, res.Instructions),
-		CPI:      res.CPI,
-		Misses:   res.Misses,
-		Instrs:   res.Instructions,
-		Accesses: res.Accesses,
-	}
-	l.mu.Lock()
-	l.results[key] = pr
-	l.mu.Unlock()
-	return pr
+	return f
 }
 
-// optimalRun computes Belady MIN for one phase, memoized.
+// phaseRun replays one phase's stream under one policy, memoized with
+// singleflight semantics: when several goroutines miss on the same key at
+// once, exactly one performs the multi-second replay and the rest wait for
+// its result instead of duplicating the work.
+func (l *Lab) phaseRun(spec Spec, w workload.Workload, phase int) phaseResult {
+	key := fmt.Sprintf("%s|%s|%d", spec.Key, w.Name, phase)
+	f := l.claim(l.results, key)
+	f.once.Do(func() {
+		st := l.Streams(w)[phase]
+		pol := spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
+		res := cpu.WindowReplay(st.Records, l.Cfg, pol, l.warm(len(st.Records)), cpu.DefaultWindowModel())
+		f.res = phaseResult{
+			MPKI:     stats.MPKI(res.Misses, res.Instructions),
+			CPI:      res.CPI,
+			Misses:   res.Misses,
+			Instrs:   res.Instructions,
+			Accesses: res.Accesses,
+		}
+	})
+	return f.res
+}
+
+// optimalRun computes Belady MIN for one phase, memoized with the same
+// singleflight coalescing as phaseRun.
 func (l *Lab) optimalRun(w workload.Workload, phase int) phaseResult {
 	key := fmt.Sprintf("%s|%d", w.Name, phase)
-	l.mu.Lock()
-	if r, ok := l.optimal[key]; ok {
-		l.mu.Unlock()
-		return r
-	}
-	l.mu.Unlock()
-
-	st := l.Streams(w)[phase]
-	rs := policy.Optimal(st.Records, l.Cfg, l.warm(len(st.Records)))
-	pr := phaseResult{
-		MPKI:     stats.MPKI(rs.Misses, rs.Instructions),
-		Misses:   rs.Misses,
-		Instrs:   rs.Instructions,
-		Accesses: rs.Accesses,
-	}
-	l.mu.Lock()
-	l.optimal[key] = pr
-	l.mu.Unlock()
-	return pr
+	f := l.claim(l.optimal, key)
+	f.once.Do(func() {
+		st := l.Streams(w)[phase]
+		rs := policy.Optimal(st.Records, l.Cfg, l.warm(len(st.Records)))
+		f.res = phaseResult{
+			MPKI:     stats.MPKI(rs.Misses, rs.Instructions),
+			Misses:   rs.Misses,
+			Instrs:   rs.Instructions,
+			Accesses: rs.Accesses,
+		}
+	})
+	return f.res
 }
 
 // weighted combines per-phase values with the workload's phase weights.
@@ -214,6 +269,7 @@ func (l *Lab) OptimalNormalizedMPKI(baseline Spec, w workload.Workload) float64 
 // scale (the paper's fitness traces are likewise cheaper than its
 // evaluation runs). The streams are truncated copies of the lab streams.
 func (l *Lab) GAStreams() []ga.Stream {
+	l.PrefetchStreams(nil)
 	var out []ga.Stream
 	for _, w := range l.suite {
 		for _, st := range l.Streams(w) {
@@ -235,7 +291,7 @@ func (l *Lab) GAEnv() *ga.Env {
 	return ga.NewEnv(l.Cfg, cpu.DefaultLinearModel(), l.Scale.WarmFrac, l.GAStreams(),
 		func(sets, ways int) cache.Policy { return policy.NewTrueLRU(sets, ways) },
 		func(sets, ways int, v ipv.Vector) cache.Policy { return policy.NewGIPPR(sets, ways, v) },
-	)
+	).SetWorkers(l.Workers)
 }
 
 // GAEnvLRU is the Section 2 proof-of-concept environment: the same fitness
@@ -244,7 +300,7 @@ func (l *Lab) GAEnvLRU() *ga.Env {
 	return ga.NewEnv(l.Cfg, cpu.DefaultLinearModel(), l.Scale.WarmFrac, l.GAStreams(),
 		func(sets, ways int) cache.Policy { return policy.NewTrueLRU(sets, ways) },
 		func(sets, ways int, v ipv.Vector) cache.Policy { return policy.NewGIPLR(sets, ways, v) },
-	)
+	).SetWorkers(l.Workers)
 }
 
 // LLCStreamStats summarizes the captured streams (for reports and tests).
@@ -257,6 +313,7 @@ type LLCStreamStats struct {
 
 // StreamStats returns per-workload stream summaries.
 func (l *Lab) StreamStats() []LLCStreamStats {
+	l.PrefetchStreams(nil)
 	out := make([]LLCStreamStats, 0, len(l.suite))
 	for _, w := range l.suite {
 		s := LLCStreamStats{Workload: w.Name, Phases: len(w.Phases)}

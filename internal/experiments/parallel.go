@@ -1,0 +1,69 @@
+package experiments
+
+// The parallel evaluation engine: the paper's grid — ~14 policies x 29
+// workloads x up to 3 phases — is embarrassingly parallel, because every
+// (policy, workload, phase) cell builds a fresh policy instance and replays
+// a deterministically seeded stream. Prefetch fans the cells out over a
+// bounded worker pool and lets the Lab's singleflight memoization absorb the
+// results; the figure runners then read memoized values serially, so their
+// output is bit-identical to a fully serial run regardless of worker count
+// or cell completion order (the determinism test in parallel_test.go holds
+// this invariant under the race detector).
+
+import (
+	"gippr/internal/parallel"
+	"gippr/internal/workload"
+)
+
+// gridCell names one unit of work in a prefetch fan-out. A nil spec marks a
+// Belady MIN cell.
+type gridCell struct {
+	spec  *Spec
+	w     workload.Workload
+	phase int
+}
+
+// Prefetch computes every (spec, workload, phase) cell over the full suite
+// in parallel on l.Workers goroutines. With withOptimal, Belady MIN is also
+// computed per (workload, phase). After it returns, every corresponding
+// MPKI/CPI/Speedup/OptimalMPKI call is a memoized map lookup.
+func (l *Lab) Prefetch(specs []Spec, withOptimal bool) {
+	l.PrefetchWorkloads(specs, l.suite, withOptimal)
+}
+
+// PrefetchWorkloads is Prefetch restricted to a subset of workloads.
+func (l *Lab) PrefetchWorkloads(specs []Spec, ws []workload.Workload, withOptimal bool) {
+	// Build the LLC streams first, one task per workload. Doing this as its
+	// own pass keeps the cell pass below from stacking every spec of one
+	// workload behind that workload's stream build.
+	l.PrefetchStreams(ws)
+
+	var cells []gridCell
+	for _, w := range ws {
+		for p := range w.Phases {
+			for si := range specs {
+				cells = append(cells, gridCell{spec: &specs[si], w: w, phase: p})
+			}
+			if withOptimal {
+				cells = append(cells, gridCell{w: w, phase: p})
+			}
+		}
+	}
+	parallel.For(l.Workers, len(cells), func(i int) {
+		c := cells[i]
+		if c.spec == nil {
+			l.optimalRun(c.w, c.phase)
+		} else {
+			l.phaseRun(*c.spec, c.w, c.phase)
+		}
+	})
+}
+
+// PrefetchStreams builds the LLC-filtered streams of the given workloads in
+// parallel (all of them when ws is nil).
+func (l *Lab) PrefetchStreams(ws []workload.Workload) {
+	if ws == nil {
+		ws = l.suite
+	}
+	parallel.For(l.Workers, len(ws), func(i int) { l.Streams(ws[i]) })
+}

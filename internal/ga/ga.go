@@ -10,10 +10,12 @@ package ga
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gippr/internal/cache"
 	"gippr/internal/cpu"
 	"gippr/internal/ipv"
+	"gippr/internal/parallel"
 	"gippr/internal/stats"
 	"gippr/internal/trace"
 	"gippr/internal/xrand"
@@ -29,6 +31,13 @@ type Stream struct {
 // Env is a fitness-evaluation environment: the LLC geometry, the streams,
 // the CPI model, and the policy family being searched (GIPPR by default;
 // the Section 2 proof of concept passes a GIPLR constructor instead).
+//
+// Env is safe for concurrent use: the streams are immutable, the policy
+// constructors build fresh unshared instances, and the lazily computed LRU
+// baseline is guarded by a sync.Once. Every evaluation entry point (Fitness,
+// PerStream, RandomSearch, Evolve, SelectComplementary) fans work out over
+// Workers goroutines while drawing all random numbers serially, so results
+// are bit-identical for every worker count.
 type Env struct {
 	Config cache.Config
 	Model  cpu.LinearModel
@@ -38,14 +47,20 @@ type Env struct {
 	WarmFrac float64
 	// NewPolicy builds the policy under search for a candidate vector.
 	NewPolicy func(sets, ways int, v ipv.Vector) cache.Policy
+	// Workers bounds the evaluation fan-out; values below 1 mean GOMAXPROCS.
+	Workers int
 
 	streams []Stream
-	// baseline CPI per stream under true LRU, computed once.
-	baseCPI []float64
+	newLRU  func(sets, ways int) cache.Policy
+	// baseline CPI per stream under true LRU, computed once on first use so
+	// the construction cost lands under the caller's chosen Workers.
+	baseOnce sync.Once
+	baseCPI  []float64
 }
 
-// NewEnv precomputes the LRU baseline for each stream. newLRU builds the
-// baseline policy (true LRU in the paper).
+// NewEnv builds a fitness environment. newLRU builds the baseline policy
+// (true LRU in the paper); the per-stream baseline CPIs are computed in
+// parallel on first use.
 func NewEnv(cfg cache.Config, model cpu.LinearModel, warmFrac float64,
 	streams []Stream,
 	newLRU func(sets, ways int) cache.Policy,
@@ -53,20 +68,38 @@ func NewEnv(cfg cache.Config, model cpu.LinearModel, warmFrac float64,
 	if warmFrac < 0 || warmFrac >= 1 {
 		panic("ga: WarmFrac must be in [0,1)")
 	}
-	e := &Env{
+	return &Env{
 		Config:    cfg,
 		Model:     model,
 		WarmFrac:  warmFrac,
 		NewPolicy: newPolicy,
+		Workers:   parallel.DefaultWorkers(),
 		streams:   streams,
-		baseCPI:   make([]float64, len(streams)),
+		newLRU:    newLRU,
 	}
-	sets := cfg.Sets()
-	for i, s := range streams {
-		rs := cache.ReplayStream(s.Records, cfg, newLRU(sets, cfg.Ways), e.warm(len(s.Records)))
-		e.baseCPI[i] = model.CPIFromReplay(rs)
-	}
+}
+
+// SetWorkers sets the evaluation fan-out width (values below 1 mean
+// GOMAXPROCS) and returns the environment for chaining.
+func (e *Env) SetWorkers(n int) *Env {
+	e.Workers = parallel.Clamp(n)
 	return e
+}
+
+// baselines returns the per-stream LRU baseline CPIs, computing them in
+// parallel exactly once.
+func (e *Env) baselines() []float64 {
+	e.baseOnce.Do(func() {
+		base := make([]float64, len(e.streams))
+		sets := e.Config.Sets()
+		parallel.For(e.Workers, len(e.streams), func(i int) {
+			s := e.streams[i]
+			rs := cache.ReplayStream(s.Records, e.Config, e.newLRU(sets, e.Config.Ways), e.warm(len(s.Records)))
+			base[i] = e.Model.CPIFromReplay(rs)
+		})
+		e.baseCPI = base
+	})
+	return e.baseCPI
 }
 
 func (e *Env) warm(n int) int { return int(float64(n) * e.WarmFrac) }
@@ -79,33 +112,43 @@ func (e *Env) Streams() []Stream { return e.streams }
 // workload-neutral (WNk) cross-validation: evolve on the complement of the
 // held-out workloads.
 func (e *Env) Subset(keep func(workload string) bool) *Env {
+	base := e.baselines()
 	sub := &Env{
 		Config:    e.Config,
 		Model:     e.Model,
 		WarmFrac:  e.WarmFrac,
 		NewPolicy: e.NewPolicy,
+		Workers:   e.Workers,
+		newLRU:    e.newLRU,
 	}
+	var subBase []float64
 	for i, s := range e.streams {
 		if keep(s.Workload) {
 			sub.streams = append(sub.streams, s)
-			sub.baseCPI = append(sub.baseCPI, e.baseCPI[i])
+			subBase = append(subBase, base[i])
 		}
 	}
 	if len(sub.streams) == 0 {
 		panic("ga: Subset kept no streams")
 	}
+	sub.baseCPI = subBase
+	sub.baseOnce.Do(func() {}) // baselines inherited, never recomputed
 	return sub
 }
 
 // PerStream returns each stream's estimated speedup over LRU for vector v.
+// The streams are replayed in parallel on e.Workers goroutines; each writes
+// only its own slot, so the result is independent of scheduling.
 func (e *Env) PerStream(v ipv.Vector) []float64 {
+	base := e.baselines()
 	sets := e.Config.Sets()
 	out := make([]float64, len(e.streams))
-	for i, s := range e.streams {
+	parallel.For(e.Workers, len(e.streams), func(i int) {
+		s := e.streams[i]
 		pol := e.NewPolicy(sets, e.Config.Ways, v)
 		rs := cache.ReplayStream(s.Records, e.Config, pol, e.warm(len(s.Records)))
-		out[i] = e.baseCPI[i] / e.Model.CPIFromReplay(rs)
-	}
+		out[i] = base[i] / e.Model.CPIFromReplay(rs)
+	})
 	return out
 }
 
@@ -128,7 +171,10 @@ type Scored struct {
 
 // RandomSearch evaluates n uniformly random IPVs (the paper's Figure 1
 // exploration: 15,000 random 17-entry vectors) and returns them sorted by
-// ascending fitness, ready to plot as the sorted speedup curve.
+// ascending fitness, ready to plot as the sorted speedup curve. All vectors
+// are drawn serially from the seeded generator first, then scored in
+// parallel — fitness evaluation consumes no randomness, so the outcome is
+// bit-identical to the serial engine at any worker count.
 func RandomSearch(e *Env, n int, seed uint64) []Scored {
 	rng := xrand.New(seed)
 	k := e.Config.Ways
@@ -138,8 +184,9 @@ func RandomSearch(e *Env, n int, seed uint64) []Scored {
 		for j := range v {
 			v[j] = rng.Intn(k)
 		}
-		out[i] = Scored{Vector: v, Fitness: e.Fitness(v)}
+		out[i] = Scored{Vector: v}
 	}
+	parallel.For(e.Workers, n, func(i int) { out[i].Fitness = e.Fitness(out[i].Vector) })
 	sort.Slice(out, func(a, b int) bool { return out[a].Fitness < out[b].Fitness })
 	return out
 }
@@ -231,9 +278,7 @@ func Evolve(e *Env, cfg Config) (ipv.Vector, float64, []float64) {
 		}
 		pop = append(pop, Scored{Vector: v})
 	}
-	for i := range pop {
-		pop[i].Fitness = e.Fitness(pop[i].Vector)
-	}
+	parallel.For(e.Workers, len(pop), func(i int) { pop[i].Fitness = e.Fitness(pop[i].Vector) })
 	sortDesc(pop)
 
 	history := make([]float64, 0, cfg.Generations)
@@ -249,6 +294,12 @@ func Evolve(e *Env, cfg Config) (ipv.Vector, float64, []float64) {
 	}
 
 	for gen := 0; gen < cfg.Generations; gen++ {
+		// Selection, crossover and mutation draw from the seeded generator
+		// and depend only on the previous generation's fitnesses, so the
+		// whole offspring cohort is produced serially first; the fitness
+		// evaluations — the expensive part, and randomness-free — then run
+		// in parallel. The generator's call sequence is exactly the serial
+		// engine's, so evolution is bit-identical at any worker count.
 		next := make([]Scored, 0, cfg.Population)
 		for i := 0; i < cfg.Elite; i++ {
 			next = append(next, pop[i])
@@ -259,8 +310,12 @@ func Evolve(e *Env, cfg Config) (ipv.Vector, float64, []float64) {
 			if rng.Bool(cfg.MutationProb) {
 				child[rng.Intn(len(child))] = rng.Intn(k)
 			}
-			next = append(next, Scored{Vector: child, Fitness: e.Fitness(child)})
+			next = append(next, Scored{Vector: child})
 		}
+		parallel.For(e.Workers, len(next)-cfg.Elite, func(i int) {
+			s := &next[cfg.Elite+i]
+			s.Fitness = e.Fitness(s.Vector)
+		})
 		pop = next
 		sortDesc(pop)
 		history = append(history, pop[0].Fitness)
@@ -287,7 +342,9 @@ func sortDesc(pop []Scored) {
 // HillClimb refines v by repeatedly trying every single-element change and
 // keeping the best improvement, stopping after maxRounds rounds or at a
 // local optimum (the Section 2.6 refinement). It returns the refined vector
-// and its fitness.
+// and its fitness. The accept chain is greedy and order-dependent, so the
+// candidate loop stays serial; parallelism comes from each Fitness call
+// fanning its streams out over e.Workers.
 func HillClimb(e *Env, v ipv.Vector, maxRounds int) (ipv.Vector, float64) {
 	best := v.Clone()
 	bestFit := e.Fitness(best)
@@ -328,9 +385,8 @@ func SelectComplementary(e *Env, pool []ipv.Vector, setSize int) []ipv.Vector {
 		panic("ga: SelectComplementary needs a pool and positive set size")
 	}
 	per := make([][]float64, len(pool))
-	for i, v := range pool {
-		per[i] = e.PerStream(v)
-	}
+	e.baselines() // settle the baseline before fanning out
+	parallel.For(e.Workers, len(pool), func(i int) { per[i] = e.PerStream(pool[i]) })
 	weights := make([]float64, len(e.streams))
 	for i, s := range e.streams {
 		weights[i] = s.Weight

@@ -1,0 +1,85 @@
+// Package parallel provides the bounded fork-join primitive underneath the
+// simulator's parallel evaluation engine (experiments.Lab grids, ga fitness
+// evaluation, cmd tools). The design rule shared by every caller: random
+// number generation and any other order-sensitive work happens serially
+// before the fork, the forked function touches only its own index's state,
+// and results land in pre-sized slots — so worker count changes scheduling,
+// never arithmetic, and parallel output is bit-identical to serial output.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default degree of parallelism: the number of
+// CPUs the Go runtime will actually schedule on.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Clamp normalizes a worker-count flag or field: values below 1 (zero, the
+// unset default, or negatives) mean "pick for me" and become DefaultWorkers.
+func Clamp(workers int) int {
+	if workers < 1 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// For runs f(i) for every i in [0, n) on up to workers goroutines and
+// returns when all calls have finished. workers <= 1 (or n <= 1) runs f
+// inline on the calling goroutine, in index order, with zero overhead —
+// the serial engine and the one-worker parallel engine are literally the
+// same code path. Indices are handed out dynamically, so uneven cell costs
+// (a thrashing workload next to an LLC-friendly one) still load-balance.
+//
+// f must not panic across goroutines silently: a panic in any worker is
+// re-raised on the caller after the remaining workers drain, so test
+// failures and programming errors surface exactly as they do serially.
+func For(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Clamp(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value // first worker panic, re-raised on the caller
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, r)
+							// Stop handing out work; let peers drain.
+							next.Store(int64(n))
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}

@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		For(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The contract the evaluation engine rests on: each index writes only
+	// its own slot, so output is bit-identical for any worker count.
+	const n = 257
+	ref := make([]float64, n)
+	For(1, n, func(i int) { ref[i] = float64(i*i) / 7 })
+	for _, workers := range []int{2, 3, 8} {
+		out := make([]float64, n)
+		For(workers, n, func(i int) { out[i] = float64(i*i) / 7 })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	For(4, 0, func(int) { t.Fatal("called with n=0") })
+	ran := false
+	For(4, 1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("n=1 did not run")
+	}
+}
+
+func TestForSerialIsInOrder(t *testing.T) {
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+			}()
+			For(workers, 64, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(0) != DefaultWorkers() || Clamp(-3) != DefaultWorkers() {
+		t.Fatal("Clamp should map <1 to DefaultWorkers")
+	}
+	if Clamp(5) != 5 {
+		t.Fatal("Clamp changed an explicit count")
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}
