@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench fuzz check
 
 all: check
 
@@ -26,4 +26,12 @@ race: vet
 bench:
 	GIPPR_SCALE=smoke $(GO) test -bench=. -benchtime=1x ./...
 
-check: race
+# Fuzz smoke: a few seconds per target over the external-input boundaries
+# (binary trace reader, IPV parser). Long campaigns run these by hand with a
+# bigger -fuzztime.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzParseVector -fuzztime=$(FUZZTIME) ./internal/ipv
+
+check: race fuzz

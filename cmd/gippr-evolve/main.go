@@ -5,6 +5,7 @@
 //
 //	gippr-evolve [-scale smoke|default|full] [-pop N] [-gens N] [-seeds N]
 //	             [-bake] [-hillclimb N] [-workers N]
+//	             [-checkpoint path] [-resume] [-deadline dur]
 //
 // Without -bake it evolves one vector and prints the per-generation best.
 // With -bake it reproduces the full vector pipeline the shipped experiments
@@ -12,17 +13,31 @@
 // complementary selection of 1/2/4-vector sets, workload-inclusive and
 // per-fold workload-neutral — and prints a Go source fragment to paste into
 // internal/experiments/vectors.go.
+//
+// Long runs are crash-safe: -checkpoint names a snapshot file written
+// atomically at every GA generation boundary and completed pipeline stage,
+// and -resume continues from it after a crash or interrupt, producing
+// vectors bit-identical to an uninterrupted run. SIGINT/SIGTERM and
+// -deadline cancel gracefully — in-flight evaluations drain, a final
+// checkpoint is on disk, and the process exits with code 3 (distinct from
+// failures at 1). The checkpoint records a config fingerprint and refuses
+// to resume under different flags.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"time"
 
+	"gippr/internal/checkpoint"
 	"gippr/internal/experiments"
 	"gippr/internal/ga"
 	"gippr/internal/ipv"
+	"gippr/internal/runctx"
 )
 
 func main() {
@@ -33,6 +48,9 @@ func main() {
 	bake := flag.Bool("bake", false, "emit Go source for internal/experiments/vectors.go")
 	hillclimb := flag.Int("hillclimb", 0, "hill-climbing rounds to refine the best vector (non-bake mode)")
 	workers := flag.Int("workers", 0, "worker goroutines for stream building and fitness evaluation (0 = GOMAXPROCS)")
+	ckptPath := flag.String("checkpoint", "", "snapshot file written at every generation boundary (crash safety)")
+	resume := flag.Bool("resume", true, "with -checkpoint: continue from an existing snapshot instead of overwriting it")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the run drains, checkpoints and exits with code 3")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -46,7 +64,7 @@ func main() {
 		scale = experiments.Full
 	default:
 		fmt.Fprintf(os.Stderr, "gippr-evolve: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		os.Exit(runctx.ExitUsage)
 	}
 	if *pop == 0 {
 		*pop = scale.GAPopulation
@@ -55,47 +73,310 @@ func main() {
 		*gens = scale.GAGenerations
 	}
 
-	lab := experiments.NewLab(scale).SetWorkers(*workers)
+	ctx, stop := runctx.Setup(*deadline)
+	defer stop()
+
+	lab := experiments.NewLab(scale).SetWorkers(*workers).SetContext(ctx)
 	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale, %d workers)...\n", scale.Name, lab.Workers)
 	start := time.Now()
-	env := lab.GAEnv()
+	env, err := lab.GAEnvCtx(ctx)
+	if err != nil {
+		// Cancelled before any search state exists: nothing to checkpoint.
+		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-evolve", err))
+		os.Exit(runctx.ExitCode(err))
+	}
 	fmt.Fprintf(os.Stderr, "streams ready in %v; %d fitness streams\n", time.Since(start).Round(time.Second), len(env.Streams()))
 
 	if !*bake {
-		cfg := gaConfig(*pop, *gens, 0x90)
-		cfg.OnGeneration = func(gen int, best ga.Scored) {
-			fmt.Fprintf(os.Stderr, "gen %2d: best fitness %.4f %v\n", gen, best.Fitness, best.Vector)
-		}
-		best, fit, _ := ga.Evolve(env, cfg)
-		if *hillclimb > 0 {
-			fmt.Fprintf(os.Stderr, "hill climbing (%d rounds)...\n", *hillclimb)
-			best, fit = ga.HillClimb(env, best, *hillclimb)
-		}
-		fmt.Printf("best vector: %v\nfitness (est. speedup over LRU): %.4f\n", best, fit)
+		runSingle(ctx, env, scale, *pop, *gens, *hillclimb, *ckptPath, *resume)
 		return
 	}
+	runBake(ctx, env, scale, *pop, *gens, *nSeeds, *ckptPath, *resume)
+}
 
-	// Bake mode: the full pipeline.
+// fingerprint identifies a search configuration for checkpoint resume
+// compatibility. Anything that changes the random trajectory or the fitness
+// function belongs here; the worker count deliberately does not (results
+// are bit-identical at any width).
+func fingerprint(mode string, scale experiments.Scale, pop, gens, nSeeds int) string {
+	return fmt.Sprintf("gippr-evolve|v1|%s|scale=%s|phase=%d|evolve=%d|warm=%.6f|pop=%d|gens=%d|nseeds=%d|folds=%d",
+		mode, scale.Name, scale.PhaseRecords, scale.EvolveRecords, scale.WarmFrac,
+		pop, gens, nSeeds, experiments.NumFolds)
+}
+
+// fatal reports a hard failure and exits non-zero (satellite audit: no cmd
+// tool may swallow an error and exit 0).
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gippr-evolve:", err)
+	os.Exit(runctx.ExitFailure)
+}
+
+// exitCancelled reports a graceful stop and exits with the distinct
+// cancellation code, naming the checkpoint that allows resumption.
+func exitCancelled(err error, ckptPath string) {
+	fmt.Fprintln(os.Stderr, runctx.Explain("gippr-evolve", err))
+	if ckptPath != "" {
+		fmt.Fprintf(os.Stderr, "gippr-evolve: resume with -checkpoint %s\n", ckptPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "gippr-evolve: progress lost (no -checkpoint given)")
+	}
+	os.Exit(runctx.ExitCancelled)
+}
+
+// saveCkpt persists a snapshot or dies: continuing past a failed checkpoint
+// write would silently drop crash safety.
+func saveCkpt(path, fp string, payload any) {
+	if path == "" {
+		return
+	}
+	if err := checkpoint.Save(path, fp, payload); err != nil {
+		fatal(err)
+	}
+}
+
+// loadCkpt loads a snapshot into out. Returns false when none exists (fresh
+// start); corrupt files and fingerprint mismatches are fatal with the
+// checkpoint package's explanatory errors.
+func loadCkpt(path, fp string, out any) bool {
+	if path == "" {
+		return false
+	}
+	err := checkpoint.Load(path, fp, out)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, fs.ErrNotExist):
+		return false
+	default:
+		fatal(err)
+		return false
+	}
+}
+
+// removeCkpt deletes the snapshot after a fully successful run so a rerun
+// starts fresh instead of instantly "resuming" a finished search.
+func removeCkpt(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "gippr-evolve: warning: could not remove checkpoint %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "run complete; checkpoint %s removed\n", path)
+}
+
+// runSingle is the non-bake path: one GA run, optional hill climbing.
+func runSingle(ctx context.Context, env *ga.Env, scale experiments.Scale, pop, gens, hillclimb int, ckptPath string, resume bool) {
+	fp := fingerprint("single", scale, pop, gens, 0)
+	cfg := gaConfig(pop, gens, 0x90)
+	cfg.OnGeneration = func(gen int, best ga.Scored) {
+		fmt.Fprintf(os.Stderr, "gen %2d: best fitness %.4f %v\n", gen, best.Fitness, best.Vector)
+	}
+	if ckptPath != "" {
+		if resume {
+			var st ga.State
+			if loadCkpt(ckptPath, fp, &st) {
+				fmt.Fprintf(os.Stderr, "resuming from %s at generation %d\n", ckptPath, st.Generation)
+				cfg.Resume = &st
+			}
+		}
+		cfg.OnState = func(st ga.State) { saveCkpt(ckptPath, fp, st) }
+	}
+	best, fit, hist, err := ga.EvolveCtx(ctx, env, cfg)
+	if err != nil {
+		exitCancelled(err, ckptPath)
+	}
+	// The per-generation history is consumed here, not discarded: its
+	// length is the completed-generation count the operator sees.
+	fmt.Fprintf(os.Stderr, "evolution complete after %d generations\n", len(hist))
+	if hillclimb > 0 {
+		fmt.Fprintf(os.Stderr, "hill climbing (%d rounds)...\n", hillclimb)
+		best, fit, err = ga.HillClimbCtx(ctx, env, best, hillclimb)
+		if err != nil {
+			// Hill climbing is anytime: report the refinement achieved so
+			// far, then exit with the cancellation code. It is not part of
+			// the checkpointable GA state (rerun -hillclimb to redo it).
+			fmt.Printf("best vector (climb interrupted): %v\nfitness (est. speedup over LRU): %.4f\n", best, fit)
+			exitCancelled(err, ckptPath)
+		}
+	}
+	fmt.Printf("best vector: %v\nfitness (est. speedup over LRU): %.4f\n", best, fit)
+	removeCkpt(ckptPath)
+}
+
+// stageResult is one completed bake stage in the checkpoint: the evolved
+// pool and its greedy 1/2/4-vector complementary selections, serialized as
+// vector strings so resume goes through ipv.Parse validation.
+type stageResult struct {
+	Pool []string `json:"pool"`
+	Sel1 []string `json:"sel1"`
+	Sel2 []string `json:"sel2"`
+	Sel4 []string `json:"sel4"`
+}
+
+// bakeState is the -bake pipeline's checkpoint payload. Stages[0] is the
+// workload-inclusive stage, Stages[1+f] is holdout fold f; Run/Pool/GA
+// describe progress inside the first incomplete stage at GA-generation
+// granularity.
+type bakeState struct {
+	Stages []*stageResult `json:"stages"`
+	Run    int            `json:"run"`
+	Pool   []string       `json:"pool,omitempty"`
+	GA     *ga.State      `json:"ga,omitempty"`
+}
+
+// baker drives the bake pipeline with checkpointing woven through it.
+type baker struct {
+	ctx               context.Context
+	path, fp          string
+	st                bakeState
+	pop, gens, nSeeds int
+}
+
+func (b *baker) save() { saveCkpt(b.path, b.fp, &b.st) }
+
+// parseVectors rebuilds vectors from checkpoint strings; ipv.Parse (not
+// MustParse) because a checkpoint file is external input.
+func parseVectors(ss []string) ([]ipv.Vector, error) {
+	out := make([]ipv.Vector, len(ss))
+	for i, s := range ss {
+		v, err := ipv.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint vector %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func vectorStrings(vs []ipv.Vector) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// stage runs bake stage idx (evolve nSeeds GA runs into a pool over env,
+// then select the 1/2/4-vector complementary sets), resuming any progress
+// the checkpoint holds, and memoizes the completed result in the
+// checkpoint. A cancellation error propagates after the state is saved.
+func (b *baker) stage(idx int, env *ga.Env, label string, seedBase uint64) (*stageResult, error) {
+	if done := b.st.Stages[idx]; done != nil {
+		fmt.Fprintf(os.Stderr, "stage %s already complete in checkpoint; skipping\n", label)
+		return done, nil
+	}
+	// The pool starts with the classic LRU/LIP corners so the complementary
+	// selector can always fall back on them.
+	pool := []ipv.Vector{ipv.LRU(16), ipv.LIP(16)}
+	if b.st.Pool != nil {
+		restored, err := parseVectors(b.st.Pool)
+		if err != nil {
+			return nil, err
+		}
+		pool = restored
+		fmt.Fprintf(os.Stderr, "stage %s: resuming at run %d/%d\n", label, b.st.Run, b.nSeeds)
+	} else {
+		b.st.Pool = vectorStrings(pool)
+	}
+	resumeRun := b.st.Run
+	for r := resumeRun; r < b.nSeeds; r++ {
+		cfg := gaConfig(b.pop, b.gens, seedBase+uint64(r)*977)
+		if r == resumeRun && b.st.GA != nil {
+			fmt.Fprintf(os.Stderr, "  run %d: resuming at generation %d\n", r, b.st.GA.Generation)
+			cfg.Resume = b.st.GA
+		}
+		cfg.OnState = func(st ga.State) {
+			b.st.GA = &st
+			b.save()
+		}
+		best, fit, hist, err := ga.EvolveCtx(b.ctx, env, cfg)
+		if err != nil {
+			return nil, err // last generation boundary already checkpointed
+		}
+		fmt.Fprintf(os.Stderr, "  run %d: fitness %.4f after %d generations %v\n", r, fit, len(hist), best)
+		pool = append(pool, best)
+		b.st.Run = r + 1
+		b.st.Pool = append(b.st.Pool, best.String())
+		b.st.GA = nil
+		b.save()
+	}
+	s1, err := ga.SelectComplementaryCtx(b.ctx, env, pool, 1)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := ga.SelectComplementaryCtx(b.ctx, env, pool, 2)
+	if err != nil {
+		return nil, err
+	}
+	s4, err := ga.SelectComplementaryCtx(b.ctx, env, pool, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &stageResult{
+		Pool: vectorStrings(pool),
+		Sel1: vectorStrings(s1),
+		Sel2: vectorStrings(s2),
+		Sel4: vectorStrings(s4),
+	}
+	b.st.Stages[idx] = res
+	b.st.Run, b.st.Pool, b.st.GA = 0, nil, nil
+	b.save()
+	return res, nil
+}
+
+// runBake is the full pipeline: a workload-inclusive stage plus one
+// workload-neutral stage per holdout fold, then the Go source emission.
+func runBake(ctx context.Context, env *ga.Env, scale experiments.Scale, pop, gens, nSeeds int, ckptPath string, resume bool) {
+	fp := fingerprint("bake", scale, pop, gens, nSeeds)
+	b := &baker{ctx: ctx, path: ckptPath, fp: fp, pop: pop, gens: gens, nSeeds: nSeeds}
+	b.st.Stages = make([]*stageResult, 1+experiments.NumFolds)
+	if resume {
+		var prev bakeState
+		if loadCkpt(ckptPath, fp, &prev) && len(prev.Stages) == len(b.st.Stages) {
+			b.st = prev
+			fmt.Fprintf(os.Stderr, "resuming bake from %s\n", ckptPath)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "evolving workload-inclusive pool (%d runs x pop %d x %d gens)...\n",
-		*nSeeds, *pop, *gens)
-	wiPool := evolvePool(env, *nSeeds, *pop, *gens, 0x1000)
-	wi1 := ga.SelectComplementary(env, wiPool, 1)
-	wi2 := ga.SelectComplementary(env, wiPool, 2)
-	wi4 := ga.SelectComplementary(env, wiPool, 4)
+		nSeeds, pop, gens)
+	wi, err := b.stage(0, env, "workload-inclusive", 0x1000)
+	if err != nil {
+		exitCancelled(err, ckptPath)
+	}
 
-	var wn1 [experiments.NumFolds]ipv.Vector
-	var wn2 [experiments.NumFolds][2]ipv.Vector
-	var wn4 [experiments.NumFolds][4]ipv.Vector
+	folds := make([]*stageResult, experiments.NumFolds)
 	for f := 0; f < experiments.NumFolds; f++ {
 		fold := f
 		sub := env.Subset(func(w string) bool { return experiments.FoldOf(w) != fold })
 		fmt.Fprintf(os.Stderr, "evolving fold %d holdout pool (%d streams)...\n", f, len(sub.Streams()))
-		pool := evolvePool(sub, *nSeeds, *pop, *gens, uint64(0x2000+f))
-		wn1[f] = ga.SelectComplementary(sub, pool, 1)[0]
-		s2 := ga.SelectComplementary(sub, pool, 2)
-		s4 := ga.SelectComplementary(sub, pool, 4)
-		copy(wn2[f][:], s2)
-		copy(wn4[f][:], pad(s4, 4))
+		folds[f], err = b.stage(1+f, sub, fmt.Sprintf("fold-%d", f), uint64(0x2000+f))
+		if err != nil {
+			exitCancelled(err, ckptPath)
+		}
+	}
+
+	if err := emitBake(wi, folds); err != nil {
+		fatal(err)
+	}
+	removeCkpt(ckptPath)
+}
+
+// emitBake prints the Go source fragment from the completed stage results.
+func emitBake(wi *stageResult, folds []*stageResult) error {
+	wi1, err := parseVectors(wi.Sel1)
+	if err != nil {
+		return err
+	}
+	wi2, err := parseVectors(wi.Sel2)
+	if err != nil {
+		return err
+	}
+	wi4, err := parseVectors(wi.Sel4)
+	if err != nil {
+		return err
 	}
 
 	fmt.Println("// Generated by `go run ./cmd/gippr-evolve -bake`; paste over the")
@@ -110,16 +391,33 @@ func main() {
 	}
 	fmt.Printf("\t}\n)\n\nfunc init() {\n")
 	for f := 0; f < experiments.NumFolds; f++ {
-		fmt.Printf("\twnVectors1[%d] = ipv.MustParse(%q)\n", f, wn1[f].String())
+		s1, err := parseVectors(folds[f].Sel1)
+		if err != nil {
+			return err
+		}
+		s2, err := parseVectors(folds[f].Sel2)
+		if err != nil {
+			return err
+		}
+		s4, err := parseVectors(folds[f].Sel4)
+		if err != nil {
+			return err
+		}
+		var wn2 [2]ipv.Vector
+		var wn4 [4]ipv.Vector
+		copy(wn2[:], pad(s2, 2))
+		copy(wn4[:], pad(s4, 4))
+		fmt.Printf("\twnVectors1[%d] = ipv.MustParse(%q)\n", f, s1[0].String())
 		fmt.Printf("\twnVectors2[%d] = [2]ipv.Vector{\n\t\tipv.MustParse(%q),\n\t\tipv.MustParse(%q),\n\t}\n",
-			f, wn2[f][0].String(), wn2[f][1].String())
+			f, wn2[0].String(), wn2[1].String())
 		fmt.Printf("\twnVectors4[%d] = [4]ipv.Vector{\n", f)
-		for _, v := range wn4[f] {
+		for _, v := range wn4 {
 			fmt.Printf("\t\tipv.MustParse(%q),\n", v.String())
 		}
 		fmt.Printf("\t}\n")
 	}
 	fmt.Printf("}\n")
+	return nil
 }
 
 func gaConfig(pop, gens int, seed uint64) ga.Config {
@@ -133,20 +431,6 @@ func gaConfig(pop, gens int, seed uint64) ga.Config {
 		ipv.PaperWI4DGIPPR[2], ipv.PaperWI4DGIPPR[3],
 	}
 	return cfg
-}
-
-// evolvePool runs n independently seeded GA instances and collects their
-// best vectors, plus the classic LRU/LIP corners so the complementary
-// selector can always fall back on them.
-func evolvePool(env *ga.Env, n, pop, gens int, seed uint64) []ipv.Vector {
-	pool := []ipv.Vector{ipv.LRU(16), ipv.LIP(16)}
-	for i := 0; i < n; i++ {
-		cfg := gaConfig(pop, gens, seed+uint64(i)*977)
-		best, fit, _ := ga.Evolve(env, cfg)
-		fmt.Fprintf(os.Stderr, "  run %d: fitness %.4f %v\n", i, fit, best)
-		pool = append(pool, best)
-	}
-	return pool
 }
 
 // pad repeats the last element until the slice has n entries (the greedy

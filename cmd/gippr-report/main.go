@@ -4,9 +4,13 @@
 // Usage:
 //
 //	gippr-report [-scale smoke|default|full] [-only fig1,fig4,...] [-workers N]
+//	             [-deadline dur]
 //
 // The scale flag overrides the GIPPR_SCALE environment variable. With no
-// -only flag, all figures are produced in paper order.
+// -only flag, all figures are produced in paper order. SIGINT/SIGTERM or
+// -deadline stop the report at the next section boundary: the section in
+// flight finishes and prints (sections are all-or-nothing), later sections
+// are skipped, and the exit code is 3.
 package main
 
 import (
@@ -17,12 +21,14 @@ import (
 	"time"
 
 	"gippr/internal/experiments"
+	"gippr/internal/runctx"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale: smoke, default or full (overrides GIPPR_SCALE)")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint")
 	workers := flag.Int("workers", 0, "worker goroutines for the evaluation grid (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the current section finishes and the rest are skipped (exit code 3)")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -47,12 +53,19 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	lab := experiments.NewLab(scale).SetWorkers(*workers)
+	ctx, stop := runctx.Setup(*deadline)
+	defer stop()
+
+	// The lab context only truncates internal prefetch fan-outs — memoized
+	// getters still compute on demand, so a section that starts always
+	// prints complete, correct numbers. Cancellation is honoured at section
+	// boundaries below.
+	lab := experiments.NewLab(scale).SetWorkers(*workers).SetContext(ctx)
 	fmt.Printf("gippr-report: scale=%s (%d records/phase, warm %.0f%%, %d workers)\n\n",
 		scale.Name, scale.PhaseRecords, 100*scale.WarmFrac, lab.Workers)
 
 	section := func(name string, f func()) {
-		if !sel(name) {
+		if !sel(name) || ctx.Err() != nil {
 			return
 		}
 		start := time.Now()
@@ -101,4 +114,9 @@ func main() {
 	section("simpoint", func() {
 		fmt.Print(experiments.FormatSimPointValidation(experiments.SimPointValidation(lab)))
 	})
+
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-report", err))
+		os.Exit(runctx.ExitCode(err))
+	}
 }

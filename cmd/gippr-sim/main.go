@@ -6,8 +6,11 @@
 //
 //	gippr-sim [-workloads mcf_like,lbm_like|all] [-policies lru,drrip,4-dgippr|all]
 //	          [-records N] [-warm frac] [-ipv "0 0 1 ..."] [-workers N]
+//	          [-deadline dur]
 //
 // With -ipv, an additional GIPPR policy using the given vector is included.
+// SIGINT/SIGTERM or -deadline stop the grid gracefully: in-flight cells
+// drain, no partial table is printed, and the exit code is 3.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"gippr/internal/ipv"
 	"gippr/internal/parallel"
 	"gippr/internal/policy"
+	"gippr/internal/runctx"
 	"gippr/internal/stats"
 	"gippr/internal/trace"
 	"gippr/internal/workload"
@@ -36,7 +40,11 @@ func main() {
 	specFile := flag.String("spec", "", "file of custom workload definitions (see workload.ParseSpec); adds them to -workloads")
 	list := flag.Bool("list", false, "list known workloads and policies, then exit")
 	workers := flag.Int("workers", 0, "worker goroutines for the simulation grid (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the grid drains and exits with code 3")
 	flag.Parse()
+
+	ctx, stop := runctx.Setup(*deadline)
+	defer stop()
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
@@ -117,7 +125,7 @@ func main() {
 	}
 	l3 := cache.L3Config
 	rows := make([]row, len(wls)*len(pols))
-	parallel.For(*workers, len(rows), func(idx int) {
+	err := parallel.ForCtx(ctx, *workers, len(rows), func(idx int) {
 		w, ps := wls[idx/len(pols)], pols[idx%len(pols)]
 		var mpkis, ipcs, hitrs, weights []float64
 		var misses uint64
@@ -143,6 +151,12 @@ func main() {
 			misses: misses,
 		}
 	})
+	if err != nil {
+		// A truncated grid would print zero rows for the cells that never
+		// ran; report the interruption instead of a misleading table.
+		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-sim", err))
+		os.Exit(runctx.ExitCode(err))
+	}
 
 	fmt.Printf("%-18s %-12s %10s %10s %10s %8s\n", "workload", "policy", "LLC MPKI", "LLC hit%", "IPC", "misses")
 	for idx, r := range rows {

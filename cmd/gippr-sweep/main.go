@@ -5,7 +5,11 @@
 // Usage:
 //
 //	gippr-sweep [-n 400] [-scale smoke|default|full] [-seed N] [-csv]
-//	            [-workers N]
+//	            [-workers N] [-deadline dur]
+//
+// SIGINT/SIGTERM or -deadline stop the sweep gracefully: in-flight samples
+// drain, nothing partial is printed (the sorted curve is meaningless when
+// truncated), and the exit code is 3.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 
 	"gippr/internal/experiments"
 	"gippr/internal/ga"
+	"gippr/internal/runctx"
 	"gippr/internal/stats"
 )
 
@@ -25,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 0xF161, "random seed")
 	csv := flag.Bool("csv", false, "emit the full sorted curve as CSV (index,speedup) for plotting")
 	workers := flag.Int("workers", 0, "worker goroutines for stream building and fitness evaluation (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the sweep drains and exits with code 3")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -44,12 +50,23 @@ func main() {
 		*n = scale.RandomIPVs
 	}
 
+	ctx, stop := runctx.Setup(*deadline)
+	defer stop()
+
 	lab := experiments.NewLab(scale).SetWorkers(*workers)
 	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale, %d workers)...\n", scale.Name, lab.Workers)
-	env := lab.GAEnv()
+	env, err := lab.GAEnvCtx(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-sweep", err))
+		os.Exit(runctx.ExitCode(err))
+	}
 
 	start := time.Now()
-	scored := ga.RandomSearch(env, *n, *seed)
+	scored, err := ga.RandomSearchCtx(ctx, env, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-sweep", err))
+		os.Exit(runctx.ExitCode(err))
+	}
 	fmt.Fprintf(os.Stderr, "%d samples in %v\n", len(scored), time.Since(start).Round(time.Millisecond))
 
 	if *csv {

@@ -9,15 +9,20 @@
 //	gippr-trace llc -i trace.bin -o llc.bin       # filter through L1/L2
 //	gippr-trace info -i trace.bin                 # summary statistics
 //	gippr-trace simpoints -i trace.bin [-k 6]     # SimPoint phase selection
+//
+// SIGINT/SIGTERM interrupt the record loops gracefully: a partially written
+// output file is removed rather than left torn, and the exit code is 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"gippr/internal/cache"
 	"gippr/internal/policy"
+	"gippr/internal/runctx"
 	"gippr/internal/simpoint"
 	"gippr/internal/trace"
 	"gippr/internal/workload"
@@ -27,18 +32,36 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	ctx, stop := runctx.Setup(0)
+	defer stop()
 	switch os.Args[1] {
 	case "gen":
-		cmdGen(os.Args[2:])
+		cmdGen(ctx, os.Args[2:])
 	case "llc":
-		cmdLLC(os.Args[2:])
+		cmdLLC(ctx, os.Args[2:])
 	case "info":
-		cmdInfo(os.Args[2:])
+		cmdInfo(ctx, os.Args[2:])
 	case "simpoints":
 		cmdSimpoints(os.Args[2:])
 	default:
 		usage()
 	}
+}
+
+// cancelCheckEvery is how many records the streaming loops process between
+// context polls: coarse enough to stay off the hot path, fine enough that an
+// interrupt lands within a fraction of a second.
+const cancelCheckEvery = 1 << 16
+
+// cancelled exits with the cancellation code, removing the named partial
+// output file (if any) so an interrupted run never leaves a torn trace.
+func cancelled(ctx context.Context, partial string) {
+	if partial != "" {
+		os.Remove(partial)
+		fmt.Fprintf(os.Stderr, "gippr-trace: removed partial output %s\n", partial)
+	}
+	fmt.Fprintln(os.Stderr, runctx.Explain("gippr-trace", ctx.Err()))
+	os.Exit(runctx.ExitCancelled)
 }
 
 func usage() {
@@ -51,7 +74,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func cmdGen(args []string) {
+func cmdGen(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	name := fs.String("workload", "mcf_like", "workload name")
 	phase := fs.Int("phase", 0, "phase index")
@@ -74,7 +97,11 @@ func cmdGen(args []string) {
 		fatal(err)
 	}
 	src := &workload.Limit{Src: w.Phases[*phase].Source(*seed), N: uint64(*records)}
-	for {
+	for i := 0; ; i++ {
+		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
+			closeFn()
+			cancelled(ctx, *out)
+		}
 		r, ok := src.Next()
 		if !ok {
 			break
@@ -91,7 +118,7 @@ func cmdGen(args []string) {
 	fmt.Printf("wrote %d records to %s\n", n, *out)
 }
 
-func cmdLLC(args []string) {
+func cmdLLC(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("llc", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file")
 	out := fs.String("o", "", "output LLC-filtered trace file")
@@ -110,7 +137,15 @@ func cmdLLC(args []string) {
 		cache.New(cache.L3Config, policy.NewTrueLRU(cache.L3Config.Sets(), cache.L3Config.Ways)),
 	)
 	h.RecordLLC = true
-	n := h.Run(tr)
+	// The hierarchy replay consumes the source record by record, so the
+	// context poll rides inside the source instead of the (uncancellable)
+	// Run call; on interrupt the replay sees end-of-trace and we exit
+	// before writing any output.
+	src := &ctxSource{ctx: ctx, src: tr}
+	n := h.Run(src)
+	if src.stopped {
+		cancelled(ctx, "")
+	}
 	if err := trace.WriteFile(*out, h.LLCStream); err != nil {
 		fatal(err)
 	}
@@ -118,7 +153,25 @@ func cmdLLC(args []string) {
 		n, len(h.LLCStream), 100*float64(len(h.LLCStream))/float64(n))
 }
 
-func cmdInfo(args []string) {
+// ctxSource wraps a trace source with a periodic context poll; on
+// cancellation it reports end-of-trace and records that it did so.
+type ctxSource struct {
+	ctx     context.Context
+	src     trace.Source
+	n       int
+	stopped bool
+}
+
+func (s *ctxSource) Next() (trace.Record, bool) {
+	if s.n%cancelCheckEvery == 0 && s.ctx.Err() != nil {
+		s.stopped = true
+		return trace.Record{}, false
+	}
+	s.n++
+	return s.src.Next()
+}
+
+func cmdInfo(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file")
 	fs.Parse(args)
@@ -134,6 +187,9 @@ func cmdInfo(args []string) {
 	blocks := map[uint64]struct{}{}
 	pcs := map[uint64]struct{}{}
 	for {
+		if records%cancelCheckEvery == 0 && ctx.Err() != nil {
+			cancelled(ctx, "")
+		}
 		r, ok := tr.Next()
 		if !ok {
 			break

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -63,6 +64,14 @@ type Lab struct {
 	// may call into the lab concurrently. Values below 1 mean GOMAXPROCS.
 	Workers int
 
+	// ctx is the lab's base run context, used by the non-Ctx fan-out entry
+	// points (Prefetch and friends) so cancellation reaches figure runners
+	// that predate the ctx-threaded API. Cancellation stops new cells from
+	// being handed out; memoized reads that miss still compute on demand,
+	// so already-running callers always see complete, correct values —
+	// cancellation truncates a run, it never corrupts one.
+	ctx context.Context
+
 	suite   []workload.Workload
 	streams map[string]*streamFlight // workload -> one LLC stream per phase
 	results map[string]*flight       // key: policyKey|workload|phase
@@ -78,6 +87,7 @@ func NewLab(s Scale) *Lab {
 		Scale:   s,
 		Cfg:     cache.L3Config,
 		Workers: parallel.DefaultWorkers(),
+		ctx:     context.Background(),
 		suite:   workload.Suite(),
 		streams: make(map[string]*streamFlight),
 		results: make(map[string]*flight),
@@ -89,6 +99,17 @@ func NewLab(s Scale) *Lab {
 // GOMAXPROCS) and returns the lab for chaining.
 func (l *Lab) SetWorkers(n int) *Lab {
 	l.Workers = parallel.Clamp(n)
+	return l
+}
+
+// SetContext installs ctx as the lab's base run context (see the field
+// comment for semantics) and returns the lab for chaining. A nil ctx
+// restores context.Background.
+func (l *Lab) SetContext(ctx context.Context) *Lab {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	l.ctx = ctx
 	return l
 }
 
@@ -269,7 +290,17 @@ func (l *Lab) OptimalNormalizedMPKI(baseline Spec, w workload.Workload) float64 
 // scale (the paper's fitness traces are likewise cheaper than its
 // evaluation runs). The streams are truncated copies of the lab streams.
 func (l *Lab) GAStreams() []ga.Stream {
-	l.PrefetchStreams(nil)
+	out, _ := l.GAStreamsCtx(context.Background()) // Background never cancels
+	return out
+}
+
+// GAStreamsCtx is GAStreams with cooperative cancellation of the stream
+// builds; on cancellation it returns (nil, ctx.Err()) once in-flight builds
+// have drained.
+func (l *Lab) GAStreamsCtx(ctx context.Context) ([]ga.Stream, error) {
+	if err := l.PrefetchStreamsCtx(ctx, nil); err != nil {
+		return nil, err
+	}
 	var out []ga.Stream
 	for _, w := range l.suite {
 		for _, st := range l.Streams(w) {
@@ -282,16 +313,27 @@ func (l *Lab) GAStreams() []ga.Stream {
 			out = append(out, ga.Stream{Workload: st.Workload, Weight: st.Weight, Records: recs})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // GAEnv builds a fitness environment over the GA streams, searching the
 // GIPPR family (tree-PLRU IPVs).
 func (l *Lab) GAEnv() *ga.Env {
-	return ga.NewEnv(l.Cfg, cpu.DefaultLinearModel(), l.Scale.WarmFrac, l.GAStreams(),
+	env, _ := l.GAEnvCtx(context.Background()) // Background never cancels
+	return env
+}
+
+// GAEnvCtx is GAEnv with cooperative cancellation of the stream-building
+// phase, the expensive part of environment construction.
+func (l *Lab) GAEnvCtx(ctx context.Context) (*ga.Env, error) {
+	streams, err := l.GAStreamsCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ga.NewEnv(l.Cfg, cpu.DefaultLinearModel(), l.Scale.WarmFrac, streams,
 		func(sets, ways int) cache.Policy { return policy.NewTrueLRU(sets, ways) },
 		func(sets, ways int, v ipv.Vector) cache.Policy { return policy.NewGIPPR(sets, ways, v) },
-	).SetWorkers(l.Workers)
+	).SetWorkers(l.Workers), nil
 }
 
 // GAEnvLRU is the Section 2 proof-of-concept environment: the same fitness

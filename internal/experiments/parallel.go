@@ -11,6 +11,8 @@ package experiments
 // this invariant under the race detector).
 
 import (
+	"context"
+
 	"gippr/internal/parallel"
 	"gippr/internal/workload"
 )
@@ -31,12 +33,29 @@ func (l *Lab) Prefetch(specs []Spec, withOptimal bool) {
 	l.PrefetchWorkloads(specs, l.suite, withOptimal)
 }
 
+// PrefetchCtx is Prefetch with explicit cancellation: when ctx is
+// cancelled, no new cell starts, in-flight cells drain to completion (their
+// memoized results stay valid), and the error is ctx.Err().
+func (l *Lab) PrefetchCtx(ctx context.Context, specs []Spec, withOptimal bool) error {
+	return l.PrefetchWorkloadsCtx(ctx, specs, l.suite, withOptimal)
+}
+
 // PrefetchWorkloads is Prefetch restricted to a subset of workloads.
 func (l *Lab) PrefetchWorkloads(specs []Spec, ws []workload.Workload, withOptimal bool) {
+	// Cancellation via the lab context only stops precomputation; the
+	// memoized getters behind the figure runners still compute missing
+	// cells on demand, so dropping the error here never corrupts output.
+	_ = l.PrefetchWorkloadsCtx(l.ctx, specs, ws, withOptimal)
+}
+
+// PrefetchWorkloadsCtx is PrefetchCtx restricted to a subset of workloads.
+func (l *Lab) PrefetchWorkloadsCtx(ctx context.Context, specs []Spec, ws []workload.Workload, withOptimal bool) error {
 	// Build the LLC streams first, one task per workload. Doing this as its
 	// own pass keeps the cell pass below from stacking every spec of one
 	// workload behind that workload's stream build.
-	l.PrefetchStreams(ws)
+	if err := l.PrefetchStreamsCtx(ctx, ws); err != nil {
+		return err
+	}
 
 	var cells []gridCell
 	for _, w := range ws {
@@ -49,7 +68,7 @@ func (l *Lab) PrefetchWorkloads(specs []Spec, ws []workload.Workload, withOptima
 			}
 		}
 	}
-	parallel.For(l.Workers, len(cells), func(i int) {
+	return parallel.ForCtx(ctx, l.Workers, len(cells), func(i int) {
 		c := cells[i]
 		if c.spec == nil {
 			l.optimalRun(c.w, c.phase)
@@ -62,8 +81,15 @@ func (l *Lab) PrefetchWorkloads(specs []Spec, ws []workload.Workload, withOptima
 // PrefetchStreams builds the LLC-filtered streams of the given workloads in
 // parallel (all of them when ws is nil).
 func (l *Lab) PrefetchStreams(ws []workload.Workload) {
+	_ = l.PrefetchStreamsCtx(l.ctx, ws) // see PrefetchWorkloads on the dropped error
+}
+
+// PrefetchStreamsCtx is PrefetchStreams with explicit cancellation; a
+// stream build in flight at cancellation time runs to completion and is
+// memoized as usual.
+func (l *Lab) PrefetchStreamsCtx(ctx context.Context, ws []workload.Workload) error {
 	if ws == nil {
 		ws = l.suite
 	}
-	parallel.For(l.Workers, len(ws), func(i int) { l.Streams(ws[i]) })
+	return parallel.ForCtx(ctx, l.Workers, len(ws), func(i int) { l.Streams(ws[i]) })
 }

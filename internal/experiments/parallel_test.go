@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -111,5 +113,41 @@ func TestStreamsCompactedToFootprint(t *testing.T) {
 					w.Name, pi, cap(st.Records), len(st.Records))
 			}
 		}
+	}
+}
+
+// TestPrefetchCtxCancellationIsCorrectnessNeutral: cancelling a prefetch
+// stops precomputation but must never change what the memoized getters
+// return — a cell missed by the truncated prefetch is computed on demand
+// with identical results.
+func TestPrefetchCtxCancellationIsCorrectnessNeutral(t *testing.T) {
+	specs := []Spec{SpecLRU, SpecPLRU}
+	ref := NewLab(Smoke).SetWorkers(2)
+	ws := ref.Suite()[:2]
+	ref.PrefetchWorkloads(specs, ws, false)
+
+	cancelled := NewLab(Smoke).SetWorkers(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cancelled.PrefetchWorkloadsCtx(ctx, specs, ws, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled prefetch err = %v", err)
+	}
+	for _, w := range ws {
+		for _, s := range specs {
+			if a, b := ref.MPKI(s, w), cancelled.MPKI(s, w); a != b {
+				t.Fatalf("%s/%s MPKI after cancelled prefetch: %v != %v", s.Key, w.Name, a, b)
+			}
+		}
+	}
+}
+
+// TestGAEnvCtxCancelled: environment construction must report cancellation
+// instead of returning a half-built environment.
+func TestGAEnvCtxCancelled(t *testing.T) {
+	lab := NewLab(Smoke).SetWorkers(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if env, err := lab.GAEnvCtx(ctx); env != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("GAEnvCtx = (%v, %v), want (nil, context.Canceled)", env, err)
 	}
 }

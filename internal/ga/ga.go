@@ -8,6 +8,7 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -163,10 +164,13 @@ func (e *Env) Fitness(v ipv.Vector) float64 {
 	return stats.WeightedMean(per, weights)
 }
 
-// Scored pairs a vector with its fitness.
+// Scored pairs a vector with its fitness. The JSON tags make Scored (and
+// State, which embeds a population of them) checkpointable: float64 values
+// survive a JSON round trip bit-identically, which the resume determinism
+// guarantee depends on.
 type Scored struct {
-	Vector  ipv.Vector
-	Fitness float64
+	Vector  ipv.Vector `json:"vector"`
+	Fitness float64    `json:"fitness"`
 }
 
 // RandomSearch evaluates n uniformly random IPVs (the paper's Figure 1
@@ -176,6 +180,14 @@ type Scored struct {
 // parallel — fitness evaluation consumes no randomness, so the outcome is
 // bit-identical to the serial engine at any worker count.
 func RandomSearch(e *Env, n int, seed uint64) []Scored {
+	out, _ := RandomSearchCtx(context.Background(), e, n, seed) // Background never cancels
+	return out
+}
+
+// RandomSearchCtx is RandomSearch with cooperative cancellation: on
+// cancellation, in-flight evaluations drain and it returns (nil, ctx.Err())
+// — a partially scored sample has no meaningful sorted curve.
+func RandomSearchCtx(ctx context.Context, e *Env, n int, seed uint64) ([]Scored, error) {
 	rng := xrand.New(seed)
 	k := e.Config.Ways
 	out := make([]Scored, n)
@@ -186,9 +198,11 @@ func RandomSearch(e *Env, n int, seed uint64) []Scored {
 		}
 		out[i] = Scored{Vector: v}
 	}
-	parallel.For(e.Workers, n, func(i int) { out[i].Fitness = e.Fitness(out[i].Vector) })
+	if err := parallel.ForCtx(ctx, e.Workers, n, func(i int) { out[i].Fitness = e.Fitness(out[i].Vector) }); err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Fitness < out[b].Fitness })
-	return out
+	return out, nil
 }
 
 // Config parameterizes Evolve. The defaults follow the paper's operators:
@@ -212,6 +226,76 @@ type Config struct {
 	// OnGeneration, if non-nil, is called after each generation with the
 	// generation index and the best individual so far.
 	OnGeneration func(gen int, best Scored)
+	// OnState, if non-nil, is called at every generation boundary (after
+	// the initial population is evaluated, then after each completed
+	// generation) with a self-contained resumable snapshot. Callers persist
+	// it (see internal/checkpoint) to make long runs crash-safe.
+	OnState func(st State)
+	// Resume, if non-nil, restarts Evolve from a snapshot previously
+	// handed to OnState instead of initializing a fresh population. The
+	// resumed run draws the identical random sequence the uninterrupted
+	// run would have, so its result is bit-identical.
+	Resume *State
+}
+
+// State is a resumable snapshot of Evolve at a generation boundary: the
+// scored population (sorted descending), the serialized RNG state as of
+// that boundary, and the best-fitness history so far. It is pure data —
+// JSON-serializable, no hidden pointers into the running GA.
+type State struct {
+	// Generation is the number of fully completed generations; the resumed
+	// run continues with this generation index.
+	Generation int `json:"generation"`
+	// RNG is the xrand.RNG state after the last serial draw of the
+	// completed generation (selection, crossover and mutation all draw
+	// serially, so this single word captures the whole random trajectory).
+	RNG        uint64    `json:"rng"`
+	Population []Scored  `json:"population"`
+	History    []float64 `json:"history"`
+}
+
+// snapshot deep-copies the live population into a State so later
+// generations (which re-sort and replace slices) can never alias a
+// checkpoint the caller is still holding.
+func snapshot(gen int, rng *xrand.RNG, pop []Scored, history []float64) State {
+	p := make([]Scored, len(pop))
+	for i, s := range pop {
+		p[i] = Scored{Vector: s.Vector.Clone(), Fitness: s.Fitness}
+	}
+	return State{
+		Generation: gen,
+		RNG:        rng.State(),
+		Population: p,
+		History:    append([]float64(nil), history...),
+	}
+}
+
+// validate checks a snapshot against the configuration and associativity of
+// the run trying to resume from it. Checkpoint files are external input, so
+// every vector is re-validated rather than trusted.
+func (st *State) validate(cfg Config, k int) error {
+	if len(st.Population) != cfg.Population {
+		return fmt.Errorf("ga: resume state has population %d, config wants %d",
+			len(st.Population), cfg.Population)
+	}
+	if st.Generation < 0 || st.Generation > cfg.Generations {
+		return fmt.Errorf("ga: resume state at generation %d, config runs %d",
+			st.Generation, cfg.Generations)
+	}
+	if len(st.History) != st.Generation {
+		return fmt.Errorf("ga: resume state history has %d entries for %d completed generations",
+			len(st.History), st.Generation)
+	}
+	for i, s := range st.Population {
+		if err := s.Vector.Validate(); err != nil {
+			return fmt.Errorf("ga: resume state individual %d: %w", i, err)
+		}
+		if s.Vector.K() != k {
+			return fmt.Errorf("ga: resume state individual %d is for %d ways, environment has %d",
+				i, s.Vector.K(), k)
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns a small but effective configuration.
@@ -243,45 +327,99 @@ func (c Config) validate() error {
 }
 
 // Evolve runs the genetic algorithm and returns the best vector found, its
-// fitness, and the best-fitness history per generation.
+// fitness, and the best-fitness history per generation. It panics on an
+// invalid configuration or resume state; for cooperative cancellation use
+// EvolveCtx.
 func Evolve(e *Env, cfg Config) (ipv.Vector, float64, []float64) {
-	if err := cfg.validate(); err != nil {
+	best, fit, history, err := EvolveCtx(context.Background(), e, cfg)
+	if err != nil {
+		// Background is never cancelled, so the only possible errors are
+		// configuration or resume-state problems — programming errors under
+		// this legacy signature.
 		panic(err)
+	}
+	return best, fit, history
+}
+
+// EvolveCtx is Evolve with cooperative cancellation and checkpoint/resume.
+//
+// Cancellation is cell-granular: when ctx is cancelled, in-flight fitness
+// evaluations drain, the partially evaluated generation is discarded —
+// truncating the run, never reordering a completed generation — and
+// EvolveCtx returns the best individual of the last completed generation
+// along with ctx.Err(). The snapshot handed to cfg.OnState at that
+// generation's boundary resumes the run (via cfg.Resume) so that it
+// produces results bit-identical to an uninterrupted run at any worker
+// count: selection, crossover and mutation randomness is drawn serially and
+// its generator state is part of the snapshot.
+func EvolveCtx(ctx context.Context, e *Env, cfg Config) (ipv.Vector, float64, []float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, nil, err
 	}
 	rng := xrand.New(cfg.Seed)
 	k := e.Config.Ways
 
-	randomVec := func() ipv.Vector {
-		v := make(ipv.Vector, k+1)
-		for j := range v {
-			v[j] = rng.Intn(k)
-		}
-		return v
-	}
-
-	pop := make([]Scored, 0, cfg.Population)
-	for _, s := range cfg.Seeds {
-		if len(pop) == cfg.Population {
-			break
-		}
-		if s.K() != k {
-			panic("ga: seed vector associativity mismatch")
-		}
-		pop = append(pop, Scored{Vector: s.Clone()})
-	}
-	for len(pop) < cfg.Population {
-		// Skip degenerate vectors that can never promote to MRU
-		// (footnote 1): they waste evaluations.
-		v := randomVec()
-		for !v.ReachesMRU() {
-			v = randomVec()
-		}
-		pop = append(pop, Scored{Vector: v})
-	}
-	parallel.For(e.Workers, len(pop), func(i int) { pop[i].Fitness = e.Fitness(pop[i].Vector) })
-	sortDesc(pop)
-
+	var pop []Scored
 	history := make([]float64, 0, cfg.Generations)
+	startGen := 0
+
+	emit := func(completed int) {
+		if cfg.OnState != nil {
+			cfg.OnState(snapshot(completed, rng, pop, history))
+		}
+	}
+
+	if cfg.Resume != nil {
+		if err := cfg.Resume.validate(cfg, k); err != nil {
+			return nil, 0, nil, err
+		}
+		// Work on copies: the caller may hold (or re-use) the snapshot.
+		pop = make([]Scored, len(cfg.Resume.Population))
+		for i, s := range cfg.Resume.Population {
+			pop[i] = Scored{Vector: s.Vector.Clone(), Fitness: s.Fitness}
+		}
+		history = append(history, cfg.Resume.History...)
+		startGen = cfg.Resume.Generation
+		rng.SetState(cfg.Resume.RNG)
+	} else {
+		randomVec := func() ipv.Vector {
+			v := make(ipv.Vector, k+1)
+			for j := range v {
+				v[j] = rng.Intn(k)
+			}
+			return v
+		}
+		pop = make([]Scored, 0, cfg.Population)
+		for _, s := range cfg.Seeds {
+			if len(pop) == cfg.Population {
+				break
+			}
+			if s.K() != k {
+				panic("ga: seed vector associativity mismatch")
+			}
+			pop = append(pop, Scored{Vector: s.Clone()})
+		}
+		for len(pop) < cfg.Population {
+			// Skip degenerate vectors that can never promote to MRU
+			// (footnote 1): they waste evaluations.
+			v := randomVec()
+			for !v.ReachesMRU() {
+				v = randomVec()
+			}
+			pop = append(pop, Scored{Vector: v})
+		}
+		err := parallel.ForCtx(ctx, e.Workers, len(pop), func(i int) {
+			pop[i].Fitness = e.Fitness(pop[i].Vector)
+		})
+		if err != nil {
+			// Cancelled before the first checkpointable boundary: there is
+			// no partial progress worth returning.
+			return nil, 0, nil, err
+		}
+		sortDesc(pop)
+		emit(0)
+	}
+
 	tournament := func() ipv.Vector {
 		best := rng.Intn(len(pop))
 		for t := 1; t < cfg.TournamentSize; t++ {
@@ -293,7 +431,10 @@ func Evolve(e *Env, cfg Config) (ipv.Vector, float64, []float64) {
 		return pop[best].Vector
 	}
 
-	for gen := 0; gen < cfg.Generations; gen++ {
+	for gen := startGen; gen < cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return pop[0].Vector.Clone(), pop[0].Fitness, history, err
+		}
 		// Selection, crossover and mutation draw from the seeded generator
 		// and depend only on the previous generation's fitnesses, so the
 		// whole offspring cohort is produced serially first; the fitness
@@ -312,18 +453,24 @@ func Evolve(e *Env, cfg Config) (ipv.Vector, float64, []float64) {
 			}
 			next = append(next, Scored{Vector: child})
 		}
-		parallel.For(e.Workers, len(next)-cfg.Elite, func(i int) {
+		err := parallel.ForCtx(ctx, e.Workers, len(next)-cfg.Elite, func(i int) {
 			s := &next[cfg.Elite+i]
 			s.Fitness = e.Fitness(s.Vector)
 		})
+		if err != nil {
+			// Drop the partially evaluated cohort; the last completed
+			// generation (already checkpointed via OnState) stands.
+			return pop[0].Vector.Clone(), pop[0].Fitness, history, err
+		}
 		pop = next
 		sortDesc(pop)
 		history = append(history, pop[0].Fitness)
 		if cfg.OnGeneration != nil {
 			cfg.OnGeneration(gen, pop[0])
 		}
+		emit(gen + 1)
 	}
-	return pop[0].Vector, pop[0].Fitness, history
+	return pop[0].Vector, pop[0].Fitness, history, nil
 }
 
 // crossover is the paper's one-point crossover: elements 0..c from a,
@@ -346,6 +493,15 @@ func sortDesc(pop []Scored) {
 // candidate loop stays serial; parallelism comes from each Fitness call
 // fanning its streams out over e.Workers.
 func HillClimb(e *Env, v ipv.Vector, maxRounds int) (ipv.Vector, float64) {
+	best, fit, _ := HillClimbCtx(context.Background(), e, v, maxRounds) // Background never cancels
+	return best, fit
+}
+
+// HillClimbCtx is HillClimb with cooperative cancellation, checked before
+// each candidate evaluation. On cancellation it returns the best vector
+// accepted so far with ctx.Err(): hill climbing is an anytime algorithm, so
+// a truncated climb is still a valid (just less refined) result.
+func HillClimbCtx(ctx context.Context, e *Env, v ipv.Vector, maxRounds int) (ipv.Vector, float64, error) {
 	best := v.Clone()
 	bestFit := e.Fitness(best)
 	k := e.Config.Ways
@@ -356,6 +512,12 @@ func HillClimb(e *Env, v ipv.Vector, maxRounds int) (ipv.Vector, float64) {
 			for val := 0; val < k; val++ {
 				if val == orig {
 					continue
+				}
+				if err := ctx.Err(); err != nil {
+					// best currently holds the last accepted state: the
+					// trial assignment below has not happened yet.
+					best[i] = orig
+					return best, bestFit, err
 				}
 				best[i] = val
 				if f := e.Fitness(best); f > bestFit {
@@ -372,7 +534,7 @@ func HillClimb(e *Env, v ipv.Vector, maxRounds int) (ipv.Vector, float64) {
 			break
 		}
 	}
-	return best, bestFit
+	return best, bestFit, nil
 }
 
 // SelectComplementary greedily picks setSize vectors from pool so that the
@@ -381,12 +543,23 @@ func HillClimb(e *Env, v ipv.Vector, maxRounds int) (ipv.Vector, float64) {
 // how the 2- and 4-vector DGIPPR sets are assembled from independently
 // evolved vectors.
 func SelectComplementary(e *Env, pool []ipv.Vector, setSize int) []ipv.Vector {
+	out, _ := SelectComplementaryCtx(context.Background(), e, pool, setSize) // Background never cancels
+	return out
+}
+
+// SelectComplementaryCtx is SelectComplementary with cooperative
+// cancellation of the per-vector evaluation fan-out; the greedy selection
+// itself reads precomputed scores and is negligible. On cancellation it
+// returns (nil, ctx.Err()).
+func SelectComplementaryCtx(ctx context.Context, e *Env, pool []ipv.Vector, setSize int) ([]ipv.Vector, error) {
 	if setSize <= 0 || len(pool) == 0 {
 		panic("ga: SelectComplementary needs a pool and positive set size")
 	}
 	per := make([][]float64, len(pool))
 	e.baselines() // settle the baseline before fanning out
-	parallel.For(e.Workers, len(pool), func(i int) { per[i] = e.PerStream(pool[i]) })
+	if err := parallel.ForCtx(ctx, e.Workers, len(pool), func(i int) { per[i] = e.PerStream(pool[i]) }); err != nil {
+		return nil, err
+	}
 	weights := make([]float64, len(e.streams))
 	for i, s := range e.streams {
 		weights[i] = s.Weight
@@ -422,7 +595,7 @@ func SelectComplementary(e *Env, pool []ipv.Vector, setSize int) []ipv.Vector {
 	for i, idx := range chosen {
 		out[i] = pool[idx].Clone()
 	}
-	return out
+	return out, nil
 }
 
 func contains(xs []int, x int) bool {

@@ -1,10 +1,15 @@
 package ipv
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
-// FuzzParse checks that Parse never panics and that anything it accepts
-// survives a String round trip and validation.
-func FuzzParse(f *testing.F) {
+// FuzzParseVector checks the vector parser — the boundary every external
+// input crosses (command-line -ipv flags, checkpoint payloads) — never
+// panics on arbitrary text, and that anything it accepts passes Validate
+// and survives a String round trip.
+func FuzzParseVector(f *testing.F) {
 	f.Add("[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]")
 	f.Add("0 0 0")
 	f.Add("")
@@ -12,6 +17,11 @@ func FuzzParse(f *testing.F) {
 	f.Add("9999999999999999999999")
 	f.Add("-1 0 0")
 	f.Add("0,1,\t2 ,3,1")
+	f.Add(LRU(16).String())      // checkpoint payloads store String() forms
+	f.Add(MidClimb(16).String())
+	f.Add("1 1 1")               // entries must stay below k
+	f.Add("0 0 1e2")
+	f.Add(strings.Repeat("0 ", 1024))
 	f.Fuzz(func(t *testing.T, s string) {
 		v, err := Parse(s)
 		if err != nil {

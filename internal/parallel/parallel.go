@@ -5,10 +5,18 @@
 // before the fork, the forked function touches only its own index's state,
 // and results land in pre-sized slots — so worker count changes scheduling,
 // never arithmetic, and parallel output is bit-identical to serial output.
+//
+// Cancellation follows the same rule: ForCtx stops handing out indices when
+// its context is cancelled but lets every claimed index finish, so a
+// cancelled fan-out truncates the set of completed indices without ever
+// producing a partially-computed slot.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -26,6 +34,31 @@ func Clamp(workers int) int {
 	return workers
 }
 
+// Panic is the value re-raised on the caller when a worker goroutine
+// panics: it carries the worker's original panic value together with the
+// stack captured on the worker at recover time, so the panic output shows
+// both the worker's stack and the caller's.
+type Panic struct {
+	// Value is the worker's original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the point of the panic.
+	Stack []byte
+}
+
+// Error renders the original panic value followed by the worker stack; the
+// runtime appends the re-raising goroutine's stack after it.
+func (p *Panic) Error() string {
+	return fmt.Sprintf("%v\n\nworker goroutine stack:\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // For runs f(i) for every i in [0, n) on up to workers goroutines and
 // returns when all calls have finished. workers <= 1 (or n <= 1) runs f
 // inline on the calling goroutine, in index order, with zero overhead —
@@ -34,11 +67,24 @@ func Clamp(workers int) int {
 // (a thrashing workload next to an LLC-friendly one) still load-balance.
 //
 // f must not panic across goroutines silently: a panic in any worker is
-// re-raised on the caller after the remaining workers drain, so test
-// failures and programming errors surface exactly as they do serially.
+// re-raised on the caller as a *Panic (original value plus worker stack)
+// after the remaining workers drain, so test failures and programming
+// errors surface exactly as they do serially.
 func For(workers, n int, f func(i int)) {
+	// context.Background is never cancelled, so the only possible outcome
+	// is completion (or a re-raised panic).
+	_ = ForCtx(context.Background(), workers, n, f)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is cancelled, no
+// new index is handed out (serially or to any worker), in-flight calls
+// drain to completion, and ForCtx returns ctx.Err(). A nil return means
+// every index in [0, n) ran exactly once; a non-nil return means a prefix
+// of the claimed indices ran, each to completion — cancellation truncates
+// the fan-out, it never leaves a slot half-written.
+func ForCtx(ctx context.Context, workers, n int, f func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = Clamp(workers)
 	if workers > n {
@@ -46,21 +92,39 @@ func For(workers, n int, f func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Wrap panics exactly as the multi-worker path does, so a
+			// recovering caller sees the same *Panic shape at any width.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(&Panic{Value: r, Stack: debug.Stack()})
+					}
+				}()
+				f(i)
+			}()
 		}
-		return
+		return nil
 	}
 
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
-		panicked atomic.Value // first worker panic, re-raised on the caller
+		panicked atomic.Value // first worker *Panic, re-raised on the caller
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -68,7 +132,7 @@ func For(workers, n int, f func(i int)) {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panicked.CompareAndSwap(nil, r)
+							panicked.CompareAndSwap(nil, &Panic{Value: r, Stack: debug.Stack()})
 							// Stop handing out work; let peers drain.
 							next.Store(int64(n))
 						}
@@ -82,4 +146,5 @@ func For(workers, n int, f func(i int)) {
 	if r := panicked.Load(); r != nil {
 		panic(r)
 	}
+	return ctx.Err()
 }

@@ -1,6 +1,9 @@
 package parallel
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -68,6 +71,115 @@ func TestForPanicPropagates(t *testing.T) {
 				}
 			})
 		}()
+	}
+}
+
+func TestForPanicCarriesWorkerStack(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				p, ok := r.(*Panic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T, want *Panic", workers, r)
+				}
+				if p.Value != "boom" {
+					t.Fatalf("workers=%d: original value %v", workers, p.Value)
+				}
+				msg := p.Error()
+				if !strings.Contains(msg, "boom") || !strings.Contains(msg, "worker goroutine stack:") {
+					t.Fatalf("workers=%d: message lacks value or worker stack:\n%s", workers, msg)
+				}
+				// The captured stack must point at the panicking frame, not
+				// the re-raising caller.
+				if !strings.Contains(msg, "parallel_test") {
+					t.Fatalf("workers=%d: worker stack does not show the test frame:\n%s", workers, msg)
+				}
+			}()
+			For(workers, 64, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForPanicUnwrapsError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	defer func() {
+		p, ok := recover().(*Panic)
+		if !ok {
+			t.Fatal("expected *Panic")
+		}
+		if !errors.Is(p, sentinel) {
+			t.Fatal("Panic does not unwrap to the original error")
+		}
+	}()
+	For(4, 8, func(i int) { panic(sentinel) })
+}
+
+func TestForCtxCompletesWhenNotCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		if err := ForCtx(context.Background(), workers, n, func(i int) { counts[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d not visited exactly once", workers, i)
+			}
+		}
+	}
+}
+
+func TestForCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ForCtx(ctx, workers, 50, func(i int) { t.Errorf("workers=%d: ran index %d", workers, i) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+func TestForCtxCancelTruncatesWithoutTearing(t *testing.T) {
+	// Cancel after a few indices: every started index must finish (its slot
+	// fully written), no index runs twice, and the error is ctx.Err().
+	for _, workers := range []int{1, 4} {
+		const n = 10000
+		ctx, cancel := context.WithCancel(context.Background())
+		var started, finished atomic.Int64
+		counts := make([]atomic.Int32, n)
+		err := ForCtx(ctx, workers, n, func(i int) {
+			started.Add(1)
+			if started.Load() == 5 {
+				cancel()
+			}
+			counts[i].Add(1)
+			finished.Add(1)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if started.Load() != finished.Load() {
+			t.Fatalf("workers=%d: %d started but %d finished — in-flight calls must drain",
+				workers, started.Load(), finished.Load())
+		}
+		if finished.Load() == n {
+			t.Fatalf("workers=%d: cancellation did not truncate the fan-out", workers)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c > 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
 	}
 }
 

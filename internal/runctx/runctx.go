@@ -1,0 +1,77 @@
+// Package runctx is the shared run-context plumbing for the cmd tools:
+// signal-driven graceful shutdown, wall-clock deadlines, and the exit-code
+// convention. Every long-running tool builds its context here so SIGINT,
+// SIGTERM and -deadline all cancel through the same path: the engine stops
+// handing out work, in-flight cells drain, checkpoints (where configured)
+// are written, and the process exits with ExitCancelled — distinct from a
+// real failure, so wrapper scripts and schedulers can requeue a preempted
+// run instead of reporting it broken.
+package runctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Exit codes shared by the cmd tools. 0 is success and flag.ExitOnError
+// uses 2, so failures are 1 and cooperative cancellation (signal or
+// deadline) is 3.
+const (
+	ExitFailure   = 1
+	ExitUsage     = 2
+	ExitCancelled = 3
+)
+
+// Setup returns a context cancelled by SIGINT/SIGTERM and, when deadline is
+// positive, by a wall-clock budget. The returned stop function releases the
+// signal registration; a second signal while draining kills the process
+// immediately (the runtime default), so a stuck drain can always be
+// escaped.
+func Setup(deadline time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if deadline <= 0 {
+		return ctx, stop
+	}
+	ctx, cancelT := context.WithTimeout(ctx, deadline)
+	return ctx, func() {
+		cancelT()
+		stop()
+	}
+}
+
+// Cancelled reports whether err is a cooperative-cancellation error
+// (context cancellation or deadline expiry), directly or wrapped.
+func Cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ExitCode maps an error to the tools' exit-code convention: nil is 0,
+// cancellation is ExitCancelled, anything else ExitFailure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case Cancelled(err):
+		return ExitCancelled
+	default:
+		return ExitFailure
+	}
+}
+
+// Explain renders a one-line operator message for a cancelled run: which
+// budget ended it and what state it left behind.
+func Explain(tool string, err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Sprintf("%s: deadline reached; in-flight work drained, stopping", tool)
+	case errors.Is(err, context.Canceled):
+		return fmt.Sprintf("%s: interrupted; in-flight work drained, stopping", tool)
+	default:
+		return fmt.Sprintf("%s: %v", tool, err)
+	}
+}

@@ -27,6 +27,17 @@ func New(seed uint64) *RNG {
 // Seed resets the generator to the stream identified by seed.
 func (r *RNG) Seed(seed uint64) { r.state = seed }
 
+// State returns the generator's complete internal state. A generator
+// restored with SetState(State()) produces the identical future sequence —
+// this is what checkpoint/resume relies on to keep resumed GA runs
+// bit-identical to uninterrupted ones.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State. Unlike Seed,
+// which names a stream by its origin, SetState lands mid-stream: the next
+// draw continues exactly where the captured generator left off.
+func (r *RNG) SetState(state uint64) { r.state = state }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

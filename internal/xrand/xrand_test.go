@@ -191,3 +191,22 @@ func TestShuffleKeepsElements(t *testing.T) {
 		t.Fatalf("Shuffle changed the multiset: sum %d -> %d", sum, got)
 	}
 }
+
+func TestStateRoundTripResumesMidStream(t *testing.T) {
+	r := New(0xC0FFEE)
+	for i := 0; i < 17; i++ {
+		r.Uint64() // advance partway into the stream
+	}
+	saved := r.State()
+	want := make([]uint64, 32)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	resumed := New(0) // seed is irrelevant once SetState lands
+	resumed.SetState(saved)
+	for i := range want {
+		if got := resumed.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after SetState = %d, want %d", i, got, want[i])
+		}
+	}
+}
