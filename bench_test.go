@@ -21,6 +21,7 @@ import (
 	"gippr/internal/ipv"
 	"gippr/internal/policy"
 	"gippr/internal/stats"
+	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 	"gippr/internal/workload"
 	"gippr/internal/xrand"
@@ -392,11 +393,40 @@ func microStream(n int) []trace.Record {
 func benchPolicy(b *testing.B, mk func(sets, ways int) cache.Policy) {
 	cfg := cache.L3Config
 	stream := microStream(100_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cache.ReplayStream(stream, cfg, mk(cfg.Sets(), cfg.Ways), 0)
 	}
 	b.SetBytes(int64(len(stream)))
+}
+
+// BenchmarkReplayStream measures the telemetry tax on the simulator's hot
+// loop. The cache and policy are constructed outside the timed region so the
+// loop body is pure Access traffic: with the sink disabled the only cost is
+// a handful of nil checks and the benchmark must report 0 allocs/op; with a
+// sink attached every hit, miss, eviction, fill and IPV move is recorded
+// into fixed-size counters and histograms — still allocation-free, and the
+// time delta is the full event-recording overhead.
+func BenchmarkReplayStream(b *testing.B) {
+	cfg := cache.L3Config
+	stream := microStream(100_000)
+	run := func(b *testing.B, sink *telemetry.Sink) {
+		c := cache.New(cfg, policy.NewGIPPR(cfg.Sets(), cfg.Ways, ipv.PaperWIGIPPR))
+		if sink != nil {
+			c.SetTelemetry(sink)
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(stream)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range stream {
+				c.Access(r)
+			}
+		}
+	}
+	b.Run("telemetry=off", func(b *testing.B) { run(b, nil) })
+	b.Run("telemetry=on", func(b *testing.B) { run(b, &telemetry.Sink{}) })
 }
 
 func BenchmarkPolicyLRU(b *testing.B) {
@@ -428,6 +458,7 @@ func BenchmarkPolicySHiP(b *testing.B) {
 }
 
 func BenchmarkBeladyOptimal(b *testing.B) {
+	b.ReportAllocs()
 	stream := microStream(100_000)
 	for i := 0; i < b.N; i++ {
 		policy.Optimal(stream, cache.L3Config, 0)
@@ -436,6 +467,7 @@ func BenchmarkBeladyOptimal(b *testing.B) {
 }
 
 func BenchmarkWindowModel(b *testing.B) {
+	b.ReportAllocs()
 	m := cpu.DefaultWindowModel()
 	for i := 0; i < b.N; i++ {
 		if i%7 == 0 {
@@ -447,6 +479,7 @@ func BenchmarkWindowModel(b *testing.B) {
 }
 
 func BenchmarkHierarchyAccess(b *testing.B) {
+	b.ReportAllocs()
 	h := DefaultHierarchy(NewLRU(LLCConfig().Sets(), LLCConfig().Ways))
 	stream := microStream(1 << 16)
 	b.ResetTimer()
@@ -456,6 +489,7 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 }
 
 func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
 	w, err := workload.ByName("mcf_like")
 	if err != nil {
 		b.Fatal(err)

@@ -6,6 +6,11 @@
 //	gippr-evolve [-scale smoke|default|full] [-pop N] [-gens N] [-seeds N]
 //	             [-bake] [-hillclimb N] [-workers N]
 //	             [-checkpoint path] [-resume] [-deadline dur]
+//	             [-progress-every dur] [-debug-addr host:port]
+//
+// A progress line (stage, generation, rate, checkpoint age) is printed to
+// stderr every -progress-every while the search runs; -debug-addr serves
+// the same gauges as expvar at /debug/vars alongside the pprof suite.
 //
 // Without -bake it evolves one vector and prints the per-generation best.
 // With -bake it reproduces the full vector pipeline the shipped experiments
@@ -40,6 +45,12 @@ import (
 	"gippr/internal/runctx"
 )
 
+// prog is the tool-wide gauge block: one work unit per completed GA
+// generation, the generation gauge tracking the run in flight, and the
+// checkpoint-age gauge fed by saveCkpt. Served via -debug-addr and printed
+// periodically via -progress-every.
+var prog = runctx.NewProgress("gippr-evolve")
+
 func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale (overrides GIPPR_SCALE)")
 	pop := flag.Int("pop", 0, "population size (0 = scale default)")
@@ -51,6 +62,8 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "snapshot file written at every generation boundary (crash safety)")
 	resume := flag.Bool("resume", true, "with -checkpoint: continue from an existing snapshot instead of overwriting it")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the run drains, checkpoints and exits with code 3")
+	progressEvery := flag.Duration("progress-every", 30*time.Second, "interval between progress lines on stderr (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar progress gauges and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -76,8 +89,16 @@ func main() {
 	ctx, stop := runctx.Setup(*deadline)
 	defer stop()
 
+	stopDebug, err := runctx.MaybeServeDebug(*debugAddr, prog)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopDebug()
+	runctx.StartProgressLog(ctx, os.Stderr, *progressEvery, prog)
+
 	lab := experiments.NewLab(scale).SetWorkers(*workers).SetContext(ctx)
 	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale, %d workers)...\n", scale.Name, lab.Workers)
+	prog.SetPhase("build streams")
 	start := time.Now()
 	env, err := lab.GAEnvCtx(ctx)
 	if err != nil {
@@ -132,6 +153,7 @@ func saveCkpt(path, fp string, payload any) {
 	if err := checkpoint.Save(path, fp, payload); err != nil {
 		fatal(err)
 	}
+	prog.MarkCheckpoint()
 }
 
 // loadCkpt loads a snapshot into out. Returns false when none exists (fresh
@@ -169,8 +191,12 @@ func removeCkpt(path string) {
 // runSingle is the non-bake path: one GA run, optional hill climbing.
 func runSingle(ctx context.Context, env *ga.Env, scale experiments.Scale, pop, gens, hillclimb int, ckptPath string, resume bool) {
 	fp := fingerprint("single", scale, pop, gens, 0)
+	prog.SetPhase("evolve")
+	prog.SetTotal(uint64(gens))
 	cfg := gaConfig(pop, gens, 0x90)
+	gauges := cfg.OnGeneration
 	cfg.OnGeneration = func(gen int, best ga.Scored) {
+		gauges(gen, best)
 		fmt.Fprintf(os.Stderr, "gen %2d: best fitness %.4f %v\n", gen, best.Fitness, best.Vector)
 	}
 	if ckptPath != "" {
@@ -265,8 +291,10 @@ func vectorStrings(vs []ipv.Vector) []string {
 func (b *baker) stage(idx int, env *ga.Env, label string, seedBase uint64) (*stageResult, error) {
 	if done := b.st.Stages[idx]; done != nil {
 		fmt.Fprintf(os.Stderr, "stage %s already complete in checkpoint; skipping\n", label)
+		prog.Add(uint64(b.nSeeds * b.gens)) // skipped generations still count as done
 		return done, nil
 	}
+	prog.SetPhase(label)
 	// The pool starts with the classic LRU/LIP corners so the complementary
 	// selector can always fall back on them.
 	pool := []ipv.Vector{ipv.LRU(16), ipv.LIP(16)}
@@ -330,6 +358,7 @@ func (b *baker) stage(idx int, env *ga.Env, label string, seedBase uint64) (*sta
 // workload-neutral stage per holdout fold, then the Go source emission.
 func runBake(ctx context.Context, env *ga.Env, scale experiments.Scale, pop, gens, nSeeds int, ckptPath string, resume bool) {
 	fp := fingerprint("bake", scale, pop, gens, nSeeds)
+	prog.SetTotal(uint64((1 + experiments.NumFolds) * nSeeds * gens))
 	b := &baker{ctx: ctx, path: ckptPath, fp: fp, pop: pop, gens: gens, nSeeds: nSeeds}
 	b.st.Stages = make([]*stageResult, 1+experiments.NumFolds)
 	if resume {
@@ -424,6 +453,10 @@ func gaConfig(pop, gens int, seed uint64) ga.Config {
 	cfg := ga.DefaultConfig(seed)
 	cfg.Population = pop
 	cfg.Generations = gens
+	cfg.OnGeneration = func(gen int, _ ga.Scored) {
+		prog.SetGeneration(uint64(gen + 1))
+		prog.Add(1)
+	}
 	cfg.Seeds = []ipv.Vector{
 		ipv.LRU(16), ipv.LIP(16), ipv.MidClimb(16),
 		ipv.PaperWIGIPPR,

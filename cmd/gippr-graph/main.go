@@ -14,13 +14,23 @@ import (
 	"os"
 
 	"gippr/internal/ipv"
+	"gippr/internal/runctx"
 )
 
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of text")
 	vector := flag.String("vector", "", "explicit vector, e.g. \"0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13\"")
 	named := flag.String("named", "giplr", "named vector: lru, lip, midclimb, giplr (Figure 3), wi-gippr")
+	debugAddr := flag.String("debug-addr", "", "serve expvar progress gauges and pprof on this address (uniform across the gippr tools; rendering is instant)")
 	flag.Parse()
+
+	prog := runctx.NewProgress("gippr-graph")
+	stopDebug, err := runctx.MaybeServeDebug(*debugAddr, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gippr-graph:", err)
+		os.Exit(runctx.ExitFailure)
+	}
+	defer stopDebug()
 
 	var v ipv.Vector
 	var title string

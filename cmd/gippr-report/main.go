@@ -4,10 +4,13 @@
 // Usage:
 //
 //	gippr-report [-scale smoke|default|full] [-only fig1,fig4,...] [-workers N]
-//	             [-deadline dur]
+//	             [-deadline dur] [-telemetry manifest.json] [-debug-addr host:port]
 //
 // The scale flag overrides the GIPPR_SCALE environment variable. With no
-// -only flag, all figures are produced in paper order. SIGINT/SIGTERM or
+// -only flag, all figures are produced in paper order. With -telemetry, an
+// event-level JSON run manifest over the headline policy roster is written
+// after the sections; with -debug-addr, live progress gauges are served as
+// expvar at /debug/vars alongside the pprof suite. SIGINT/SIGTERM or
 // -deadline stop the report at the next section boundary: the section in
 // flight finishes and prints (sections are all-or-nothing), later sections
 // are skipped, and the exit code is 3.
@@ -29,6 +32,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint")
 	workers := flag.Int("workers", 0, "worker goroutines for the evaluation grid (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the current section finishes and the rest are skipped (exit code 3)")
+	telemetryPath := flag.String("telemetry", "", "write an event-level JSON run manifest over the headline policy roster to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar progress gauges and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -56,6 +61,14 @@ func main() {
 	ctx, stop := runctx.Setup(*deadline)
 	defer stop()
 
+	prog := runctx.NewProgress("gippr-report")
+	stopDebug, err := runctx.MaybeServeDebug(*debugAddr, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gippr-report:", err)
+		os.Exit(runctx.ExitFailure)
+	}
+	defer stopDebug()
+
 	// The lab context only truncates internal prefetch fan-outs — memoized
 	// getters still compute on demand, so a section that starts always
 	// prints complete, correct numbers. Cancellation is honoured at section
@@ -68,8 +81,10 @@ func main() {
 		if !sel(name) || ctx.Err() != nil {
 			return
 		}
+		prog.SetPhase(name)
 		start := time.Now()
 		f()
+		prog.Add(1)
 		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -114,6 +129,28 @@ func main() {
 	section("simpoint", func() {
 		fmt.Print(experiments.FormatSimPointValidation(experiments.SimPointValidation(lab)))
 	})
+
+	if *telemetryPath != "" && ctx.Err() == nil {
+		prog.SetPhase("telemetry")
+		// The headline roster of the paper's comparison figures: baselines,
+		// the strongest prior work, and the GIPPR family.
+		specs := []experiments.Spec{
+			experiments.SpecLRU, experiments.SpecPLRU, experiments.SpecDRRIP,
+			experiments.SpecPDP, experiments.SpecSHiP, experiments.SpecWIGIPPR,
+			experiments.SpecWI2DGIPPR, experiments.SpecWI4DGIPPR,
+		}
+		fp := fmt.Sprintf("gippr-report|v1|scale=%s|records=%d|warm=%.6f",
+			scale.Name, scale.PhaseRecords, scale.WarmFrac)
+		m, err := lab.Manifest(ctx, "gippr-report", fp, specs)
+		if err == nil {
+			if err = m.WriteFile(*telemetryPath); err != nil {
+				fmt.Fprintln(os.Stderr, "gippr-report:", err)
+				os.Exit(runctx.ExitFailure)
+			}
+			fmt.Fprintf(os.Stderr, "gippr-report: wrote telemetry manifest to %s (%d entries)\n",
+				*telemetryPath, len(m.Entries))
+		}
+	}
 
 	if err := ctx.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-report", err))

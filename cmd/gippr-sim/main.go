@@ -6,11 +6,16 @@
 //
 //	gippr-sim [-workloads mcf_like,lbm_like|all] [-policies lru,drrip,4-dgippr|all]
 //	          [-records N] [-warm frac] [-ipv "0 0 1 ..."] [-workers N]
-//	          [-deadline dur]
+//	          [-deadline dur] [-telemetry manifest.json] [-debug-addr host:port]
 //
 // With -ipv, an additional GIPPR policy using the given vector is included.
-// SIGINT/SIGTERM or -deadline stop the grid gracefully: in-flight cells
-// drain, no partial table is printed, and the exit code is 3.
+// With -telemetry, every grid cell is replayed with an event sink attached
+// and a JSON run manifest (config fingerprint plus per-cell counters and
+// insertion/promotion/reuse histograms) is written after the table. With
+// -debug-addr, live progress gauges (cells done, rate) are served as expvar
+// at /debug/vars alongside the pprof suite. SIGINT/SIGTERM or -deadline
+// stop the grid gracefully: in-flight cells drain, no partial table is
+// printed, and the exit code is 3.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"gippr/internal/policy"
 	"gippr/internal/runctx"
 	"gippr/internal/stats"
+	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 	"gippr/internal/workload"
 	"gippr/internal/xrand"
@@ -41,10 +47,19 @@ func main() {
 	list := flag.Bool("list", false, "list known workloads and policies, then exit")
 	workers := flag.Int("workers", 0, "worker goroutines for the simulation grid (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the grid drains and exits with code 3")
+	telemetryPath := flag.String("telemetry", "", "write an event-level JSON run manifest (per-cell counters, insertion/promotion and reuse histograms) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar progress gauges and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	ctx, stop := runctx.Setup(*deadline)
 	defer stop()
+
+	prog := runctx.NewProgress("gippr-sim")
+	stopDebug, err := runctx.MaybeServeDebug(*debugAddr, prog)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopDebug()
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
@@ -122,13 +137,19 @@ func main() {
 	type row struct {
 		mpki, hitr, ipc float64
 		misses          uint64
+		llc             *telemetry.Sink
 	}
 	l3 := cache.L3Config
 	rows := make([]row, len(wls)*len(pols))
-	err := parallel.ForCtx(ctx, *workers, len(rows), func(idx int) {
+	prog.SetTotal(uint64(len(rows)))
+	err = parallel.ForCtx(ctx, *workers, len(rows), func(idx int) {
 		w, ps := wls[idx/len(pols)], pols[idx%len(pols)]
 		var mpkis, ipcs, hitrs, weights []float64
 		var misses uint64
+		var sink *telemetry.Sink
+		if *telemetryPath != "" {
+			sink = &telemetry.Sink{}
+		}
 		for pi, ph := range w.Phases {
 			h := hierarchyWith(ps.mk(l3.Sets(), l3.Ways))
 			h.RecordLLC = true
@@ -136,8 +157,13 @@ func main() {
 			src := &workload.Limit{Src: ph.Source(xrand.Mix(uint64(pi), 0x5eed)), N: uint64(*records)}
 			h.Run(src)
 			stream := h.LLCStream
-			res := cpu.WindowReplay(stream, l3, ps.mk(l3.Sets(), l3.Ways),
-				int(float64(len(stream))**warm), cpu.DefaultWindowModel())
+			var phaseSink *telemetry.Sink
+			if sink != nil {
+				phaseSink = &telemetry.Sink{}
+			}
+			res := cpu.WindowReplayTel(stream, l3, ps.mk(l3.Sets(), l3.Ways),
+				int(float64(len(stream))**warm), cpu.DefaultWindowModel(), phaseSink)
+			sink.Merge(phaseSink) // nil-safe both ways
 			mpkis = append(mpkis, stats.MPKI(res.Misses, res.Instructions))
 			hitrs = append(hitrs, 100*float64(res.Hits)/float64(max(res.Accesses, 1)))
 			ipcs = append(ipcs, float64(res.Instructions)/res.Cycles)
@@ -149,7 +175,9 @@ func main() {
 			hitr:   stats.WeightedMean(hitrs, weights),
 			ipc:    stats.WeightedMean(ipcs, weights),
 			misses: misses,
+			llc:    sink,
 		}
+		prog.Add(1)
 	})
 	if err != nil {
 		// A truncated grid would print zero rows for the cells that never
@@ -163,6 +191,33 @@ func main() {
 		fmt.Printf("%-18s %-12s %10.3f %10.2f %10.3f %8d\n",
 			wls[idx/len(pols)].Name, pols[idx%len(pols)].name,
 			r.mpki, r.hitr, r.ipc, r.misses)
+	}
+
+	if *telemetryPath != "" {
+		m := &telemetry.Manifest{
+			Tool: "gippr-sim",
+			Fingerprint: fmt.Sprintf("gippr-sim|v1|records=%d|warm=%.6f|workloads=%s|policies=%s|ipv=%s",
+				*records, *warm, *workloadsFlag, *policiesFlag, *ipvFlag),
+			Cache: telemetry.CacheGeometry{
+				Name: l3.Name, SizeBytes: l3.SizeBytes, Ways: l3.Ways,
+				BlockBytes: l3.BlockBytes, Sets: l3.Sets(),
+			},
+			Records:  *records,
+			WarmFrac: *warm,
+		}
+		for idx, r := range rows {
+			m.Entries = append(m.Entries, telemetry.Entry{
+				Workload: wls[idx/len(pols)].Name,
+				Policy:   pols[idx%len(pols)].name,
+				MPKI:     r.mpki,
+				LLC:      r.llc.Report(),
+			})
+		}
+		if err := m.WriteFile(*telemetryPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gippr-sim: wrote telemetry manifest to %s (%d entries)\n",
+			*telemetryPath, len(m.Entries))
 	}
 }
 

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	gippr-sweep [-n 400] [-scale smoke|default|full] [-seed N] [-csv]
-//	            [-workers N] [-deadline dur]
+//	            [-workers N] [-deadline dur] [-progress-every dur]
+//	            [-debug-addr host:port]
 //
-// SIGINT/SIGTERM or -deadline stop the sweep gracefully: in-flight samples
-// drain, nothing partial is printed (the sorted curve is meaningless when
-// truncated), and the exit code is 3.
+// A progress line (samples done, rate) is printed to stderr every
+// -progress-every while the sweep runs; -debug-addr serves the same gauges
+// as expvar at /debug/vars alongside the pprof suite. SIGINT/SIGTERM or
+// -deadline stop the sweep gracefully: in-flight samples drain, nothing
+// partial is printed (the sorted curve is meaningless when truncated), and
+// the exit code is 3.
 package main
 
 import (
@@ -31,6 +35,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the full sorted curve as CSV (index,speedup) for plotting")
 	workers := flag.Int("workers", 0, "worker goroutines for stream building and fitness evaluation (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the sweep drains and exits with code 3")
+	progressEvery := flag.Duration("progress-every", 30*time.Second, "interval between progress lines on stderr (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar progress gauges and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -53,16 +59,28 @@ func main() {
 	ctx, stop := runctx.Setup(*deadline)
 	defer stop()
 
+	prog := runctx.NewProgress("gippr-sweep")
+	prog.SetTotal(uint64(*n))
+	stopDebug, err := runctx.MaybeServeDebug(*debugAddr, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gippr-sweep:", err)
+		os.Exit(runctx.ExitFailure)
+	}
+	defer stopDebug()
+	runctx.StartProgressLog(ctx, os.Stderr, *progressEvery, prog)
+
 	lab := experiments.NewLab(scale).SetWorkers(*workers)
 	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale, %d workers)...\n", scale.Name, lab.Workers)
+	prog.SetPhase("build streams")
 	env, err := lab.GAEnvCtx(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-sweep", err))
 		os.Exit(runctx.ExitCode(err))
 	}
 
+	prog.SetPhase("sample")
 	start := time.Now()
-	scored, err := ga.RandomSearchCtx(ctx, env, *n, *seed)
+	scored, err := ga.RandomSearchProgressCtx(ctx, env, *n, *seed, func() { prog.Add(1) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, runctx.Explain("gippr-sweep", err))
 		os.Exit(runctx.ExitCode(err))

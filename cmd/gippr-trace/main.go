@@ -10,6 +10,10 @@
 //	gippr-trace info -i trace.bin                 # summary statistics
 //	gippr-trace simpoints -i trace.bin [-k 6]     # SimPoint phase selection
 //
+// The record-streaming subcommands (gen, llc, info) accept -debug-addr to
+// serve live records/sec gauges as expvar at /debug/vars with the pprof
+// suite.
+//
 // SIGINT/SIGTERM interrupt the record loops gracefully: a partially written
 // output file is removed rather than left torn, and the exit code is 3.
 package main
@@ -27,6 +31,17 @@ import (
 	"gippr/internal/trace"
 	"gippr/internal/workload"
 )
+
+// prog counts processed records across whichever subcommand runs; each
+// subcommand's -debug-addr flag serves it as expvar gauges.
+var prog = runctx.NewProgress("gippr-trace")
+
+// serveDebug starts the debug server for a subcommand's -debug-addr flag.
+func serveDebug(addr string) {
+	if _, err := runctx.MaybeServeDebug(addr, prog); err != nil {
+		fatal(err)
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -81,10 +96,14 @@ func cmdGen(ctx context.Context, args []string) {
 	records := fs.Int("records", 600_000, "number of references")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output trace file")
+	debugAddr := fs.String("debug-addr", "", "serve expvar progress gauges and pprof on this address")
 	fs.Parse(args)
 	if *out == "" {
 		fatal(fmt.Errorf("gen: -o is required"))
 	}
+	serveDebug(*debugAddr)
+	prog.SetPhase("gen")
+	prog.SetTotal(uint64(*records))
 	w, err := workload.ByName(*name)
 	if err != nil {
 		fatal(err)
@@ -98,9 +117,12 @@ func cmdGen(ctx context.Context, args []string) {
 	}
 	src := &workload.Limit{Src: w.Phases[*phase].Source(*seed), N: uint64(*records)}
 	for i := 0; ; i++ {
-		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
-			closeFn()
-			cancelled(ctx, *out)
+		if i%cancelCheckEvery == 0 {
+			if ctx.Err() != nil {
+				closeFn()
+				cancelled(ctx, *out)
+			}
+			prog.Add(uint64(i) - prog.Done()) // batch the gauge off the hot loop
 		}
 		r, ok := src.Next()
 		if !ok {
@@ -122,10 +144,13 @@ func cmdLLC(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("llc", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file")
 	out := fs.String("o", "", "output LLC-filtered trace file")
+	debugAddr := fs.String("debug-addr", "", "serve expvar progress gauges and pprof on this address")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("llc: -i and -o are required"))
 	}
+	serveDebug(*debugAddr)
+	prog.SetPhase("llc")
 	tr, closeIn, err := trace.OpenFile(*in)
 	if err != nil {
 		fatal(err)
@@ -163,9 +188,12 @@ type ctxSource struct {
 }
 
 func (s *ctxSource) Next() (trace.Record, bool) {
-	if s.n%cancelCheckEvery == 0 && s.ctx.Err() != nil {
-		s.stopped = true
-		return trace.Record{}, false
+	if s.n%cancelCheckEvery == 0 {
+		if s.ctx.Err() != nil {
+			s.stopped = true
+			return trace.Record{}, false
+		}
+		prog.Add(uint64(s.n) - prog.Done()) // batch the gauge off the hot loop
 	}
 	s.n++
 	return s.src.Next()
@@ -174,10 +202,13 @@ func (s *ctxSource) Next() (trace.Record, bool) {
 func cmdInfo(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file")
+	debugAddr := fs.String("debug-addr", "", "serve expvar progress gauges and pprof on this address")
 	fs.Parse(args)
 	if *in == "" {
 		fatal(fmt.Errorf("info: -i is required"))
 	}
+	serveDebug(*debugAddr)
+	prog.SetPhase("info")
 	tr, closeIn, err := trace.OpenFile(*in)
 	if err != nil {
 		fatal(err)
@@ -187,8 +218,11 @@ func cmdInfo(ctx context.Context, args []string) {
 	blocks := map[uint64]struct{}{}
 	pcs := map[uint64]struct{}{}
 	for {
-		if records%cancelCheckEvery == 0 && ctx.Err() != nil {
-			cancelled(ctx, "")
+		if records%cancelCheckEvery == 0 {
+			if ctx.Err() != nil {
+				cancelled(ctx, "")
+			}
+			prog.Add(records - prog.Done()) // batch the gauge off the hot loop
 		}
 		r, ok := tr.Next()
 		if !ok {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 )
 
@@ -49,6 +50,14 @@ type Policy interface {
 	Victim(set uint32, r trace.Record) int
 	OnEvict(set uint32, way int, r trace.Record)
 	OnFill(set uint32, way int, r trace.Record)
+}
+
+// Instrumented is optionally implemented by replacement policies that can
+// emit telemetry events (insertion positions, promotion distances, dueling
+// votes). Cache.SetTelemetry forwards its sink to an Instrumented policy so
+// cache-level and policy-level events land in the same place.
+type Instrumented interface {
+	SetTelemetry(*telemetry.Sink)
 }
 
 // Bypasser is optionally implemented by replacement policies that can
@@ -136,6 +145,7 @@ type Cache struct {
 	lines      []line // flattened [set*ways + way]
 	pol        Policy
 	Stats      Stats
+	tel        *telemetry.Sink // nil when telemetry is disabled
 
 	// OnEviction, if set, is called with the byte address of every valid
 	// block this cache evicts. Hierarchies use it to implement inclusion
@@ -166,6 +176,23 @@ func (c *Cache) Sets() int { return c.sets }
 // Policy returns the replacement policy in use.
 func (c *Cache) Policy() Policy { return c.pol }
 
+// SetTelemetry attaches an event sink to the cache (nil detaches). The sink
+// is sized for the cache's line count and, when the replacement policy is
+// Instrumented, shared with it, so cache-level events (hits, misses,
+// evictions with measured reuse) and policy-level events (insertion and
+// promotion positions, dueling votes) accumulate together. With no sink
+// attached, the Access hot path pays exactly one nil check per event site.
+func (c *Cache) SetTelemetry(s *telemetry.Sink) {
+	s.Attach(len(c.lines))
+	c.tel = s
+	if ins, ok := c.pol.(Instrumented); ok {
+		ins.SetTelemetry(s)
+	}
+}
+
+// Telemetry returns the attached sink (nil when disabled).
+func (c *Cache) Telemetry() *telemetry.Sink { return c.tel }
+
 // Block returns the block number of a byte address in this cache's geometry.
 func (c *Cache) Block(addr uint64) uint64 { return addr >> c.blockShift }
 
@@ -189,11 +216,17 @@ func (c *Cache) Access(r trace.Record) bool {
 			if r.Write {
 				ls[w].dirty = true
 			}
+			if c.tel != nil {
+				c.tel.Hit(base + w)
+			}
 			c.pol.OnHit(set, w, r)
 			return true
 		}
 	}
 	c.Stats.Misses++
+	if c.tel != nil {
+		c.tel.Miss()
+	}
 	c.pol.OnMiss(set, r)
 	w := -1
 	for i := range ls {
@@ -204,6 +237,7 @@ func (c *Cache) Access(r trace.Record) bool {
 	}
 	if w < 0 {
 		if bp, ok := c.pol.(Bypasser); ok && bp.ShouldBypass(set, r) {
+			c.tel.Bypass() // nil-safe; off the common path
 			return false
 		}
 		w = c.pol.Victim(set, r)
@@ -214,12 +248,18 @@ func (c *Cache) Access(r trace.Record) bool {
 		if ls[w].dirty {
 			c.Stats.Writebacks++
 		}
+		if c.tel != nil {
+			c.tel.Evict(base+w, ls[w].dirty)
+		}
 		c.pol.OnEvict(set, w, r)
 		if c.OnEviction != nil {
 			c.OnEviction(ls[w].block << c.blockShift)
 		}
 	}
 	ls[w] = line{block: block, valid: true, dirty: r.Write}
+	if c.tel != nil {
+		c.tel.Fill(base + w)
+	}
 	c.pol.OnFill(set, w, r)
 	return false
 }
@@ -255,5 +295,10 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
-// ResetStats zeroes the counters (e.g. after cache warm-up).
-func (c *Cache) ResetStats() { c.Stats = Stats{} }
+// ResetStats zeroes the counters and any attached telemetry (e.g. after
+// cache warm-up). The telemetry sink's per-line reuse clocks survive the
+// reset, so reuse intervals spanning the warm-up boundary stay correct.
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	c.tel.Reset()
+}

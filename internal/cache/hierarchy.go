@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 )
 
@@ -68,6 +69,14 @@ func (h *Hierarchy) ReserveLLC(n int) {
 		copy(grown, h.LLCStream)
 		h.LLCStream = grown
 	}
+}
+
+// SetTelemetry attaches one event sink per level (any of which may be nil
+// to leave that level uninstrumented). Detach everything with three nils.
+func (h *Hierarchy) SetTelemetry(l1, l2, l3 *telemetry.Sink) {
+	h.L1.SetTelemetry(l1)
+	h.L2.SetTelemetry(l2)
+	h.L3.SetTelemetry(l3)
 }
 
 // MakeInclusive enforces inclusion: an eviction from the L3
@@ -163,7 +172,20 @@ type ReplayStats struct {
 // the cache; statistics cover the remainder. This is the paper's fitness-
 // evaluation path (Section 4.3: 500M instructions of warm-up, then measure).
 func ReplayStream(stream []trace.Record, cfg Config, pol Policy, warm int) ReplayStats {
+	return ReplayStreamTel(stream, cfg, pol, warm, nil)
+}
+
+// ReplayStreamTel is ReplayStream with an optional telemetry sink attached
+// to the LLC for the duration of the replay. Warm-up events are discarded
+// at the warm boundary (the sink is reset together with the cache stats),
+// so the sink describes exactly the measurement window. A nil sink makes it
+// identical to ReplayStream: the hot loop pays only the per-event nil
+// checks inside Cache.Access.
+func ReplayStreamTel(stream []trace.Record, cfg Config, pol Policy, warm int, tel *telemetry.Sink) ReplayStats {
 	c := New(cfg, pol)
+	if tel != nil {
+		c.SetTelemetry(tel)
+	}
 	if warm > len(stream) {
 		warm = len(stream)
 	}

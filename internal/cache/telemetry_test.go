@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+
+	"gippr/internal/telemetry"
+	"gippr/internal/trace"
+)
+
+// TestTelemetryMirrorsStats drives a cache with and without a sink attached
+// and checks that (a) the simulation outcome is identical and (b) the sink's
+// counters agree with the cache's own Stats.
+func TestTelemetryMirrorsStats(t *testing.T) {
+	cfg := tinyConfig()
+	sets := cfg.Sets()
+	addrs := []uint64{0, 64, 512, 0, 1024, 64, 1536, 0, 2048, 512}
+
+	plain := New(cfg, newLRUTest(sets, cfg.Ways))
+	var sink telemetry.Sink
+	instr := New(cfg, newLRUTest(sets, cfg.Ways))
+	instr.SetTelemetry(&sink)
+
+	for i, a := range addrs {
+		r := trace.Record{Gap: 1, Addr: a, Write: i%3 == 0}
+		if plain.Access(r) != instr.Access(r) {
+			t.Fatalf("access %d (%#x): outcome diverged with telemetry attached", i, a)
+		}
+	}
+	if plain.Stats != instr.Stats {
+		t.Fatalf("stats diverged: plain %+v, instrumented %+v", plain.Stats, instr.Stats)
+	}
+
+	s := instr.Stats
+	if sink.Hits.Load() != s.Hits || sink.Misses.Load() != s.Misses {
+		t.Errorf("sink hits/misses = %d/%d, stats %d/%d",
+			sink.Hits.Load(), sink.Misses.Load(), s.Hits, s.Misses)
+	}
+	if sink.Evictions.Load() != s.Evictions || sink.Writebacks.Load() != s.Writebacks {
+		t.Errorf("sink evictions/writebacks = %d/%d, stats %d/%d",
+			sink.Evictions.Load(), sink.Writebacks.Load(), s.Evictions, s.Writebacks)
+	}
+	if sink.Fills.Load() != s.Misses {
+		t.Errorf("sink fills = %d, want one per miss (%d)", sink.Fills.Load(), s.Misses)
+	}
+	if sink.Accesses() != s.Accesses {
+		t.Errorf("sink accesses = %d, stats %d", sink.Accesses(), s.Accesses)
+	}
+	if sink.HitReuse.Count() != s.Hits {
+		t.Errorf("HitReuse count = %d, want one observation per hit (%d)",
+			sink.HitReuse.Count(), s.Hits)
+	}
+	if sink.EvictAge.Count() != s.Evictions || sink.EvictLife.Count() != s.Evictions {
+		t.Errorf("EvictAge/EvictLife counts = %d/%d, want one per eviction (%d)",
+			sink.EvictAge.Count(), sink.EvictLife.Count(), s.Evictions)
+	}
+}
+
+func TestCacheResetStatsResetsSink(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	var sink telemetry.Sink
+	c.SetTelemetry(&sink)
+
+	c.Access(rec(0))
+	c.Access(rec(64))
+	c.ResetStats()
+	if sink.Accesses() != 0 {
+		t.Fatalf("sink not reset with stats: %d accesses", sink.Accesses())
+	}
+	// The reuse clock must survive the reset: a hit on the pre-reset fill of
+	// address 0 still yields a well-formed (positive) reuse interval.
+	c.Access(rec(0))
+	if sink.Hits.Load() != 1 || sink.HitReuse.Count() != 1 {
+		t.Fatalf("post-reset hit not recorded: hits=%d reuse=%d",
+			sink.Hits.Load(), sink.HitReuse.Count())
+	}
+}
+
+// bypassTestPolicy bypasses every miss in a full set.
+type bypassTestPolicy struct{ lruTestPolicy }
+
+func (p *bypassTestPolicy) ShouldBypass(uint32, trace.Record) bool { return true }
+
+func TestTelemetryBypass(t *testing.T) {
+	cfg := tinyConfig()
+	c := New(cfg, &bypassTestPolicy{*newLRUTest(cfg.Sets(), cfg.Ways)})
+	var sink telemetry.Sink
+	c.SetTelemetry(&sink)
+
+	// Fill set 0 (two ways), then miss into the full set: must bypass.
+	c.Access(rec(0))
+	c.Access(rec(512))
+	c.Access(rec(1024))
+	if sink.Bypasses.Load() != 1 {
+		t.Errorf("bypasses = %d, want 1", sink.Bypasses.Load())
+	}
+	if sink.Evictions.Load() != 0 || sink.Fills.Load() != 2 {
+		t.Errorf("evictions/fills = %d/%d, want 0/2", sink.Evictions.Load(), sink.Fills.Load())
+	}
+}
+
+func TestReplayStreamTelMatchesReplayStream(t *testing.T) {
+	cfg := tinyConfig()
+	var stream []trace.Record
+	for i := 0; i < 200; i++ {
+		stream = append(stream, rec(uint64(i%7)*64*11))
+	}
+	warm := 50
+	plain := ReplayStream(stream, cfg, newLRUTest(cfg.Sets(), cfg.Ways), warm)
+	var sink telemetry.Sink
+	got := ReplayStreamTel(stream, cfg, newLRUTest(cfg.Sets(), cfg.Ways), warm, &sink)
+	if plain != got {
+		t.Fatalf("replay stats diverged with telemetry: %+v vs %+v", plain, got)
+	}
+	if sink.Accesses() != got.Accesses {
+		t.Errorf("sink accesses = %d, want measurement window only (%d)",
+			sink.Accesses(), got.Accesses)
+	}
+	if sink.Hits.Load() != got.Hits || sink.Misses.Load() != got.Misses {
+		t.Errorf("sink hits/misses = %d/%d, want %d/%d",
+			sink.Hits.Load(), sink.Misses.Load(), got.Hits, got.Misses)
+	}
+}
+
+func TestHierarchySetTelemetry(t *testing.T) {
+	mk := func(cfg Config) *Cache { return New(cfg, newLRUTest(cfg.Sets(), cfg.Ways)) }
+	h := NewHierarchy(mk(L1Config), mk(L2Config), mk(L3Config))
+	var l1, l3 telemetry.Sink
+	h.SetTelemetry(&l1, nil, &l3)
+
+	for i := 0; i < 100; i++ {
+		h.Access(rec(uint64(i) * 64))
+	}
+	if l1.Accesses() != h.L1.Stats.Accesses {
+		t.Errorf("L1 sink accesses = %d, stats %d", l1.Accesses(), h.L1.Stats.Accesses)
+	}
+	if h.L2.Telemetry() != nil {
+		t.Error("L2 sink unexpectedly attached")
+	}
+	if l3.Accesses() != h.L3.Stats.Accesses {
+		t.Errorf("L3 sink accesses = %d, stats %d", l3.Accesses(), h.L3.Stats.Accesses)
+	}
+}

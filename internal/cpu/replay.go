@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"gippr/internal/cache"
+	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 )
 
@@ -25,7 +26,20 @@ type ReplayResult struct {
 // untimed.
 func WindowReplay(stream []trace.Record, cfg cache.Config, pol cache.Policy,
 	warm int, m *WindowModel) ReplayResult {
+	return WindowReplayTel(stream, cfg, pol, warm, m, nil)
+}
+
+// WindowReplayTel is WindowReplay with an optional telemetry sink attached
+// to the LLC for the replay's duration. Warm-up events are discarded with
+// the warm-up stats (Cache.ResetStats resets the sink), so the sink
+// describes exactly the timed measurement window. A nil sink makes it
+// identical to WindowReplay.
+func WindowReplayTel(stream []trace.Record, cfg cache.Config, pol cache.Policy,
+	warm int, m *WindowModel, tel *telemetry.Sink) ReplayResult {
 	c := cache.New(cfg, pol)
+	if tel != nil {
+		c.SetTelemetry(tel)
+	}
 	if warm > len(stream) {
 		warm = len(stream)
 	}

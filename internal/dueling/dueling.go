@@ -108,6 +108,10 @@ func NewDuel(numSets, leadersPerPolicy, counterBits int) *Duel {
 	}
 }
 
+// Leader returns the policy index the set leads, or -1 for follower sets
+// (exposed for telemetry: a leader miss is one dueling "vote").
+func (d *Duel) Leader(set uint32) int { return d.sel.Leader(set) }
+
 // OnMiss records a miss in the given set; misses in non-leader sets are
 // ignored.
 func (d *Duel) OnMiss(set uint32) {
@@ -153,6 +157,9 @@ func NewTournament(numSets, leadersPerPolicy, counterBits int) *Tournament {
 		meta: NewCounter(counterBits),
 	}
 }
+
+// Leader returns the policy index the set leads, or -1 for follower sets.
+func (t *Tournament) Leader(set uint32) int { return t.sel.Leader(set) }
 
 // OnMiss records a miss in the given set, updating the pair counter the
 // leader belongs to and the meta counter.
@@ -228,6 +235,9 @@ func NewBracket(numSets, numPolicies, leadersPerPolicy, counterBits int) *Bracke
 	}
 	return b
 }
+
+// Leader returns the policy index the set leads, or -1 for follower sets.
+func (b *Bracket) Leader(set uint32) int { return b.sel.Leader(set) }
 
 // OnMiss records a miss in the given set. A miss by leader p trains every
 // counter on p's leaf-to-root path: Up when p lies in the node's left

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"gippr/internal/cache"
+	"gippr/internal/policy"
+	"gippr/internal/stats"
+)
+
+// TestBeladyDominatesEveryRegisteredPolicy checks the defining property of
+// Belady's MIN on the real evaluation pipeline: on every workload's
+// LLC-filtered stream, MIN's miss count (hence MPKI — the instruction count
+// is a property of the stream, shared by all policies) is a lower bound for
+// every policy in the registry. Each policy replays the identical stream,
+// so any violation means either the MIN implementation or a policy's
+// bookkeeping is wrong.
+//
+// The comparison uses warm = 0: MIN minimizes total misses over the whole
+// stream, so the bound is exact only when every access is counted. (With a
+// warm-up window a policy could, in principle, trade warm misses for
+// measured ones and edge out MIN inside the window.)
+func TestBeladyDominatesEveryRegisteredPolicy(t *testing.T) {
+	lab := NewLab(Smoke)
+	suite := lab.Suite()
+	names := policy.Names()
+	if testing.Short() {
+		// Keep a representative cross-section: every sixth workload still
+		// spans the generator families (cyclic, scan, pointer-chase, mixed).
+		var reduced = suite[:0:0]
+		for i := 0; i < len(suite); i += 6 {
+			reduced = append(reduced, suite[i])
+		}
+		suite = reduced
+	}
+
+	sets, ways := lab.Cfg.Sets(), lab.Cfg.Ways
+	for _, w := range suite {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for pi, st := range lab.Streams(w) {
+				if len(st.Records) == 0 {
+					continue
+				}
+				min := policy.Optimal(st.Records, lab.Cfg, 0)
+				for _, name := range names {
+					f, err := policy.Lookup(name)
+					if err != nil {
+						t.Fatalf("registry lookup %q: %v", name, err)
+					}
+					rs := cache.ReplayStream(st.Records, lab.Cfg, f.New(sets, ways), 0)
+					if rs.Misses < min.Misses {
+						t.Errorf("%s phase %d: policy %s beats Belady MIN: %d misses (MPKI %.4f) < %d (MPKI %.4f) over %d accesses",
+							w.Name, pi, name, rs.Misses,
+							stats.MPKI(rs.Misses, rs.Instructions),
+							min.Misses,
+							stats.MPKI(min.Misses, min.Instructions),
+							rs.Accesses)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// updateGolden rewrites testdata/golden_mpki.json from the current
+// simulator output:
+//
+//	go test ./internal/experiments -run TestGoldenMPKI -update
+//
+// Review the diff before committing — any change means the simulation is no
+// longer bit-compatible with the checked-in fingerprints.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_mpki.json with current MPKI values")
+
+const goldenPath = "testdata/golden_mpki.json"
+
+// goldenSpecs is the fingerprinted roster: the headline baselines, the
+// strongest prior work, and the GIPPR family — the same roster the
+// gippr-report telemetry manifest covers.
+func goldenSpecs() []Spec {
+	return []Spec{
+		SpecLRU, SpecPLRU, SpecDRRIP, SpecPDP,
+		SpecSHiP, SpecWIGIPPR, SpecWI2DGIPPR, SpecWI4DGIPPR,
+	}
+}
+
+// goldenKey formats an MPKI for exact comparison. 'g'/17 round-trips every
+// float64 bit pattern, so two runs match iff their doubles are identical.
+func goldenKey(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+
+// loadGolden reads the checked-in workload -> policy -> MPKI fingerprints.
+func loadGolden(t *testing.T) map[string]map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fingerprints (regenerate with -update): %v", err)
+	}
+	var g map[string]map[string]string
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return g
+}
+
+// TestGoldenMPKI pins the smoke-scale LLC MPKI of every roster policy on
+// every workload to checked-in fingerprints, exactly (bit-identical
+// float64s). Any intentional change to workload generation, the hierarchy
+// filter, replacement policy behaviour or the replay loop must regenerate
+// the file with -update; an unintentional difference is a regression this
+// test exists to catch.
+func TestGoldenMPKI(t *testing.T) {
+	lab := NewLab(Smoke).SetWorkers(1)
+	specs := goldenSpecs()
+
+	got := map[string]map[string]string{}
+	for _, w := range lab.Suite() {
+		row := map[string]string{}
+		for _, spec := range specs {
+			row[spec.Key] = goldenKey(lab.MPKI(spec, w))
+		}
+		got[w.Name] = row
+	}
+
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s: %d workloads x %d policies", goldenPath, len(got), len(specs))
+		return
+	}
+
+	want := loadGolden(t)
+	if len(want) != len(got) {
+		t.Errorf("golden file covers %d workloads, simulator produced %d (regenerate with -update?)", len(want), len(got))
+	}
+	for wl, row := range got {
+		wantRow, ok := want[wl]
+		if !ok {
+			t.Errorf("workload %s missing from golden file (regenerate with -update?)", wl)
+			continue
+		}
+		for key, v := range row {
+			if wv, ok := wantRow[key]; !ok {
+				t.Errorf("%s/%s missing from golden file (regenerate with -update?)", wl, key)
+			} else if v != wv {
+				t.Errorf("%s/%s: MPKI %s, golden %s", wl, key, v, wv)
+			}
+		}
+	}
+}
+
+// TestGoldenMPKIWorkersAndTelemetryInvariant re-derives the fingerprinted
+// MPKIs down the *other* code path — eight replay workers instead of one,
+// and with a telemetry sink attached to every replay — and requires
+// bit-identical agreement with the golden file. This pins two invariants at
+// once: worker scheduling must not perturb results (each (policy, workload)
+// cell is an independent deterministic replay), and instrumentation must
+// observe the simulation without disturbing it.
+func TestGoldenMPKIWorkersAndTelemetryInvariant(t *testing.T) {
+	want := loadGolden(t)
+	lab := NewLab(Smoke).SetWorkers(8)
+	specs := goldenSpecs()
+	if testing.Short() {
+		specs = specs[:3] // lru, plru, drrip: still crosses both code paths
+	}
+	m, err := lab.Manifest(context.Background(), "golden-test", "golden", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantN := len(specs) * len(lab.Suite()); len(m.Entries) != wantN {
+		t.Fatalf("manifest has %d entries, want %d", len(m.Entries), wantN)
+	}
+	labels := map[string]string{} // spec label -> golden key
+	for _, s := range specs {
+		labels[s.Label] = s.Key
+	}
+	for _, e := range m.Entries {
+		wv := want[e.Workload][labels[e.Policy]]
+		if wv == "" {
+			t.Fatalf("no golden value for %s/%s", e.Workload, e.Policy)
+		}
+		if gv := goldenKey(e.MPKI); gv != wv {
+			t.Errorf("%s/%s: instrumented 8-worker MPKI %s, golden %s", e.Workload, e.Policy, gv, wv)
+		}
+		if e.LLC.Accesses == 0 {
+			t.Errorf("%s/%s: telemetry sink saw no events", e.Workload, e.Policy)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+
+	"gippr/internal/cpu"
+	"gippr/internal/parallel"
+	"gippr/internal/stats"
+	"gippr/internal/telemetry"
+	"gippr/internal/workload"
+)
+
+// TelemetryEntry replays every phase of a workload under a policy with an
+// event sink attached and returns the merged manifest entry: weighted MPKI
+// plus the LLC's event-level report (insertion positions, promotion
+// distances, reuse and dead-time histograms, dueling votes) over the
+// measurement windows of all phases. Instrumented replays bypass the lab's
+// memoized results on purpose — the memo holds terminal numbers only, and an
+// entry must describe a single coherent run.
+func (l *Lab) TelemetryEntry(spec Spec, w workload.Workload) telemetry.Entry {
+	merged := &telemetry.Sink{}
+	vals := make([]float64, len(w.Phases))
+	wts := make([]float64, len(w.Phases))
+	for pi, ph := range w.Phases {
+		st := l.Streams(w)[pi]
+		pol := spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
+		var sink telemetry.Sink
+		res := cpu.WindowReplayTel(st.Records, l.Cfg, pol, l.warm(len(st.Records)),
+			cpu.DefaultWindowModel(), &sink)
+		merged.Merge(&sink)
+		vals[pi] = stats.MPKI(res.Misses, res.Instructions)
+		wts[pi] = ph.Weight
+	}
+	return telemetry.Entry{
+		Workload: w.Name,
+		Policy:   spec.Label,
+		MPKI:     stats.WeightedMean(vals, wts),
+		LLC:      merged.Report(),
+	}
+}
+
+// Manifest builds a run manifest over specs x the lab's workload suite,
+// replaying each (policy, workload) pair with telemetry attached. Pairs run
+// in parallel up to the lab's worker count; the entry order is deterministic
+// (spec-major, suite order) regardless of scheduling. On cancellation the
+// partial manifest built so far is returned with ctx's error; entries are
+// either complete or absent, never truncated mid-workload.
+func (l *Lab) Manifest(ctx context.Context, tool, fingerprint string, specs []Spec) (*telemetry.Manifest, error) {
+	m := &telemetry.Manifest{
+		Tool:        tool,
+		Fingerprint: fingerprint,
+		Cache: telemetry.CacheGeometry{
+			Name:       l.Cfg.Name,
+			SizeBytes:  l.Cfg.SizeBytes,
+			Ways:       l.Cfg.Ways,
+			BlockBytes: l.Cfg.BlockBytes,
+			Sets:       l.Cfg.Sets(),
+		},
+		Records:  l.Scale.PhaseRecords,
+		WarmFrac: l.Scale.WarmFrac,
+	}
+	type cell struct{ si, wi int }
+	var cells []cell
+	for si := range specs {
+		for wi := range l.suite {
+			cells = append(cells, cell{si, wi})
+		}
+	}
+	entries := make([]telemetry.Entry, len(cells))
+	done := make([]bool, len(cells))
+	err := parallel.ForCtx(ctx, l.Workers, len(cells), func(i int) {
+		entries[i] = l.TelemetryEntry(specs[cells[i].si], l.suite[cells[i].wi])
+		done[i] = true
+	})
+	for i := range cells {
+		if done[i] {
+			m.Entries = append(m.Entries, entries[i])
+		}
+	}
+	return m, err
+}

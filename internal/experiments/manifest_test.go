@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestLabManifest(t *testing.T) {
+	l := smokeLab()
+	m, err := l.Manifest(context.Background(), "test", "fp|smoke", []Spec{SpecPLRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "test" || m.Fingerprint != "fp|smoke" {
+		t.Errorf("manifest header = %q/%q", m.Tool, m.Fingerprint)
+	}
+	if m.Cache.Sets != l.Cfg.Sets() || m.Cache.Ways != l.Cfg.Ways {
+		t.Errorf("manifest geometry = %+v", m.Cache)
+	}
+	if len(m.Entries) != len(l.Suite()) {
+		t.Fatalf("got %d entries, want one per workload (%d)", len(m.Entries), len(l.Suite()))
+	}
+	for i, w := range l.Suite() {
+		e := m.Entries[i]
+		if e.Workload != w.Name || e.Policy != "PLRU" {
+			t.Fatalf("entry %d = %s/%s, want %s/PLRU (order must be deterministic)",
+				i, e.Workload, e.Policy, w.Name)
+		}
+		// The instrumented replay must agree with the memoized scalar path.
+		if want := l.MPKI(SpecPLRU, w); e.MPKI != want {
+			t.Errorf("%s: manifest MPKI %.6f != lab MPKI %.6f", w.Name, e.MPKI, want)
+		}
+		if e.LLC.Accesses != e.LLC.Hits+e.LLC.Misses {
+			t.Errorf("%s: accesses %d != hits+misses", w.Name, e.LLC.Accesses)
+		}
+		// Cache-resident smoke workloads may see zero fills in the measured
+		// window; what must always hold is one insertion event per fill.
+		if e.LLC.Insertions != e.LLC.Fills {
+			t.Errorf("%s: insertions %d != fills %d", w.Name, e.LLC.Insertions, e.LLC.Fills)
+		}
+	}
+}
+
+func TestLabManifestCancelled(t *testing.T) {
+	l := smokeLab()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := l.Manifest(ctx, "test", "fp", []Spec{SpecPLRU})
+	if err == nil {
+		t.Fatal("cancelled manifest returned nil error")
+	}
+	if len(m.Entries) != 0 {
+		t.Errorf("cancelled-before-start manifest has %d entries", len(m.Entries))
+	}
+}

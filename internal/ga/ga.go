@@ -188,6 +188,15 @@ func RandomSearch(e *Env, n int, seed uint64) []Scored {
 // cancellation, in-flight evaluations drain and it returns (nil, ctx.Err())
 // — a partially scored sample has no meaningful sorted curve.
 func RandomSearchCtx(ctx context.Context, e *Env, n int, seed uint64) ([]Scored, error) {
+	return RandomSearchProgressCtx(ctx, e, n, seed, nil)
+}
+
+// RandomSearchProgressCtx is RandomSearchCtx with a per-sample progress
+// callback, invoked from worker goroutines as each evaluation completes.
+// onSample must be safe for concurrent use (an atomic gauge is; most
+// callers pass runctx.Progress.Add via a closure). A nil callback makes it
+// identical to RandomSearchCtx.
+func RandomSearchProgressCtx(ctx context.Context, e *Env, n int, seed uint64, onSample func()) ([]Scored, error) {
 	rng := xrand.New(seed)
 	k := e.Config.Ways
 	out := make([]Scored, n)
@@ -198,7 +207,13 @@ func RandomSearchCtx(ctx context.Context, e *Env, n int, seed uint64) ([]Scored,
 		}
 		out[i] = Scored{Vector: v}
 	}
-	if err := parallel.ForCtx(ctx, e.Workers, n, func(i int) { out[i].Fitness = e.Fitness(out[i].Vector) }); err != nil {
+	err := parallel.ForCtx(ctx, e.Workers, n, func(i int) {
+		out[i].Fitness = e.Fitness(out[i].Vector)
+		if onSample != nil {
+			onSample()
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Fitness < out[b].Fitness })

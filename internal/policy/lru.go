@@ -4,6 +4,7 @@ import (
 	"gippr/internal/cache"
 	"gippr/internal/ipv"
 	"gippr/internal/recency"
+	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 )
 
@@ -18,6 +19,7 @@ type GIPLR struct {
 	vec    ipv.Vector
 	stacks []*recency.Stack
 	ways   int
+	tel    *telemetry.Sink
 }
 
 // NewGIPLR returns a GIPLR policy with the given vector. The vector's
@@ -58,9 +60,17 @@ func (p *GIPLR) Name() string { return p.name }
 // Vector returns the IPV in use.
 func (p *GIPLR) Vector() ipv.Vector { return p.vec.Clone() }
 
+// SetTelemetry implements cache.Instrumented.
+func (p *GIPLR) SetTelemetry(s *telemetry.Sink) { p.tel = s }
+
 // OnHit implements cache.Policy: promote per the vector.
 func (p *GIPLR) OnHit(set uint32, way int, _ trace.Record) {
-	p.stacks[set].Touch(way, p.vec)
+	st := p.stacks[set]
+	if p.tel != nil {
+		from := st.Position(way)
+		p.tel.Promote(from, p.vec.Promotion(from))
+	}
+	st.Touch(way, p.vec)
 }
 
 // Victim implements cache.Policy: the block in the LRU position.
@@ -72,6 +82,9 @@ func (p *GIPLR) Victim(set uint32, _ trace.Record) int {
 // position. The cache may fill an invalid way during cold start; the move is
 // applied from whatever position that way held.
 func (p *GIPLR) OnFill(set uint32, way int, _ trace.Record) {
+	if p.tel != nil {
+		p.tel.Insert(p.vec.Insertion())
+	}
 	p.stacks[set].Fill(way, p.vec)
 }
 
@@ -85,3 +98,4 @@ func (p *GIPLR) OverheadBits() (float64, int) {
 
 var _ cache.Policy = (*GIPLR)(nil)
 var _ Overheader = (*GIPLR)(nil)
+var _ cache.Instrumented = (*GIPLR)(nil)

@@ -7,6 +7,7 @@ import (
 	"gippr/internal/dueling"
 	"gippr/internal/ipv"
 	"gippr/internal/plrutree"
+	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 )
 
@@ -17,6 +18,7 @@ type PLRU struct {
 	nop
 	trees []plrutree.Tree
 	ways  int
+	tel   *telemetry.Sink
 }
 
 // NewPLRU returns tree-based PseudoLRU replacement. ways must be a power of
@@ -33,11 +35,25 @@ func NewPLRU(sets, ways int) *PLRU {
 // Name implements cache.Policy.
 func (p *PLRU) Name() string { return "PLRU" }
 
+// SetTelemetry implements cache.Instrumented.
+func (p *PLRU) SetTelemetry(s *telemetry.Sink) { p.tel = s }
+
 // OnHit implements cache.Policy.
-func (p *PLRU) OnHit(set uint32, way int, _ trace.Record) { p.trees[set].Promote(way) }
+func (p *PLRU) OnHit(set uint32, way int, _ trace.Record) {
+	t := &p.trees[set]
+	if p.tel != nil {
+		p.tel.Promote(t.Position(way), 0)
+	}
+	t.Promote(way)
+}
 
 // OnFill implements cache.Policy.
-func (p *PLRU) OnFill(set uint32, way int, _ trace.Record) { p.trees[set].Promote(way) }
+func (p *PLRU) OnFill(set uint32, way int, _ trace.Record) {
+	if p.tel != nil {
+		p.tel.Insert(0)
+	}
+	p.trees[set].Promote(way)
+}
 
 // Victim implements cache.Policy.
 func (p *PLRU) Victim(set uint32, _ trace.Record) int { return p.trees[set].Victim() }
@@ -59,6 +75,7 @@ type GIPPR struct {
 	vec   ipv.Vector
 	trees []plrutree.Tree
 	ways  int
+	tel   *telemetry.Sink
 }
 
 // NewGIPPR returns a GIPPR policy with the given vector.
@@ -91,15 +108,26 @@ func (p *GIPPR) SetName(n string) { p.name = n }
 // Vector returns the IPV in use.
 func (p *GIPPR) Vector() ipv.Vector { return p.vec.Clone() }
 
+// SetTelemetry implements cache.Instrumented.
+func (p *GIPPR) SetTelemetry(s *telemetry.Sink) { p.tel = s }
+
 // OnHit implements cache.Policy: move the block from its PseudoLRU position
 // i to V[i].
 func (p *GIPPR) OnHit(set uint32, way int, _ trace.Record) {
 	t := &p.trees[set]
-	t.SetPosition(way, p.vec.Promotion(t.Position(way)))
+	from := t.Position(way)
+	to := p.vec.Promotion(from)
+	if p.tel != nil {
+		p.tel.Promote(from, to)
+	}
+	t.SetPosition(way, to)
 }
 
 // OnFill implements cache.Policy: place the incoming block at V[k].
 func (p *GIPPR) OnFill(set uint32, way int, _ trace.Record) {
+	if p.tel != nil {
+		p.tel.Insert(p.vec.Insertion())
+	}
 	p.trees[set].SetPosition(way, p.vec.Insertion())
 }
 
@@ -123,6 +151,7 @@ type DGIPPR2 struct {
 	trees []plrutree.Tree
 	duel  *dueling.Duel
 	ways  int
+	tel   *telemetry.Sink
 }
 
 // NewDGIPPR2 returns a 2-vector DGIPPR with the paper's duel configuration.
@@ -157,19 +186,36 @@ func (p *DGIPPR2) SetName(n string) { p.name = n }
 
 func (p *DGIPPR2) vec(set uint32) ipv.Vector { return p.vecs[p.duel.Choose(set)] }
 
+// SetTelemetry implements cache.Instrumented.
+func (p *DGIPPR2) SetTelemetry(s *telemetry.Sink) { p.tel = s }
+
 // OnMiss implements cache.Policy: train the duel on leader-set misses.
-func (p *DGIPPR2) OnMiss(set uint32, _ trace.Record) { p.duel.OnMiss(set) }
+func (p *DGIPPR2) OnMiss(set uint32, _ trace.Record) {
+	if p.tel != nil {
+		p.tel.Vote(p.duel.Leader(set))
+	}
+	p.duel.OnMiss(set)
+}
 
 // OnHit implements cache.Policy.
 func (p *DGIPPR2) OnHit(set uint32, way int, _ trace.Record) {
 	t := &p.trees[set]
 	v := p.vec(set)
-	t.SetPosition(way, v.Promotion(t.Position(way)))
+	from := t.Position(way)
+	to := v.Promotion(from)
+	if p.tel != nil {
+		p.tel.Promote(from, to)
+	}
+	t.SetPosition(way, to)
 }
 
 // OnFill implements cache.Policy.
 func (p *DGIPPR2) OnFill(set uint32, way int, _ trace.Record) {
-	p.trees[set].SetPosition(way, p.vec(set).Insertion())
+	pos := p.vec(set).Insertion()
+	if p.tel != nil {
+		p.tel.Insert(pos)
+	}
+	p.trees[set].SetPosition(way, pos)
 }
 
 // Victim implements cache.Policy.
@@ -193,6 +239,7 @@ type DGIPPR4 struct {
 	trees []plrutree.Tree
 	duel  *dueling.Tournament
 	ways  int
+	tel   *telemetry.Sink
 }
 
 // NewDGIPPR4 returns a 4-vector DGIPPR with the paper's duel configuration.
@@ -235,19 +282,36 @@ func (p *DGIPPR4) SetName(n string) { p.name = n }
 
 func (p *DGIPPR4) vec(set uint32) ipv.Vector { return p.vecs[p.duel.Choose(set)] }
 
+// SetTelemetry implements cache.Instrumented.
+func (p *DGIPPR4) SetTelemetry(s *telemetry.Sink) { p.tel = s }
+
 // OnMiss implements cache.Policy.
-func (p *DGIPPR4) OnMiss(set uint32, _ trace.Record) { p.duel.OnMiss(set) }
+func (p *DGIPPR4) OnMiss(set uint32, _ trace.Record) {
+	if p.tel != nil {
+		p.tel.Vote(p.duel.Leader(set))
+	}
+	p.duel.OnMiss(set)
+}
 
 // OnHit implements cache.Policy.
 func (p *DGIPPR4) OnHit(set uint32, way int, _ trace.Record) {
 	t := &p.trees[set]
 	v := p.vec(set)
-	t.SetPosition(way, v.Promotion(t.Position(way)))
+	from := t.Position(way)
+	to := v.Promotion(from)
+	if p.tel != nil {
+		p.tel.Promote(from, to)
+	}
+	t.SetPosition(way, to)
 }
 
 // OnFill implements cache.Policy.
 func (p *DGIPPR4) OnFill(set uint32, way int, _ trace.Record) {
-	p.trees[set].SetPosition(way, p.vec(set).Insertion())
+	pos := p.vec(set).Insertion()
+	if p.tel != nil {
+		p.tel.Insert(pos)
+	}
+	p.trees[set].SetPosition(way, pos)
 }
 
 // Victim implements cache.Policy.
@@ -278,10 +342,14 @@ func NewDGIPPRN(sets, ways int, vecs []ipv.Vector) cache.Policy {
 }
 
 var (
-	_ cache.Policy = (*PLRU)(nil)
-	_ cache.Policy = (*GIPPR)(nil)
-	_ cache.Policy = (*DGIPPR2)(nil)
-	_ cache.Policy = (*DGIPPR4)(nil)
+	_ cache.Policy       = (*PLRU)(nil)
+	_ cache.Policy       = (*GIPPR)(nil)
+	_ cache.Policy       = (*DGIPPR2)(nil)
+	_ cache.Policy       = (*DGIPPR4)(nil)
+	_ cache.Instrumented = (*PLRU)(nil)
+	_ cache.Instrumented = (*GIPPR)(nil)
+	_ cache.Instrumented = (*DGIPPR2)(nil)
+	_ cache.Instrumented = (*DGIPPR4)(nil)
 	_ Overheader   = (*PLRU)(nil)
 	_ Overheader   = (*GIPPR)(nil)
 	_ Overheader   = (*DGIPPR2)(nil)

@@ -1,0 +1,123 @@
+package policy
+
+import (
+	"testing"
+
+	"gippr/internal/cache"
+	"gippr/internal/ipv"
+	"gippr/internal/telemetry"
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// runTel pushes a block stream through a cache with a fresh sink attached and
+// returns the sink.
+func runTel(cfg cache.Config, pol cache.Policy, blocks []uint64) *telemetry.Sink {
+	var sink telemetry.Sink
+	c := cache.New(cfg, pol)
+	c.SetTelemetry(&sink)
+	for _, b := range blocks {
+		c.Access(trace.Record{Gap: 1, Addr: b * 64, PC: 0x400000 + (b%7)*4})
+	}
+	return &sink
+}
+
+func TestPLRUTelemetryEvents(t *testing.T) {
+	cfg := testConfig()
+	sink := runTel(cfg, NewPLRU(cfg.Sets(), cfg.Ways), uniformBlocks(512, 20000, 1))
+	if sink.Insertions.Load() != sink.Fills.Load() {
+		t.Errorf("insertions = %d, want one per fill (%d)",
+			sink.Insertions.Load(), sink.Fills.Load())
+	}
+	if sink.Promotions.Load() != sink.Hits.Load() {
+		t.Errorf("promotions = %d, want one per hit (%d)",
+			sink.Promotions.Load(), sink.Hits.Load())
+	}
+	// PLRU always inserts and promotes to MRU (position 0).
+	if sink.InsertPos.Sum() != 0 {
+		t.Errorf("PLRU inserted at non-zero positions (sum %d)", sink.InsertPos.Sum())
+	}
+	if sink.PromoteTo.Sum() != 0 {
+		t.Errorf("PLRU promoted to non-zero positions (sum %d)", sink.PromoteTo.Sum())
+	}
+}
+
+func TestGIPPRTelemetryInsertPosition(t *testing.T) {
+	cfg := testConfig()
+	v := ipv.LRU(cfg.Ways)
+	v[cfg.Ways] = 13
+	sink := runTel(cfg, NewGIPPR(cfg.Sets(), cfg.Ways, v), uniformBlocks(512, 20000, 2))
+	n := sink.Insertions.Load()
+	if n == 0 {
+		t.Fatal("no insertions recorded")
+	}
+	// During cold start the tree is partially default, so the *recorded*
+	// position is always the vector's insertion entry: V[k] = 13.
+	if sink.InsertPos.Sum() != 13*n {
+		t.Errorf("InsertPos sum = %d, want %d (all inserts at 13)", sink.InsertPos.Sum(), 13*n)
+	}
+	if sink.InsertPos.Max() != 13 {
+		t.Errorf("InsertPos max = %d, want 13", sink.InsertPos.Max())
+	}
+}
+
+func TestGIPLRTelemetryMatchesGIPPRCounts(t *testing.T) {
+	cfg := testConfig()
+	blocks := uniformBlocks(512, 20000, 3)
+	sink := runTel(cfg, NewTrueLRU(cfg.Sets(), cfg.Ways), blocks)
+	if sink.Insertions.Load() != sink.Fills.Load() || sink.Promotions.Load() != sink.Hits.Load() {
+		t.Errorf("GIPLR event counts off: ins=%d fills=%d promo=%d hits=%d",
+			sink.Insertions.Load(), sink.Fills.Load(),
+			sink.Promotions.Load(), sink.Hits.Load())
+	}
+}
+
+func TestDGIPPRTelemetryVotes(t *testing.T) {
+	cfg := testConfig()
+	vecs := [2]ipv.Vector{ipv.LRU(cfg.Ways), ipv.LIP(cfg.Ways)}
+	p := NewDGIPPR2(cfg.Sets(), cfg.Ways, vecs)
+	var sink telemetry.Sink
+	c := cache.New(cfg, p)
+	c.SetTelemetry(&sink)
+	rng := xrand.New(7)
+	for i := 0; i < 30000; i++ {
+		c.Access(trace.Record{Gap: 1, Addr: rng.Uint64n(2048) * 64})
+	}
+	// Votes are recorded only on misses in leader sets, so their total is a
+	// strict subset of all misses, and both candidates lead some sets.
+	var votes uint64
+	for i := 0; i < telemetry.MaxVotePolicies; i++ {
+		votes += sink.Votes[i].Load()
+	}
+	if votes == 0 || votes >= sink.Misses.Load() {
+		t.Errorf("leader votes = %d, want 0 < votes < misses (%d)", votes, sink.Misses.Load())
+	}
+	if sink.Votes[0].Load() == 0 || sink.Votes[1].Load() == 0 {
+		t.Errorf("votes per candidate = %d/%d, want both non-zero",
+			sink.Votes[0].Load(), sink.Votes[1].Load())
+	}
+}
+
+// TestTelemetryDoesNotPerturbSimulation: for every registered policy, a run
+// with a sink attached must produce bit-identical stats to a run without.
+// This is the guarantee the golden-fingerprint tests lean on.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	cfg := testConfig()
+	blocks := append(uniformBlocks(256, 8000, 11), scanWithQuickReuse(8000, 64)...)
+	for _, name := range Names() {
+		f, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		plain := run(cfg, f.New(cfg.Sets(), cfg.Ways), blocks)
+		var sink telemetry.Sink
+		c := cache.New(cfg, f.New(cfg.Sets(), cfg.Ways))
+		c.SetTelemetry(&sink)
+		for _, b := range blocks {
+			c.Access(trace.Record{Gap: 1, Addr: b * 64, PC: 0x400000 + (b%7)*4})
+		}
+		if plain != c.Stats {
+			t.Errorf("%s: stats diverged with telemetry: %+v vs %+v", name, plain, c.Stats)
+		}
+	}
+}

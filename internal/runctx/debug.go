@@ -1,0 +1,215 @@
+package runctx
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live-gauge block of a running tool: how many records (or
+// cells, or samples — whatever the tool's unit of work is) have been
+// processed out of how many, which generation a search is in, and when the
+// last checkpoint was written. All fields are atomics, so worker goroutines
+// update them wait-free from the hot loop and the debug server reads them
+// without coordination.
+type Progress struct {
+	tool    string
+	start   time.Time
+	done    atomic.Uint64 // work units completed
+	total   atomic.Uint64 // work units expected (0 = unknown)
+	gen     atomic.Uint64 // current generation / stage (searches)
+	ckpt    atomic.Int64  // unix nanos of the last checkpoint (0 = never)
+	phase   atomic.Pointer[string]
+	lastLog uint64 // done count at the last progress line (ticker goroutine only)
+}
+
+// NewProgress returns a Progress for the named tool, with the rate clock
+// started now.
+func NewProgress(tool string) *Progress {
+	p := &Progress{tool: tool, start: time.Now()}
+	empty := ""
+	p.phase.Store(&empty)
+	return p
+}
+
+// Add records n completed work units.
+func (p *Progress) Add(n uint64) { p.done.Add(n) }
+
+// SetTotal sets the expected work-unit total (0 when unknown).
+func (p *Progress) SetTotal(n uint64) { p.total.Store(n) }
+
+// SetGeneration sets the current search generation.
+func (p *Progress) SetGeneration(g uint64) { p.gen.Store(g) }
+
+// SetPhase names the tool's current stage ("bake plru", "fig12", ...).
+func (p *Progress) SetPhase(s string) { p.phase.Store(&s) }
+
+// MarkCheckpoint records that a checkpoint was just written.
+func (p *Progress) MarkCheckpoint() { p.ckpt.Store(time.Now().UnixNano()) }
+
+// Done returns the completed work-unit count.
+func (p *Progress) Done() uint64 { return p.done.Load() }
+
+// Rate returns the mean work units per second since the progress started.
+func (p *Progress) Rate() float64 {
+	el := time.Since(p.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(p.done.Load()) / el
+}
+
+// CheckpointAge returns the time since the last checkpoint, or a negative
+// duration when none has been written.
+func (p *Progress) CheckpointAge() time.Duration {
+	ns := p.ckpt.Load()
+	if ns == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, ns))
+}
+
+// snapshot renders the gauges as a flat map (the expvar payload).
+func (p *Progress) snapshot() map[string]any {
+	m := map[string]any{
+		"tool":           p.tool,
+		"uptime_seconds": time.Since(p.start).Seconds(),
+		"done":           p.done.Load(),
+		"total":          p.total.Load(),
+		"generation":     p.gen.Load(),
+		"rate_per_sec":   p.Rate(),
+		"phase":          *p.phase.Load(),
+	}
+	if age := p.CheckpointAge(); age >= 0 {
+		m["checkpoint_age_seconds"] = age.Seconds()
+	}
+	return m
+}
+
+// String renders a one-line progress report, the format the periodic
+// progress logs use:
+//
+//	gippr-evolve: phase "bake plru" gen 3 1234567 units (45678.1/sec) ckpt 12s ago
+func (p *Progress) String() string {
+	s := p.tool + ":"
+	if ph := *p.phase.Load(); ph != "" {
+		s += fmt.Sprintf(" phase %q", ph)
+	}
+	if g := p.gen.Load(); g > 0 {
+		s += fmt.Sprintf(" gen %d", g)
+	}
+	done, total := p.done.Load(), p.total.Load()
+	if total > 0 {
+		s += fmt.Sprintf(" %d/%d units (%.1f%%, %.1f/sec)",
+			done, total, 100*float64(done)/float64(total), p.Rate())
+	} else {
+		s += fmt.Sprintf(" %d units (%.1f/sec)", done, p.Rate())
+	}
+	if age := p.CheckpointAge(); age >= 0 {
+		s += fmt.Sprintf(" ckpt %s ago", age.Round(time.Second))
+	}
+	return s
+}
+
+// current is the Progress the expvar gauge reads. expvar.Publish panics on
+// duplicate names and offers no unpublish, so the gauge is registered once
+// per process and always dereferences this pointer — tests (and tools) may
+// install a fresh Progress at any time.
+var (
+	current     atomic.Pointer[Progress]
+	publishOnce sync.Once
+)
+
+func publishGauges() {
+	publishOnce.Do(func() {
+		expvar.Publish("gippr", expvar.Func(func() any {
+			p := current.Load()
+			if p == nil {
+				return nil
+			}
+			return p.snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts the live-introspection HTTP server every cmd tool hangs
+// off its -debug-addr flag: expvar at /debug/vars (including the "gippr"
+// progress gauges for p) and the pprof suite at /debug/pprof/. It returns
+// the bound address (useful with ":0") and a shutdown function. The server
+// uses its own mux, so tools never expose handlers they did not choose, and
+// it lives on a background goroutine until shutdown or process exit.
+func ServeDebug(addr string, p *Progress) (string, func(), error) {
+	current.Store(p)
+	publishGauges()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("runctx: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// MaybeServeDebug is the cmd tools' -debug-addr plumbing: with an empty
+// addr it does nothing and returns a no-op stop; otherwise it starts
+// ServeDebug and announces the bound address on stderr (so ":0" runs print
+// where they landed).
+func MaybeServeDebug(addr string, p *Progress) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	bound, stop, err := ServeDebug(addr, p)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", p.tool, bound)
+	return stop, nil
+}
+
+// StartProgressLog emits p's one-line report to w every interval until ctx
+// is cancelled, skipping intervals in which no work completed (an idle tool
+// stays quiet). It returns immediately; the ticker runs on its own
+// goroutine.
+func StartProgressLog(ctx context.Context, w io.Writer, interval time.Duration, p *Progress) {
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				done := p.done.Load()
+				if done == p.lastLog {
+					continue
+				}
+				p.lastLog = done
+				fmt.Fprintln(w, p.String())
+			}
+		}
+	}()
+}

@@ -1,0 +1,186 @@
+package runctx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressGauges(t *testing.T) {
+	p := NewProgress("gippr-test")
+	p.SetTotal(100)
+	p.Add(25)
+	p.SetGeneration(3)
+	p.SetPhase("warm")
+	if p.Done() != 25 {
+		t.Errorf("Done = %d, want 25", p.Done())
+	}
+	if p.Rate() <= 0 {
+		t.Errorf("Rate = %v, want > 0", p.Rate())
+	}
+	if age := p.CheckpointAge(); age >= 0 {
+		t.Errorf("CheckpointAge before any checkpoint = %v, want negative", age)
+	}
+	p.MarkCheckpoint()
+	if age := p.CheckpointAge(); age < 0 || age > time.Minute {
+		t.Errorf("CheckpointAge after checkpoint = %v", age)
+	}
+	s := p.String()
+	for _, want := range []string{"gippr-test:", `phase "warm"`, "gen 3", "25/100", "ckpt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestProgressStringUnknownTotal(t *testing.T) {
+	p := NewProgress("t")
+	p.Add(7)
+	s := p.String()
+	if !strings.Contains(s, "7 units") || strings.Contains(s, "%") {
+		t.Errorf("String() with unknown total = %q", s)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	p := NewProgress("gippr-debugtest")
+	p.SetTotal(10)
+	p.Add(4)
+	addr, stop, err := ServeDebug("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars struct {
+		Gippr struct {
+			Tool  string  `json:"tool"`
+			Done  uint64  `json:"done"`
+			Total uint64  `json:"total"`
+			Rate  float64 `json:"rate_per_sec"`
+		} `json:"gippr"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars.Gippr.Tool != "gippr-debugtest" || vars.Gippr.Done != 4 || vars.Gippr.Total != 10 {
+		t.Errorf("gauges = %+v", vars.Gippr)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+// TestServeDebugTwice: a second server (a tool restart, or another test)
+// must not panic on duplicate expvar registration, and the gauge must track
+// the most recently served Progress.
+func TestServeDebugTwice(t *testing.T) {
+	p1 := NewProgress("first")
+	addr1, stop1, err := ServeDebug("127.0.0.1:0", p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop1()
+	p2 := NewProgress("second")
+	p2.Add(9)
+	addr2, stop2, err := ServeDebug("127.0.0.1:0", p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	if addr1 == addr2 {
+		t.Fatalf("both servers bound %s", addr1)
+	}
+	resp, err := http.Get("http://" + addr2 + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte(`"tool": "second"`)) &&
+		!bytes.Contains(body, []byte(`"tool":"second"`)) {
+		t.Errorf("gauge still reports the old Progress:\n%s", body)
+	}
+}
+
+func TestStartProgressLog(t *testing.T) {
+	p := NewProgress("logtest")
+	p.SetTotal(50)
+	var buf syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	StartProgressLog(ctx, &buf, 5*time.Millisecond, p)
+
+	p.Add(10)
+	waitFor(t, func() bool { return strings.Contains(buf.String(), "10/50") })
+	// With no further work, the logger must go quiet.
+	before := buf.String()
+	time.Sleep(25 * time.Millisecond)
+	if after := buf.String(); after != before {
+		t.Errorf("logger emitted lines while idle:\n%s", after[len(before):])
+	}
+	p.Add(5)
+	waitFor(t, func() bool { return strings.Contains(buf.String(), "15/50") })
+}
+
+func TestStartProgressLogZeroInterval(t *testing.T) {
+	// interval <= 0 means disabled: must not spin or write.
+	var buf syncBuffer
+	StartProgressLog(context.Background(), &buf, 0, NewProgress("t"))
+	time.Sleep(10 * time.Millisecond)
+	if buf.String() != "" {
+		t.Errorf("disabled logger wrote %q", buf.String())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the log tests.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestVersion identifies the manifest schema; bump it on incompatible
+// changes so downstream consumers can refuse files they do not understand.
+const ManifestVersion = 1
+
+// BucketSnapshot is one non-empty histogram bucket in a manifest: the
+// inclusive value range it covers and its count.
+type BucketSnapshot struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram exported for a manifest. Only non-empty
+// buckets are serialized.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	Sum     uint64           `json:"sum"`
+	Max     uint64           `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n, Sum: h.sum, Max: h.max, Mean: h.Mean()}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		s.Buckets = append(s.Buckets, BucketSnapshot{Lo: lo, Hi: hi, Count: c})
+	}
+	return s
+}
+
+// Report is a Sink exported for a manifest.
+type Report struct {
+	Accesses   uint64 `json:"accesses"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Writebacks uint64 `json:"writebacks"`
+	Bypasses   uint64 `json:"bypasses"`
+	Fills      uint64 `json:"fills"`
+	Insertions uint64 `json:"insertions"`
+	Promotions uint64 `json:"promotions"`
+
+	InsertPos   HistogramSnapshot `json:"insert_pos"`
+	PromoteFrom HistogramSnapshot `json:"promote_from"`
+	PromoteTo   HistogramSnapshot `json:"promote_to"`
+	PromoteDist HistogramSnapshot `json:"promote_dist"`
+	HitReuse    HistogramSnapshot `json:"hit_reuse"`
+	EvictAge    HistogramSnapshot `json:"evict_age"`
+	EvictLife   HistogramSnapshot `json:"evict_life"`
+
+	// Votes maps candidate-policy index to leader-miss votes; empty when
+	// the policy does not duel.
+	Votes map[string]uint64 `json:"votes,omitempty"`
+}
+
+// Report exports the sink.
+func (s *Sink) Report() Report {
+	if s == nil {
+		return Report{}
+	}
+	r := Report{
+		Accesses:    s.Accesses(),
+		Hits:        s.Hits.Load(),
+		Misses:      s.Misses.Load(),
+		Evictions:   s.Evictions.Load(),
+		Writebacks:  s.Writebacks.Load(),
+		Bypasses:    s.Bypasses.Load(),
+		Fills:       s.Fills.Load(),
+		Insertions:  s.Insertions.Load(),
+		Promotions:  s.Promotions.Load(),
+		InsertPos:   s.InsertPos.Snapshot(),
+		PromoteFrom: s.PromoteFrom.Snapshot(),
+		PromoteTo:   s.PromoteTo.Snapshot(),
+		PromoteDist: s.PromoteDist.Snapshot(),
+		HitReuse:    s.HitReuse.Snapshot(),
+		EvictAge:    s.EvictAge.Snapshot(),
+		EvictLife:   s.EvictLife.Snapshot(),
+	}
+	for i, v := range s.Votes {
+		if v > 0 {
+			if r.Votes == nil {
+				r.Votes = make(map[string]uint64, len(s.Votes))
+			}
+			r.Votes[fmt.Sprintf("%d", i)] = v.Load()
+		}
+	}
+	return r
+}
+
+// CacheGeometry describes the cache a manifest's telemetry was collected
+// on. It mirrors cache.Config's fields (telemetry cannot import cache —
+// cache imports telemetry).
+type CacheGeometry struct {
+	Name       string `json:"name"`
+	SizeBytes  int    `json:"size_bytes"`
+	Ways       int    `json:"ways"`
+	BlockBytes int    `json:"block_bytes"`
+	Sets       int    `json:"sets"`
+}
+
+// Entry is one (workload, policy) cell of a manifest.
+type Entry struct {
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	MPKI     float64 `json:"mpki"`
+	LLC      Report  `json:"llc"`
+}
+
+// Manifest is the JSON run manifest a -telemetry flag dumps: enough
+// configuration to reproduce the run, plus per-(workload, policy)
+// event-level telemetry of the LLC under study. gippr-report and external
+// tooling consume it instead of re-parsing ASCII tables.
+type Manifest struct {
+	Version     int           `json:"version"`
+	Tool        string        `json:"tool"`
+	Fingerprint string        `json:"fingerprint"`
+	Cache       CacheGeometry `json:"cache"`
+	Records     int           `json:"records_per_phase"`
+	WarmFrac    float64       `json:"warm_frac"`
+	Entries     []Entry       `json:"entries"`
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	if m.Version == 0 {
+		m.Version = ManifestVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest atomically (temp file + rename in the
+// destination directory), so a crashed or interrupted run never leaves a
+// torn manifest for tooling to choke on.
+func (m *Manifest) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*.json")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := m.Encode(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("telemetry: encode %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("telemetry: parse %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("telemetry: %s: manifest version %d, want %d", path, m.Version, ManifestVersion)
+	}
+	return &m, nil
+}

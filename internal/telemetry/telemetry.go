@@ -1,0 +1,333 @@
+// Package telemetry is the event-level instrumentation layer of the
+// simulator: an allocation-free sink of per-cache events (hits, misses,
+// insertions, promotions, evictions, bypasses, dueling votes) that the
+// cache model and the tree-PLRU policy family feed when — and only when — a
+// sink is attached. The paper's argument is about *why* policies differ:
+// where blocks are inserted in the PseudoLRU recency stack, how far hits
+// promote them, and how long dead blocks linger before eviction. Terminal
+// cache.Stats totals cannot answer those questions; the histograms here can.
+//
+// Design constraints, in order:
+//
+//  1. Zero disabled cost. Every event call site in the hot Access path is
+//     guarded by a nil check (`if tel != nil`), and the methods themselves
+//     are nil-safe, so an uninstrumented simulation pays one predictable
+//     branch per event and allocates nothing. bench_test.go's
+//     BenchmarkReplayStream holds this bound (0 allocs/op disabled).
+//  2. Zero steady-state allocation when enabled. Counters are plain
+//     uint64s; histograms are fixed arrays of power-of-two buckets; the
+//     per-line reuse clocks are allocated once at Attach time.
+//  3. No synchronization. A Sink belongs to exactly one cache on one
+//     goroutine, the same ownership rule the caches themselves follow.
+//     Parallel grids give every cell its own Sink and merge afterwards
+//     (Merge is cheap: a few hundred integer adds).
+//
+// Reuse distances here are measured in cache accesses between consecutive
+// touches of the same resident line ("reuse interval"), not LRU stack
+// distance; package reusedist computes exact stack distances offline when
+// the distinction matters. The interval is what a hardware counter could
+// measure, and its histogram separates streaming blocks (evicted untouched)
+// from resident working sets just as well.
+package telemetry
+
+import "math/bits"
+
+// Counter is a monotonically increasing event count. It is a plain uint64:
+// a Sink is single-goroutine by contract, so no atomics are needed (and
+// none would be paid for by disabled simulations).
+type Counter uint64
+
+// Inc adds one.
+func (c *Counter) Inc() { *c++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Load returns the current count.
+func (c Counter) Load() uint64 { return uint64(c) }
+
+// NumBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds the value 0 and bucket i (1..64) holds values v with bit length i,
+// i.e. v in [2^(i-1), 2^i). Every uint64 lands in exactly one bucket.
+const NumBuckets = 65
+
+// Histogram counts values in power-of-two buckets. The zero value is ready
+// to use; Observe never allocates. Positions, distances and intervals in a
+// cache simulation span five orders of magnitude, which is exactly the
+// regime where log-spaced buckets keep the histogram small (65 fixed
+// buckets) without flattening the short-distance structure the paper's
+// insertion/promotion analysis needs.
+type Histogram struct {
+	counts [NumBuckets]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bits.Len64(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Bucket returns the raw count of bucket i (see NumBuckets for the bucket
+// boundaries).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// BucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// MaxVotePolicies bounds the dueling-vote counters: set-dueling brackets in
+// this repository select among at most eight candidate policies.
+const MaxVotePolicies = 8
+
+// Sink accumulates the event-level telemetry of one cache. Attach a Sink
+// with cache.Cache.SetTelemetry (which also hands it to the replacement
+// policy when the policy is Instrumented); a nil *Sink is a valid "off"
+// sink — every method is nil-safe, so call sites may also invoke methods
+// unconditionally where the arguments are free to compute.
+type Sink struct {
+	// Cache-level event counters, maintained by cache.Cache.
+	Hits       Counter
+	Misses     Counter
+	Evictions  Counter
+	Writebacks Counter
+	Bypasses   Counter
+	Fills      Counter
+
+	// Policy-level event counters, maintained by Instrumented policies.
+	Insertions Counter
+	Promotions Counter
+
+	// InsertPos histograms the recency-stack position blocks are inserted
+	// at (GIPPR: V[k]; PLRU: 0). PromoteFrom and PromoteTo histogram the
+	// positions hits move blocks between, and PromoteDist the magnitude of
+	// that move — the "promotion distance" of the paper's IPV analysis.
+	InsertPos   Histogram
+	PromoteFrom Histogram
+	PromoteTo   Histogram
+	PromoteDist Histogram
+
+	// HitReuse histograms, at each hit, the number of cache accesses since
+	// the line was last touched. EvictAge histograms, at each eviction, the
+	// accesses since the victim's last touch (its "dead time"); EvictLife
+	// the accesses since the victim was filled.
+	HitReuse  Histogram
+	EvictAge  Histogram
+	EvictLife Histogram
+
+	// Votes counts, per candidate-policy index, the leader-set misses that
+	// trained a set-dueling mechanism toward that policy's opponents (the
+	// raw PSEL traffic of paper Section 3.5).
+	Votes [MaxVotePolicies]Counter
+
+	// tick is the access clock: one tick per cache access, never reset, so
+	// the per-line reuse clocks below stay valid across ResetStats.
+	tick      uint64
+	lastTouch []uint64 // per line: tick of the line's most recent touch
+	fillTick  []uint64 // per line: tick at which the line was filled
+}
+
+// Attach sizes the per-line reuse clocks for a cache of the given total
+// line count (sets x ways). It is called once by cache.Cache.SetTelemetry;
+// a Sink used only for policy-level events may skip it.
+func (s *Sink) Attach(lines int) {
+	if s == nil {
+		return
+	}
+	if len(s.lastTouch) != lines {
+		s.lastTouch = make([]uint64, lines)
+		s.fillTick = make([]uint64, lines)
+	}
+}
+
+// Reset zeroes every counter and histogram while preserving the access
+// clock and per-line state, so a warm-up window can be discarded (the
+// cache.Cache.ResetStats convention) without corrupting reuse intervals
+// that span the boundary.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	s.Hits, s.Misses, s.Evictions, s.Writebacks, s.Bypasses, s.Fills = 0, 0, 0, 0, 0, 0
+	s.Insertions, s.Promotions = 0, 0
+	s.InsertPos.Reset()
+	s.PromoteFrom.Reset()
+	s.PromoteTo.Reset()
+	s.PromoteDist.Reset()
+	s.HitReuse.Reset()
+	s.EvictAge.Reset()
+	s.EvictLife.Reset()
+	s.Votes = [MaxVotePolicies]Counter{}
+}
+
+// Hit records a hit on the line with flat index line (set*ways + way).
+func (s *Sink) Hit(line int) {
+	if s == nil {
+		return
+	}
+	s.tick++
+	s.Hits.Inc()
+	if line < len(s.lastTouch) {
+		s.HitReuse.Observe(s.tick - s.lastTouch[line])
+		s.lastTouch[line] = s.tick
+	}
+}
+
+// Miss records a miss (called once per miss, before any eviction or fill).
+func (s *Sink) Miss() {
+	if s == nil {
+		return
+	}
+	s.tick++
+	s.Misses.Inc()
+}
+
+// Evict records the eviction of the valid line with flat index line.
+func (s *Sink) Evict(line int, dirty bool) {
+	if s == nil {
+		return
+	}
+	s.Evictions.Inc()
+	if dirty {
+		s.Writebacks.Inc()
+	}
+	if line < len(s.lastTouch) {
+		s.EvictAge.Observe(s.tick - s.lastTouch[line])
+		s.EvictLife.Observe(s.tick - s.fillTick[line])
+	}
+}
+
+// Fill records the fill of the line with flat index line.
+func (s *Sink) Fill(line int) {
+	if s == nil {
+		return
+	}
+	s.Fills.Inc()
+	if line < len(s.lastTouch) {
+		s.lastTouch[line] = s.tick
+		s.fillTick[line] = s.tick
+	}
+}
+
+// Bypass records a miss that the policy chose not to cache.
+func (s *Sink) Bypass() {
+	if s == nil {
+		return
+	}
+	s.Bypasses.Inc()
+}
+
+// Insert records a policy inserting an incoming block at recency-stack
+// position pos.
+func (s *Sink) Insert(pos int) {
+	if s == nil {
+		return
+	}
+	s.Insertions.Inc()
+	s.InsertPos.Observe(uint64(pos))
+}
+
+// Promote records a policy moving a hit block from recency-stack position
+// from to position to. Demotions (to > from, possible under arbitrary IPVs)
+// count with their absolute distance.
+func (s *Sink) Promote(from, to int) {
+	if s == nil {
+		return
+	}
+	s.Promotions.Inc()
+	s.PromoteFrom.Observe(uint64(from))
+	s.PromoteTo.Observe(uint64(to))
+	d := from - to
+	if d < 0 {
+		d = -d
+	}
+	s.PromoteDist.Observe(uint64(d))
+}
+
+// Vote records a set-dueling leader miss that voted against candidate
+// policy p (indices beyond MaxVotePolicies-1 are dropped).
+func (s *Sink) Vote(p int) {
+	if s == nil {
+		return
+	}
+	if p >= 0 && p < MaxVotePolicies {
+		s.Votes[p].Inc()
+	}
+}
+
+// Accesses returns hits + misses, the sink's access count.
+func (s *Sink) Accesses() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Hits.Load() + s.Misses.Load()
+}
+
+// Merge adds other's counters and histograms into s (per-line clocks are
+// not merged — they are meaningless across caches). Use it to aggregate
+// per-worker sinks from a parallel grid.
+func (s *Sink) Merge(other *Sink) {
+	if s == nil || other == nil {
+		return
+	}
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+	s.Bypasses += other.Bypasses
+	s.Fills += other.Fills
+	s.Insertions += other.Insertions
+	s.Promotions += other.Promotions
+	s.InsertPos.Merge(&other.InsertPos)
+	s.PromoteFrom.Merge(&other.PromoteFrom)
+	s.PromoteTo.Merge(&other.PromoteTo)
+	s.PromoteDist.Merge(&other.PromoteDist)
+	s.HitReuse.Merge(&other.HitReuse)
+	s.EvictAge.Merge(&other.EvictAge)
+	s.EvictLife.Merge(&other.EvictLife)
+	for i := range s.Votes {
+		s.Votes[i] += other.Votes[i]
+	}
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{10, 512, 1023},
+		{64, 1 << 63, math.MaxUint64},
+	}
+	for _, c := range cases {
+		lo, hi := BucketBounds(c.i)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("BucketBounds(%d) = [%d, %d], want [%d, %d]", c.i, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	vals := []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, math.MaxUint64}
+	var sum uint64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Errorf("Sum = %d, want %d", h.Sum(), sum)
+	}
+	if h.Max() != math.MaxUint64 {
+		t.Errorf("Max = %d, want MaxUint64", h.Max())
+	}
+	// Every observation must land in the bucket whose bounds contain it.
+	var total uint64
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				continue
+			}
+		}
+		total += h.Bucket(i)
+	}
+	if total != uint64(len(vals)) {
+		t.Errorf("bucket counts sum to %d, want %d", total, len(vals))
+	}
+	if h.Bucket(0) != 1 { // only the value 0
+		t.Errorf("bucket 0 = %d, want 1", h.Bucket(0))
+	}
+	if h.Bucket(2) != 2 { // values 2, 3
+		t.Errorf("bucket 2 = %d, want 2", h.Bucket(2))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for v := uint64(0); v < 100; v++ {
+		a.Observe(v)
+		b.Observe(v * 10)
+	}
+	want := a.Count() + b.Count()
+	wantSum := a.Sum() + b.Sum()
+	a.Merge(&b)
+	if a.Count() != want || a.Sum() != wantSum {
+		t.Errorf("after merge: count %d sum %d, want %d / %d", a.Count(), a.Sum(), want, wantSum)
+	}
+	if a.Max() != 990 {
+		t.Errorf("after merge: max %d, want 990", a.Max())
+	}
+}
+
+// TestNilSinkSafe: every event method must be a no-op on a nil sink — this
+// is the contract the uninstrumented hot path relies on.
+func TestNilSinkSafe(t *testing.T) {
+	var s *Sink
+	s.Attach(64)
+	s.Hit(0)
+	s.Miss()
+	s.Evict(0, true)
+	s.Fill(0)
+	s.Bypass()
+	s.Insert(3)
+	s.Promote(5, 1)
+	s.Vote(2)
+	s.Reset()
+	s.Merge(&Sink{})
+	(&Sink{}).Merge(s)
+	if s.Accesses() != 0 {
+		t.Error("nil sink reported accesses")
+	}
+	if r := s.Report(); r.Accesses != 0 {
+		t.Error("nil sink reported a non-zero report")
+	}
+}
+
+func TestSinkEventAccounting(t *testing.T) {
+	var s Sink
+	s.Attach(4)
+	// Access pattern on a tiny 1-set, 4-way "cache": fill 0..3, hit 0,
+	// evict line 1 (dirty), refill it, bypass one miss.
+	for i := 0; i < 4; i++ {
+		s.Miss()
+		s.Fill(i)
+	}
+	s.Hit(0)
+	s.Miss()
+	s.Evict(1, true)
+	s.Fill(1)
+	s.Miss()
+	s.Bypass()
+
+	if got := s.Accesses(); got != 7 {
+		t.Errorf("Accesses = %d, want 7", got)
+	}
+	if s.Hits.Load() != 1 || s.Misses.Load() != 6 {
+		t.Errorf("hits/misses = %d/%d, want 1/6", s.Hits.Load(), s.Misses.Load())
+	}
+	if s.Evictions.Load() != 1 || s.Writebacks.Load() != 1 || s.Bypasses.Load() != 1 {
+		t.Errorf("evict/wb/bypass = %d/%d/%d, want 1/1/1",
+			s.Evictions.Load(), s.Writebacks.Load(), s.Bypasses.Load())
+	}
+	// The hit on line 0 came 5 accesses after its fill at tick 1.
+	if s.HitReuse.Count() != 1 || s.HitReuse.Sum() != 4 {
+		t.Errorf("HitReuse count/sum = %d/%d, want 1/4", s.HitReuse.Count(), s.HitReuse.Sum())
+	}
+	// Line 1 was filled at tick 2 and evicted at tick 6: age = life = 4.
+	if s.EvictAge.Sum() != 4 || s.EvictLife.Sum() != 4 {
+		t.Errorf("EvictAge/EvictLife sums = %d/%d, want 4/4", s.EvictAge.Sum(), s.EvictLife.Sum())
+	}
+}
+
+func TestSinkResetPreservesClocks(t *testing.T) {
+	var s Sink
+	s.Attach(2)
+	s.Miss()
+	s.Fill(0)
+	s.Reset()
+	if s.Misses.Load() != 0 || s.Fills.Load() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+	// A hit after the reset must still see a correct reuse interval
+	// relative to the pre-reset fill.
+	s.Hit(0)
+	if s.HitReuse.Count() != 1 || s.HitReuse.Sum() != 1 {
+		t.Errorf("post-reset reuse interval = %d (count %d), want 1 (1)",
+			s.HitReuse.Sum(), s.HitReuse.Count())
+	}
+}
+
+func TestSinkMerge(t *testing.T) {
+	var a, b Sink
+	a.Miss()
+	a.Insert(3)
+	a.Vote(1)
+	b.Miss()
+	b.Miss()
+	b.Insert(5)
+	b.Vote(1)
+	b.Vote(7)
+	a.Merge(&b)
+	if a.Misses.Load() != 3 || a.Insertions.Load() != 2 {
+		t.Errorf("merged misses/insertions = %d/%d, want 3/2", a.Misses.Load(), a.Insertions.Load())
+	}
+	if a.Votes[1].Load() != 2 || a.Votes[7].Load() != 1 {
+		t.Errorf("merged votes = %v", a.Votes)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	var s Sink
+	s.Attach(8)
+	for i := 0; i < 8; i++ {
+		s.Miss()
+		s.Fill(i)
+		s.Insert(i)
+	}
+	s.Hit(3)
+	s.Promote(7, 0)
+	s.Vote(2)
+
+	m := &Manifest{
+		Tool:        "test",
+		Fingerprint: "fp|v1",
+		Cache:       CacheGeometry{Name: "L3", SizeBytes: 4 << 20, Ways: 16, BlockBytes: 64, Sets: 4096},
+		Records:     1000,
+		WarmFrac:    1.0 / 3,
+		Entries:     []Entry{{Workload: "w", Policy: "p", MPKI: 1.5, LLC: s.Report()}},
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != ManifestVersion || got.Tool != "test" || got.Fingerprint != "fp|v1" {
+		t.Errorf("round-trip header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(got.Entries))
+	}
+	e := got.Entries[0]
+	if e.LLC.Misses != 8 || e.LLC.Hits != 1 || e.LLC.Insertions != 8 || e.LLC.Promotions != 1 {
+		t.Errorf("entry counters mismatch: %+v", e.LLC)
+	}
+	if e.LLC.Votes["2"] != 1 {
+		t.Errorf("votes = %v, want {2:1}", e.LLC.Votes)
+	}
+	if e.LLC.InsertPos.Count != 8 {
+		t.Errorf("InsertPos count = %d, want 8", e.LLC.InsertPos.Count)
+	}
+}
+
+func TestManifestVersionCheck(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Manifest{Tool: "t"}
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["version"] != float64(ManifestVersion) {
+		t.Errorf("encoded version = %v, want %d", decoded["version"], ManifestVersion)
+	}
+	// A future-versioned file must be refused.
+	path := filepath.Join(t.TempDir(), "m.json")
+	bad := &Manifest{Version: ManifestVersion + 1, Tool: "t"}
+	if err := bad.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Error("ReadManifest accepted a future manifest version")
+	}
+}
