@@ -40,11 +40,12 @@ cover: vet
 		printf "coverage %.1f%% meets the %.1f%% gate\n", t, min }'
 
 # Fuzz smoke: a few seconds per target over the external-input boundaries
-# (binary trace reader, IPV parser). Long campaigns run these by hand with a
-# bigger -fuzztime.
+# (binary trace reader, IPV parser) and the single-pass multi-model replay
+# kernel. Long campaigns run these by hand with a bigger -fuzztime.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzParseVector -fuzztime=$(FUZZTIME) ./internal/ipv
+	$(GO) test -run=^$$ -fuzz=FuzzMultiRunConsistency -fuzztime=$(FUZZTIME) ./internal/cpu
 
 check: race fuzz

@@ -210,6 +210,76 @@ func BenchmarkLabGrid(b *testing.B) {
 	}
 }
 
+// BenchmarkGridMultiPass measures what the single-pass engine buys on a
+// simulation-tool grid (gippr-sim's default policy suite over three
+// workloads): the per-cell baseline regenerates and re-filters the phase
+// stream for every (workload, policy) cell — the shape of the old grid —
+// while the single-pass variant captures each phase once and replays every
+// policy from that walk via cpu.MultiWindowReplay. Capture dwarfs a single
+// policy's replay, so single-pass should run at least ~2x faster on this
+// suite (and allocate roughly 1/len(policies) as much).
+func BenchmarkGridMultiPass(b *testing.B) {
+	const records = 60_000
+	wlNames := []string{"mcf_like", "lbm_like", "sphinx3_like"}
+	polNames := []string{"lru", "plru", "drrip", "pdp", "gippr", "4-dgippr"}
+	var wls []workload.Workload
+	for _, n := range wlNames {
+		w, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	mks := make([]func(sets, ways int) cache.Policy, len(polNames))
+	for i, n := range polNames {
+		f, err := policy.Lookup(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mks[i] = f.New
+	}
+	cfg := cache.L3Config
+	capture := func(w workload.Workload, pi int) []trace.Record {
+		h := DefaultHierarchy(policy.NewTrueLRU(cfg.Sets(), cfg.Ways))
+		h.RecordLLC = true
+		h.ReserveLLC(records)
+		src := &workload.Limit{Src: w.Phases[pi].Source(xrand.Mix(uint64(pi), 0x5eed)), N: records}
+		h.Run(src)
+		return h.LLCStream
+	}
+	b.Run("per-cell-capture", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, w := range wls {
+				for pi := range w.Phases {
+					for _, mk := range mks {
+						stream := capture(w, pi)
+						cpu.WindowReplay(stream, cfg, mk(cfg.Sets(), cfg.Ways),
+							len(stream)/3, cpu.DefaultWindowModel())
+					}
+				}
+			}
+		}
+	})
+	b.Run("single-pass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, w := range wls {
+				for pi := range w.Phases {
+					stream := capture(w, pi)
+					pols := make([]cache.Policy, len(mks))
+					models := make([]*cpu.WindowModel, len(mks))
+					for j, mk := range mks {
+						pols[j] = mk(cfg.Sets(), cfg.Ways)
+						models[j] = cpu.DefaultWindowModel()
+					}
+					cpu.MultiWindowReplay(stream, cfg, pols, len(stream)/3, models, nil)
+				}
+			}
+		}
+	})
+}
+
 // --- ablation benches (DESIGN.md section 4) ------------------------------
 
 // thrashStream is the ablation workload: a cyclic loop at 1.4x LLC

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale: smoke, default or full (overrides GIPPR_SCALE)")
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint,sampling")
 	workers := flag.Int("workers", 0, "worker goroutines for the evaluation grid (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the current section finishes and the rest are skipped (exit code 3)")
 	telemetryPath := flag.String("telemetry", "", "write an event-level JSON run manifest over the headline policy roster to this file")
@@ -128,6 +128,9 @@ func main() {
 	section("bypass", func() { fmt.Print(experiments.Bypass(lab).Format()) })
 	section("simpoint", func() {
 		fmt.Print(experiments.FormatSimPointValidation(experiments.SimPointValidation(lab)))
+	})
+	section("sampling", func() {
+		fmt.Print(experiments.Sampling(lab, experiments.SpecLRU, 1, 2, 3).Format())
 	})
 
 	if *telemetryPath != "" && ctx.Err() == nil {

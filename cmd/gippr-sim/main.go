@@ -5,10 +5,13 @@
 // Usage:
 //
 //	gippr-sim [-workloads mcf_like,lbm_like|all] [-policies lru,drrip,4-dgippr|all]
-//	          [-records N] [-warm frac] [-ipv "0 0 1 ..."] [-workers N]
+//	          [-records N] [-warm frac] [-sample s] [-ipv "0 0 1 ..."] [-workers N]
 //	          [-deadline dur] [-telemetry manifest.json] [-debug-addr host:port]
 //
 // With -ipv, an additional GIPPR policy using the given vector is included.
+// With -sample s, only a hashed 1-in-2^s subset of LLC sets is simulated and
+// reported MPKI is the scaled estimate (hit rates describe the sampled sets;
+// IPC is optimistic — skipped accesses are timed as hits).
 // With -telemetry, every grid cell is replayed with an event sink attached
 // and a JSON run manifest (config fingerprint plus per-cell counters and
 // insertion/promotion/reuse histograms) is written after the table. With
@@ -42,6 +45,7 @@ func main() {
 	policiesFlag := flag.String("policies", "lru,plru,drrip,pdp,gippr,4-dgippr", "comma-separated policy names (see -list), or 'all'")
 	records := flag.Int("records", 600_000, "memory references per workload phase")
 	warm := flag.Float64("warm", 1.0/3, "fraction of each phase used for cache warm-up")
+	sample := flag.Uint("sample", 0, "set-sampling shift: simulate a hashed 1-in-2^s subset of LLC sets and scale misses up (0 = full fidelity)")
 	ipvFlag := flag.String("ipv", "", "additional GIPPR vector to simulate, e.g. \"0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13\"")
 	specFile := flag.String("spec", "", "file of custom workload definitions (see workload.ParseSpec); adds them to -workloads")
 	list := flag.Bool("list", false, "list known workloads and policies, then exit")
@@ -130,54 +134,91 @@ func main() {
 		})
 	}
 
-	// Fan the (workload, policy) grid out over the worker pool. Every cell
-	// builds its own hierarchy and policy instances from fixed seeds, so the
-	// results are bit-identical to the serial loop at any worker count; rows
-	// print in the original order afterwards.
+	// Fan the grid out one task per workload: each task generates every
+	// phase's LLC stream once (capture happens before the L3 lookup, so the
+	// stream is policy-independent) and replays all policies from that
+	// single pass via cpu.MultiWindowReplay. The old grid re-captured the
+	// stream for every (workload, policy) cell; since capture dwarfs a
+	// single policy's replay, sharing it is where the multi-pass engine's
+	// speedup comes from (see BenchmarkGridMultiPass). Per-policy results
+	// are bit-identical to the per-cell grid at any worker count; rows print
+	// in the original order afterwards.
 	type row struct {
 		mpki, hitr, ipc float64
 		misses          uint64
 		llc             *telemetry.Sink
 	}
 	l3 := cache.L3Config
+	l3.SampleShift = *sample
+	sampleFactor := 1.0
+	if *sample > 0 {
+		sampleFactor = l3.SampleFactor()
+	}
 	rows := make([]row, len(wls)*len(pols))
 	prog.SetTotal(uint64(len(rows)))
-	err = parallel.ForCtx(ctx, *workers, len(rows), func(idx int) {
-		w, ps := wls[idx/len(pols)], pols[idx%len(pols)]
-		var mpkis, ipcs, hitrs, weights []float64
-		var misses uint64
-		var sink *telemetry.Sink
-		if *telemetryPath != "" {
-			sink = &telemetry.Sink{}
+	err = parallel.ForCtx(ctx, *workers, len(wls), func(wi int) {
+		w := wls[wi]
+		mpkis := make([][]float64, len(pols))
+		hitrs := make([][]float64, len(pols))
+		ipcs := make([][]float64, len(pols))
+		misses := make([]uint64, len(pols))
+		merged := make([]*telemetry.Sink, len(pols))
+		for i := range pols {
+			mpkis[i] = make([]float64, len(w.Phases))
+			hitrs[i] = make([]float64, len(w.Phases))
+			ipcs[i] = make([]float64, len(w.Phases))
+			if *telemetryPath != "" {
+				merged[i] = &telemetry.Sink{}
+			}
 		}
+		weights := make([]float64, len(w.Phases))
 		for pi, ph := range w.Phases {
-			h := hierarchyWith(ps.mk(l3.Sets(), l3.Ways))
+			h := hierarchyWith(policy.NewTrueLRU(cache.L3Config.Sets(), cache.L3Config.Ways))
 			h.RecordLLC = true
 			h.ReserveLLC(*records)
 			src := &workload.Limit{Src: ph.Source(xrand.Mix(uint64(pi), 0x5eed)), N: uint64(*records)}
 			h.Run(src)
 			stream := h.LLCStream
-			var phaseSink *telemetry.Sink
-			if sink != nil {
-				phaseSink = &telemetry.Sink{}
+			polInstances := make([]cache.Policy, len(pols))
+			models := make([]*cpu.WindowModel, len(pols))
+			var sinks []*telemetry.Sink
+			if *telemetryPath != "" {
+				sinks = make([]*telemetry.Sink, len(pols))
 			}
-			res := cpu.WindowReplayTel(stream, l3, ps.mk(l3.Sets(), l3.Ways),
-				int(float64(len(stream))**warm), cpu.DefaultWindowModel(), phaseSink)
-			sink.Merge(phaseSink) // nil-safe both ways
-			mpkis = append(mpkis, stats.MPKI(res.Misses, res.Instructions))
-			hitrs = append(hitrs, 100*float64(res.Hits)/float64(max(res.Accesses, 1)))
-			ipcs = append(ipcs, float64(res.Instructions)/res.Cycles)
-			weights = append(weights, ph.Weight)
-			misses += res.Misses
+			for i, ps := range pols {
+				polInstances[i] = ps.mk(l3.Sets(), l3.Ways)
+				models[i] = cpu.DefaultWindowModel()
+				if sinks != nil {
+					sinks[i] = &telemetry.Sink{}
+				}
+			}
+			results := cpu.MultiWindowReplay(stream, l3, polInstances,
+				int(float64(len(stream))**warm), models, sinks)
+			weights[pi] = ph.Weight
+			for i, res := range results {
+				mpki := stats.MPKI(res.Misses, res.Instructions)
+				if *sample > 0 {
+					mpki *= sampleFactor
+				}
+				mpkis[i][pi] = mpki
+				hitrs[i][pi] = 100 * float64(res.Hits) / float64(max(res.Accesses, 1))
+				ipcs[i][pi] = float64(res.Instructions) / res.Cycles
+				misses[i] += res.Misses
+				if sinks != nil {
+					merged[i].Merge(sinks[i])
+				}
+			}
 		}
-		rows[idx] = row{
-			mpki:   stats.WeightedMean(mpkis, weights),
-			hitr:   stats.WeightedMean(hitrs, weights),
-			ipc:    stats.WeightedMean(ipcs, weights),
-			misses: misses,
-			llc:    sink,
+		for i := range pols {
+			rows[wi*len(pols)+i] = row{
+				mpki:   stats.WeightedMean(mpkis[i], weights),
+				hitr:   stats.WeightedMean(hitrs[i], weights),
+				ipc:    stats.WeightedMean(ipcs[i], weights),
+				misses: misses[i],
+				llc:    merged[i],
+			}
+			prog.Add(1)
 		}
-		prog.Add(1)
 	})
 	if err != nil {
 		// A truncated grid would print zero rows for the cells that never
@@ -194,14 +235,19 @@ func main() {
 	}
 
 	if *telemetryPath != "" {
+		geom := telemetry.CacheGeometry{
+			Name: l3.Name, SizeBytes: l3.SizeBytes, Ways: l3.Ways,
+			BlockBytes: l3.BlockBytes, Sets: l3.Sets(),
+		}
+		if *sample > 0 {
+			geom.SampleShift = *sample
+			geom.SampledSets = l3.SampledSets()
+		}
 		m := &telemetry.Manifest{
 			Tool: "gippr-sim",
-			Fingerprint: fmt.Sprintf("gippr-sim|v1|records=%d|warm=%.6f|workloads=%s|policies=%s|ipv=%s",
-				*records, *warm, *workloadsFlag, *policiesFlag, *ipvFlag),
-			Cache: telemetry.CacheGeometry{
-				Name: l3.Name, SizeBytes: l3.SizeBytes, Ways: l3.Ways,
-				BlockBytes: l3.BlockBytes, Sets: l3.Sets(),
-			},
+			Fingerprint: fmt.Sprintf("gippr-sim|v1|records=%d|warm=%.6f|sample=%d|workloads=%s|policies=%s|ipv=%s",
+				*records, *warm, *sample, *workloadsFlag, *policiesFlag, *ipvFlag),
+			Cache:    geom,
 			Records:  *records,
 			WarmFrac: *warm,
 		}

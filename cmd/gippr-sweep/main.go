@@ -5,15 +5,17 @@
 // Usage:
 //
 //	gippr-sweep [-n 400] [-scale smoke|default|full] [-seed N] [-csv]
-//	            [-workers N] [-deadline dur] [-progress-every dur]
+//	            [-sample S] [-workers N] [-deadline dur] [-progress-every dur]
 //	            [-debug-addr host:port]
 //
 // A progress line (samples done, rate) is printed to stderr every
 // -progress-every while the sweep runs; -debug-addr serves the same gauges
-// as expvar at /debug/vars alongside the pprof suite. SIGINT/SIGTERM or
-// -deadline stop the sweep gracefully: in-flight samples drain, nothing
-// partial is printed (the sorted curve is meaningless when truncated), and
-// the exit code is 3.
+// as expvar at /debug/vars alongside the pprof suite. With -sample S > 0,
+// fitness is evaluated on a hashed 1-in-2^S subset of LLC sets with miss
+// counts scaled back up — a fast estimator for wide sweeps; full runs stay
+// bit-identical to earlier builds. SIGINT/SIGTERM or -deadline stop the
+// sweep gracefully: in-flight samples drain, nothing partial is printed
+// (the sorted curve is meaningless when truncated), and the exit code is 3.
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale (overrides GIPPR_SCALE)")
 	seed := flag.Uint64("seed", 0xF161, "random seed")
 	csv := flag.Bool("csv", false, "emit the full sorted curve as CSV (index,speedup) for plotting")
+	sample := flag.Uint("sample", 0, "set-sampling shift: simulate a hashed 1-in-2^S subset of LLC sets (0 = full fidelity)")
 	workers := flag.Int("workers", 0, "worker goroutines for stream building and fitness evaluation (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the sweep drains and exits with code 3")
 	progressEvery := flag.Duration("progress-every", 30*time.Second, "interval between progress lines on stderr (0 disables)")
@@ -70,7 +73,12 @@ func main() {
 	runctx.StartProgressLog(ctx, os.Stderr, *progressEvery, prog)
 
 	lab := experiments.NewLab(scale).SetWorkers(*workers)
+	lab.Cfg.SampleShift = *sample
 	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale, %d workers)...\n", scale.Name, lab.Workers)
+	if *sample > 0 {
+		fmt.Fprintf(os.Stderr, "set sampling: %d of %d LLC sets (shift %d)\n",
+			lab.Cfg.SampledSets(), lab.Cfg.Sets(), *sample)
+	}
 	prog.SetPhase("build streams")
 	env, err := lab.GAEnvCtx(ctx)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 
 	"gippr/internal/telemetry"
 	"gippr/internal/trace"
+	"gippr/internal/xrand"
 )
 
 // Policy decides replacement within each set of one cache. Implementations
@@ -79,6 +80,76 @@ type Config struct {
 	// HitLatency is the access latency in cycles when this cache hits,
 	// used by the CPU timing models.
 	HitLatency int
+	// SampleShift enables set sampling: only sets selected by a fixed
+	// deterministic hash of the set index — a 1-in-2^SampleShift fraction —
+	// are simulated; accesses to every other set are skipped (counted in
+	// Stats.Skipped and treated as hits by the timing models). Miss counts
+	// from a sampled cache estimate the full cache's misses after scaling
+	// by SampleFactor. 0 (the zero value) means full fidelity: every set is
+	// simulated and behaviour is bit-identical to a Config without the
+	// field. This is the same statistical bet the paper's set-dueling makes
+	// (a few leader sets predict the whole cache); DESIGN.md §9 derives the
+	// estimator and its error model.
+	SampleShift uint
+}
+
+// sampleSeed is the fixed hash seed behind set sampling. It is a package
+// constant, not a Config field, so every sampled simulation of a geometry
+// selects the same sets — estimates are reproducible across runs, tools and
+// worker counts by construction.
+const sampleSeed = 0x5e75a11ed5e75 // "set sampled sets"
+
+// InSample reports whether a sampled cache simulates the given set. With
+// SampleShift 0 every set is in the sample. The primary rule keeps a set
+// when the low SampleShift bits of a hash of its index are zero; in the
+// degenerate case where that selects no set at all (tiny caches at large
+// shifts), the rule falls back to plain striding (every 2^shift-th set,
+// which always includes set 0), keeping the sample non-empty.
+func (c Config) InSample(set uint32) bool {
+	if c.SampleShift == 0 {
+		return true
+	}
+	mask := uint64(1)<<c.SampleShift - 1
+	if c.hashSampleEmpty() {
+		return uint64(set)&mask == 0
+	}
+	return xrand.Mix(uint64(set), sampleSeed)&mask == 0
+}
+
+// hashSampleEmpty reports whether the hash rule selects no set (the
+// fallback trigger in InSample). SampleShift must be non-zero.
+func (c Config) hashSampleEmpty() bool {
+	mask := uint64(1)<<c.SampleShift - 1
+	for set := 0; set < c.Sets(); set++ {
+		if xrand.Mix(uint64(set), sampleSeed)&mask == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SampledSets returns how many sets the sample selects (all of them when
+// SampleShift is 0). The hash keeps a 1-in-2^SampleShift fraction in
+// expectation; the exact count varies, which is why estimates scale by the
+// measured SampleFactor rather than by 2^SampleShift.
+func (c Config) SampledSets() int {
+	if c.SampleShift == 0 {
+		return c.Sets()
+	}
+	n := 0
+	for set := 0; set < c.Sets(); set++ {
+		if c.InSample(uint32(set)) {
+			n++
+		}
+	}
+	return n
+}
+
+// SampleFactor returns the factor that scales sampled-set event counts up
+// to full-cache estimates: total sets over sampled sets (exactly 1 at full
+// fidelity).
+func (c Config) SampleFactor() float64 {
+	return float64(c.Sets()) / float64(c.SampledSets())
 }
 
 // Sets returns the number of sets implied by the geometry. It panics if the
@@ -119,6 +190,11 @@ type Stats struct {
 	// statistic; writeback traffic is not re-injected into lower levels
 	// (replacement decisions at the LLC are driven by demand references).
 	Writebacks uint64
+	// Skipped counts accesses to sets outside the sample when set sampling
+	// is enabled (Config.SampleShift > 0). Skipped accesses are not counted
+	// in Accesses/Hits/Misses, so those counters describe only the sampled
+	// sets and scale up by Config.SampleFactor.
+	Skipped uint64
 }
 
 // HitRate returns hits/accesses, or 0 with no accesses.
@@ -143,6 +219,7 @@ type Cache struct {
 	setMask    uint64
 	blockShift uint
 	lines      []line // flattened [set*ways + way]
+	sampled    []bool // nil at full fidelity; else per-set in-sample flags
 	pol        Policy
 	Stats      Stats
 	tel        *telemetry.Sink // nil when telemetry is disabled
@@ -156,7 +233,7 @@ type Cache struct {
 // New returns a cache with the given geometry and replacement policy.
 func New(cfg Config, pol Policy) *Cache {
 	sets := cfg.Sets()
-	return &Cache{
+	c := &Cache{
 		cfg:        cfg,
 		sets:       sets,
 		ways:       cfg.Ways,
@@ -165,6 +242,13 @@ func New(cfg Config, pol Policy) *Cache {
 		lines:      make([]line, sets*cfg.Ways),
 		pol:        pol,
 	}
+	if cfg.SampleShift > 0 {
+		c.sampled = make([]bool, sets)
+		for set := 0; set < sets; set++ {
+			c.sampled[set] = cfg.InSample(uint32(set))
+		}
+	}
+	return c
 }
 
 // Config returns the cache's geometry.
@@ -202,12 +286,19 @@ func (c *Cache) SetOf(addr uint64) uint32 { return uint32(c.Block(addr) & c.setM
 // Access performs one reference and returns whether it hit. On a miss the
 // block is filled (allocate-on-miss for both reads and writes).
 func (c *Cache) Access(r trace.Record) bool {
+	block := c.Block(r.Addr)
+	set := uint32(block & c.setMask)
+	if c.sampled != nil && !c.sampled[set] {
+		// Out-of-sample set: no tags are kept for it, so nothing to do.
+		// Reported as a hit so timing models charge the optimistic latency
+		// (DESIGN.md §9 discusses the resulting CPI bias).
+		c.Stats.Skipped++
+		return true
+	}
 	c.Stats.Accesses++
 	if r.Write {
 		c.Stats.Writes++
 	}
-	block := c.Block(r.Addr)
-	set := uint32(block & c.setMask)
 	base := int(set) * c.ways
 	ls := c.lines[base : base+c.ways]
 	for w := range ls {

@@ -371,3 +371,134 @@ func TestInvalidateDropsDirtyState(t *testing.T) {
 		t.Fatalf("writebacks = %d, stale dirty bit leaked", c.Stats.Writebacks)
 	}
 }
+
+func TestSampleFullFidelity(t *testing.T) {
+	cfg := tinyConfig() // SampleShift 0
+	for set := 0; set < cfg.Sets(); set++ {
+		if !cfg.InSample(uint32(set)) {
+			t.Fatalf("set %d outside sample at full fidelity", set)
+		}
+	}
+	if cfg.SampledSets() != cfg.Sets() {
+		t.Fatalf("SampledSets = %d, want %d", cfg.SampledSets(), cfg.Sets())
+	}
+	if f := cfg.SampleFactor(); f != 1 {
+		t.Fatalf("SampleFactor = %v, want exactly 1", f)
+	}
+}
+
+func TestSampleSelectionConsistency(t *testing.T) {
+	for shift := uint(1); shift <= 6; shift++ {
+		cfg := L3Config
+		cfg.SampleShift = shift
+		n := 0
+		for set := 0; set < cfg.Sets(); set++ {
+			if cfg.InSample(uint32(set)) {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("shift %d: empty sample", shift)
+		}
+		if got := cfg.SampledSets(); got != n {
+			t.Fatalf("shift %d: SampledSets = %d, InSample count = %d", shift, got, n)
+		}
+		if got, want := cfg.SampleFactor(), float64(cfg.Sets())/float64(n); got != want {
+			t.Fatalf("shift %d: SampleFactor = %v, want %v", shift, got, want)
+		}
+		// The hash keeps roughly 1 in 2^shift sets; on 4096 sets the count
+		// should be within a factor of two of the expectation.
+		want := cfg.Sets() >> shift
+		if n < want/2 || n > want*2 {
+			t.Fatalf("shift %d: %d sampled sets, expected near %d", shift, n, want)
+		}
+	}
+}
+
+func TestSampleFallbackNeverEmpty(t *testing.T) {
+	// A 4-set cache at large shifts all but guarantees the hash rule selects
+	// nothing; the striding fallback must keep the sample non-empty (and it
+	// always includes set 0).
+	for shift := uint(1); shift <= 10; shift++ {
+		cfg := tinyConfig()
+		cfg.SampleShift = shift
+		if cfg.SampledSets() < 1 {
+			t.Fatalf("shift %d: empty sample", shift)
+		}
+		if !cfg.InSample(0) && cfg.hashSampleEmpty() {
+			t.Fatalf("shift %d: fallback sample excludes set 0", shift)
+		}
+	}
+}
+
+func TestSampleSkipsUnsampledSets(t *testing.T) {
+	cfg := tinyConfig() // 4 sets x 2 ways
+	cfg.SampleShift = 1
+	c := New(cfg, newLRUTest(cfg.Sets(), cfg.Ways))
+	var in, out uint64
+	for set := 0; set < cfg.Sets(); set++ {
+		hit := c.Access(rec(uint64(set) * 64)) // one cold access per set
+		if cfg.InSample(uint32(set)) {
+			in++
+			if hit {
+				t.Fatalf("cold access to sampled set %d hit", set)
+			}
+		} else {
+			out++
+			if !hit {
+				t.Fatalf("skipped access to set %d reported a miss", set)
+			}
+		}
+	}
+	if out == 0 {
+		t.Fatal("test vacuous: every set in sample at shift 1")
+	}
+	if c.Stats.Skipped != out {
+		t.Fatalf("Skipped = %d, want %d", c.Stats.Skipped, out)
+	}
+	if c.Stats.Accesses != in || c.Stats.Misses != in {
+		t.Fatalf("stats %+v, want %d accesses/misses", c.Stats, in)
+	}
+}
+
+func TestSampleAgreesWithFullOnSampledSets(t *testing.T) {
+	// Sets are independent, so a sampled cache must produce exactly the
+	// miss/hit behaviour of the full cache restricted to the sampled sets.
+	full := tinyConfig()
+	sampled := tinyConfig()
+	sampled.SampleShift = 1
+	cf := New(full, newLRUTest(full.Sets(), full.Ways))
+	cs := New(sampled, newLRUTest(sampled.Sets(), sampled.Ways))
+	var wantAccesses, wantMisses uint64
+	for i := 0; i < 4096; i++ {
+		addr := uint64(i*i*2654435761) % (1 << 14)
+		r := rec(addr)
+		hitFull := cf.Access(r)
+		cs.Access(r)
+		if sampled.InSample(cf.SetOf(addr)) {
+			wantAccesses++
+			if !hitFull {
+				wantMisses++
+			}
+		}
+	}
+	if cs.Stats.Accesses != wantAccesses || cs.Stats.Misses != wantMisses {
+		t.Fatalf("sampled stats %+v, want %d accesses / %d misses",
+			cs.Stats, wantAccesses, wantMisses)
+	}
+}
+
+func TestReplayStreamSampledInstructions(t *testing.T) {
+	// Instruction counting covers the whole stream even when most accesses
+	// are skipped: MPKI estimates divide scaled misses by true instructions.
+	cfg := tinyConfig()
+	cfg.SampleShift = 1
+	stream := []trace.Record{rec(0), rec(64), rec(128), rec(192)}
+	rs := ReplayStream(stream, cfg, newLRUTest(cfg.Sets(), cfg.Ways), 0)
+	if rs.Instructions != 4 {
+		t.Fatalf("instructions = %d, want 4", rs.Instructions)
+	}
+	if rs.Accesses >= 4 {
+		t.Fatalf("accesses = %d, sampling skipped nothing", rs.Accesses)
+	}
+}

@@ -54,6 +54,22 @@ func (m LinearModel) CPIFromReplay(rs cache.ReplayStats) float64 {
 	return m.Cycles(rs.Instructions, rs.Accesses, rs.Misses) / float64(rs.Instructions)
 }
 
+// SampledCPI applies the model to a set-sampled replay: accesses and misses
+// describe only the sampled sets, so they are scaled up by factor (the
+// cache's Config.SampleFactor) before costing, while instructions already
+// cover the whole stream. Callers at full fidelity (factor 1) should use
+// CPIFromReplay instead — the two compute the same value mathematically but
+// associate the floating-point operations differently, and full-fidelity
+// paths promise bit-identical results.
+func (m LinearModel) SampledCPI(rs cache.ReplayStats, factor float64) float64 {
+	if rs.Instructions == 0 {
+		return m.BaseCPI
+	}
+	cycles := float64(rs.Instructions)*m.BaseCPI +
+		factor*(float64(rs.Accesses)*m.L3HitCycles+float64(rs.Misses)*m.MissCycles)
+	return cycles / float64(rs.Instructions)
+}
+
 // WindowModel models a width-wide core with an inst-window of robSize
 // entries. Every instruction dispatches at most width per cycle, no earlier
 // than the retirement of the instruction robSize slots ahead of it, and

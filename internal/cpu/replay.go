@@ -14,6 +14,9 @@ type ReplayResult struct {
 	Accesses     uint64
 	Hits         uint64
 	Misses       uint64
+	// Skipped counts accesses to out-of-sample sets when the replayed cache
+	// uses set sampling (cache.Config.SampleShift > 0); 0 at full fidelity.
+	Skipped uint64
 }
 
 // WindowReplay replays a captured LLC access stream into an LLC-only cache
@@ -63,9 +66,80 @@ func WindowReplayTel(stream []trace.Record, cfg cache.Config, pol cache.Policy,
 		Accesses:     c.Stats.Accesses,
 		Hits:         c.Stats.Hits,
 		Misses:       c.Stats.Misses,
+		Skipped:      c.Stats.Skipped,
 	}
 	if res.Instructions > 0 {
 		res.CPI = res.Cycles / float64(res.Instructions)
 	}
 	return res
+}
+
+// MultiWindowReplay replays one captured LLC stream through several
+// independent cache models in a single pass over the records: model i gets
+// its own cache (policy pols[i]), its own window model models[i], and — when
+// sinks is non-nil — its own telemetry sink sinks[i] (individual entries may
+// be nil). The call sequence each model observes is exactly the sequence
+// WindowReplayTel would issue, so every per-model result is bit-identical
+// to a standalone replay of the same (stream, policy) pair; the saving is
+// that the stream's records are walked (and stay cache-hot) once instead of
+// once per policy. pols, models and (if present) sinks must have equal
+// length; a zero-length pols returns an empty slice without touching the
+// stream.
+func MultiWindowReplay(stream []trace.Record, cfg cache.Config, pols []cache.Policy,
+	warm int, models []*WindowModel, sinks []*telemetry.Sink) []ReplayResult {
+	if len(models) != len(pols) {
+		panic("cpu: MultiWindowReplay: len(models) != len(pols)")
+	}
+	if sinks != nil && len(sinks) != len(pols) {
+		panic("cpu: MultiWindowReplay: len(sinks) != len(pols)")
+	}
+	if len(pols) == 0 {
+		return nil
+	}
+	caches := make([]*cache.Cache, len(pols))
+	for i, pol := range pols {
+		caches[i] = cache.New(cfg, pol)
+		if sinks != nil && sinks[i] != nil {
+			caches[i].SetTelemetry(sinks[i])
+		}
+	}
+	if warm > len(stream) {
+		warm = len(stream)
+	}
+	for _, r := range stream[:warm] {
+		for _, c := range caches {
+			c.Access(r)
+		}
+	}
+	for i, c := range caches {
+		c.ResetStats()
+		models[i].Reset()
+	}
+	hitLat := cfg.HitLatency
+	missLat := cfg.HitLatency + cache.DRAMLatency
+	for _, r := range stream[warm:] {
+		for i, c := range caches {
+			if c.Access(r) {
+				models[i].Step(r.Gap, hitLat)
+			} else {
+				models[i].StepMiss(r.Gap, missLat)
+			}
+		}
+	}
+	results := make([]ReplayResult, len(pols))
+	for i, c := range caches {
+		res := ReplayResult{
+			Instructions: models[i].Instructions(),
+			Cycles:       models[i].Cycles(),
+			Accesses:     c.Stats.Accesses,
+			Hits:         c.Stats.Hits,
+			Misses:       c.Stats.Misses,
+			Skipped:      c.Stats.Skipped,
+		}
+		if res.Instructions > 0 {
+			res.CPI = res.Cycles / float64(res.Instructions)
+		}
+		results[i] = res
+	}
+	return results
 }

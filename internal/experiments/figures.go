@@ -294,3 +294,91 @@ func Interpret() string {
 	fmt.Fprintf(&sb, "insertion classes covered by the 4-vector set: %v\n", classes)
 	return sb.String()
 }
+
+// SamplingResult compares set-sampled MPKI estimates against the full
+// simulation for one policy across the suite: the estimator the -sample
+// flag enables, and the error the statistical test pins (DESIGN.md §9).
+type SamplingResult struct {
+	Policy      string
+	Shifts      []uint
+	SampledSets []int     // per shift, out of the full set count
+	Sets        int       // full set count
+	Table       *Table    // per-workload full MPKI, estimates, relative errors
+	MeanRelErr  []float64 // per shift, mean over sensitive workloads
+	MaxRelErr   []float64 // per shift
+}
+
+// samplingErrFloor is the full-simulation MPKI below which a workload is
+// treated as LLC-insensitive for error reporting — the same 1e-3 guard the
+// normalized-MPKI figures use: relative error against a near-zero
+// denominator measures noise, not estimator quality.
+const samplingErrFloor = 1e-3
+
+// Sampling runs the suite under spec at full fidelity and at each sampling
+// shift, and reports estimate vs truth per workload. Each sampled run uses
+// a WithSampling view of the lab (shared streams, fresh memos) driven by
+// the single-pass engine.
+func Sampling(l *Lab, spec Spec, shifts ...uint) SamplingResult {
+	r := SamplingResult{
+		Policy: spec.Label,
+		Shifts: shifts,
+		Sets:   l.Cfg.Sets(),
+	}
+	labs := make([]*Lab, len(shifts))
+	for i, s := range shifts {
+		labs[i] = l.WithSampling(s)
+		r.SampledSets = append(r.SampledSets, labs[i].Cfg.SampledSets())
+	}
+	l.PrefetchMulti([]Spec{spec}, false)
+	for _, sl := range labs {
+		sl.PrefetchMulti([]Spec{spec}, false)
+	}
+	t := &Table{
+		Title:      fmt.Sprintf("Set-sampled MPKI estimation (%s)", spec.Label),
+		Columns:    []string{"full"},
+		MeanFooter: true, // error columns contain zeros; geomean is undefined
+	}
+	for _, s := range shifts {
+		t.Columns = append(t.Columns, fmt.Sprintf("est s=%d", s), fmt.Sprintf("relerr s=%d", s))
+	}
+	for _, w := range l.Suite() {
+		full := l.MPKI(spec, w)
+		row := TableRow{Name: w.Name, Values: []float64{full}}
+		for _, sl := range labs {
+			est := sl.MPKI(spec, w)
+			relErr := 0.0
+			if full >= samplingErrFloor {
+				relErr = abs(est-full) / full
+			}
+			row.Values = append(row.Values, est, relErr)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	r.Table = t
+	for _, s := range shifts {
+		col := fmt.Sprintf("relerr s=%d", s)
+		r.MeanRelErr = append(r.MeanRelErr, t.ColumnMean(col))
+		r.MaxRelErr = append(r.MaxRelErr, t.ColumnMax(col))
+	}
+	return r
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Format renders the sampling comparison with per-shift error summaries.
+func (r SamplingResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString(r.Table.Format())
+	sb.WriteString("\nper-shift summary (relative error over LLC-sensitive workloads):\n")
+	for i, s := range r.Shifts {
+		fmt.Fprintf(&sb, "  s=%d: %4d/%d sets simulated (%5.1f%% of tags), mean relerr %6.3f%%, max relerr %6.3f%%\n",
+			s, r.SampledSets[i], r.Sets, 100*float64(r.SampledSets[i])/float64(r.Sets),
+			100*r.MeanRelErr[i], 100*r.MaxRelErr[i])
+	}
+	return sb.String()
+}

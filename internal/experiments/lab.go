@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gippr/internal/cache"
 	"gippr/internal/cpu"
@@ -38,16 +39,53 @@ type phaseResult struct {
 // flight is a per-key singleflight slot: the first goroutine to claim the
 // key runs the computation inside once; everyone else blocks on the same
 // once and reads the settled value. Values are only read after once.Do
-// returns, which establishes the happens-before edge — no atomics needed.
+// returns, which establishes the happens-before edge. ready lets batch
+// engines (multiPhaseRun) cheaply test "already settled?" without entering
+// the once — it is advisory for work-skipping only; readers of res still
+// synchronize through once.Do.
 type flight struct {
-	once sync.Once
-	res  phaseResult
+	once  sync.Once
+	ready atomic.Bool
+	res   phaseResult
+}
+
+// set stores the settled value; call only from inside once.Do.
+func (f *flight) set(res phaseResult) {
+	f.res = res
+	f.ready.Store(true)
 }
 
 // streamFlight is the per-workload equivalent for LLC stream construction.
 type streamFlight struct {
 	once    sync.Once
 	streams []ga.Stream
+}
+
+// streamTable is a share-able memo of built LLC streams, keyed by workload
+// name, with its own lock so several Labs (a full-fidelity lab and its
+// WithSampling views) can hand out the same streams without racing on a
+// per-lab mutex. Sharing is sound because stream capture is independent of
+// both the LLC replacement policy (records are captured before L3 lookup)
+// and set sampling (capture always runs at full fidelity).
+type streamTable struct {
+	mu sync.Mutex
+	m  map[string]*streamFlight
+}
+
+func newStreamTable() *streamTable {
+	return &streamTable{m: make(map[string]*streamFlight)}
+}
+
+// claim returns the singleflight slot for a workload, creating it if absent.
+func (t *streamTable) claim(name string) *streamFlight {
+	t.mu.Lock()
+	f, ok := t.m[name]
+	if !ok {
+		f = &streamFlight{}
+		t.m[name] = f
+	}
+	t.mu.Unlock()
+	return f
 }
 
 // Lab owns the streams and memoized results for one scale. It is safe for
@@ -73,11 +111,14 @@ type Lab struct {
 	ctx context.Context
 
 	suite   []workload.Workload
-	streams map[string]*streamFlight // workload -> one LLC stream per phase
-	results map[string]*flight       // key: policyKey|workload|phase
-	optimal map[string]*flight       // key: workload|phase
+	streams *streamTable       // workload -> one LLC stream per phase
+	results map[string]*flight // key: policyKey|workload|phase
+	optimal map[string]*flight // key: workload|phase
 
-	mu sync.Mutex // guards the three maps' entries, not their computation
+	mu sync.Mutex // guards the two result maps' entries, not their computation
+
+	factorOnce sync.Once // lazily caches Cfg.SampleFactor()
+	factor     float64
 }
 
 // NewLab returns a lab over the full 29-workload suite at the given scale,
@@ -89,10 +130,40 @@ func NewLab(s Scale) *Lab {
 		Workers: parallel.DefaultWorkers(),
 		ctx:     context.Background(),
 		suite:   workload.Suite(),
-		streams: make(map[string]*streamFlight),
+		streams: newStreamTable(),
 		results: make(map[string]*flight),
 		optimal: make(map[string]*flight),
 	}
+}
+
+// WithSampling returns a lab view with the given set-sampling shift: same
+// scale, suite, workers and context, sharing this lab's built LLC streams
+// (capture is sampling-independent, so rebuilding them would be pure waste)
+// but with fresh result memos, since sampled and full-fidelity replays must
+// never mix under one key. WithSampling(0) is a full-fidelity view with
+// fresh memos over shared streams — the equivalence tests use it to force
+// recomputation without re-capturing.
+func (l *Lab) WithSampling(shift uint) *Lab {
+	n := &Lab{
+		Scale:   l.Scale,
+		Cfg:     l.Cfg,
+		Workers: l.Workers,
+		ctx:     l.ctx,
+		suite:   l.suite,
+		streams: l.streams,
+		results: make(map[string]*flight),
+		optimal: make(map[string]*flight),
+	}
+	n.Cfg.SampleShift = shift
+	return n
+}
+
+// sampleFactor returns the lab's miss scale-up factor (Cfg.SampleFactor),
+// computed once. Callers must only use it when Cfg.SampleShift != 0, so the
+// full-fidelity path never multiplies by a float even when it equals 1.
+func (l *Lab) sampleFactor() float64 {
+	l.factorOnce.Do(func() { l.factor = l.Cfg.SampleFactor() })
+	return l.factor
 }
 
 // SetWorkers sets the fan-out width used by Prefetch (values below 1 mean
@@ -131,14 +202,7 @@ func phaseSeed(name string, phase int) uint64 {
 // second caller asking for a workload mid-build waits for that build only,
 // and memoized lookups never block behind any build.
 func (l *Lab) Streams(w workload.Workload) []ga.Stream {
-	l.mu.Lock()
-	f, ok := l.streams[w.Name]
-	if !ok {
-		f = &streamFlight{}
-		l.streams[w.Name] = f
-	}
-	l.mu.Unlock()
-
+	f := l.streams.claim(w.Name)
 	f.once.Do(func() { f.streams = l.buildStreams(w) })
 	return f.streams
 }
@@ -146,12 +210,17 @@ func (l *Lab) Streams(w workload.Workload) []ga.Stream {
 // buildStreams is the expensive hierarchy replay behind Streams, run exactly
 // once per workload.
 func (l *Lab) buildStreams(w workload.Workload) []ga.Stream {
+	// Capture always runs at full fidelity: records reach the stream before
+	// the L3 lookup, so a sampled L3 here would change nothing about the
+	// stream while making the capture hierarchy's stats misleading.
+	llcCfg := l.Cfg
+	llcCfg.SampleShift = 0
 	out := make([]ga.Stream, 0, len(w.Phases))
 	for pi, ph := range w.Phases {
 		h := cache.NewHierarchy(
 			cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
 			cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
-			cache.New(l.Cfg, policy.NewTrueLRU(l.Cfg.Sets(), l.Cfg.Ways)),
+			cache.New(llcCfg, policy.NewTrueLRU(llcCfg.Sets(), llcCfg.Ways)),
 		)
 		h.RecordLLC = true
 		// The LLC stream is bounded by the source's record budget; reserving
@@ -189,26 +258,85 @@ func (l *Lab) claim(m map[string]*flight, key string) *flight {
 	return f
 }
 
+// phaseMPKI converts sampled-or-full miss/instruction counts into the
+// phase's MPKI. At full fidelity it is exactly stats.MPKI; under sampling
+// the misses describe only the sampled sets and scale up by the measured
+// set fraction. The SampleShift guard (rather than factor != 1) keeps the
+// full-fidelity path free of any float multiply, preserving bit-exactness
+// with the pre-sampling simulator.
+func (l *Lab) phaseMPKI(misses, instrs uint64) float64 {
+	mpki := stats.MPKI(misses, instrs)
+	if l.Cfg.SampleShift != 0 {
+		mpki *= l.sampleFactor()
+	}
+	return mpki
+}
+
+// resultOf converts one replay outcome into the memoized phase result.
+func (l *Lab) resultOf(res cpu.ReplayResult) phaseResult {
+	return phaseResult{
+		MPKI:     l.phaseMPKI(res.Misses, res.Instructions),
+		CPI:      res.CPI,
+		Misses:   res.Misses,
+		Instrs:   res.Instructions,
+		Accesses: res.Accesses,
+	}
+}
+
+// phaseKey is the memoization key of one (policy, workload, phase) cell.
+func phaseKey(spec Spec, w workload.Workload, phase int) string {
+	return fmt.Sprintf("%s|%s|%d", spec.Key, w.Name, phase)
+}
+
 // phaseRun replays one phase's stream under one policy, memoized with
 // singleflight semantics: when several goroutines miss on the same key at
 // once, exactly one performs the multi-second replay and the rest wait for
 // its result instead of duplicating the work.
 func (l *Lab) phaseRun(spec Spec, w workload.Workload, phase int) phaseResult {
-	key := fmt.Sprintf("%s|%s|%d", spec.Key, w.Name, phase)
-	f := l.claim(l.results, key)
+	f := l.claim(l.results, phaseKey(spec, w, phase))
 	f.once.Do(func() {
 		st := l.Streams(w)[phase]
 		pol := spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
 		res := cpu.WindowReplay(st.Records, l.Cfg, pol, l.warm(len(st.Records)), cpu.DefaultWindowModel())
-		f.res = phaseResult{
-			MPKI:     stats.MPKI(res.Misses, res.Instructions),
-			CPI:      res.CPI,
-			Misses:   res.Misses,
-			Instrs:   res.Instructions,
-			Accesses: res.Accesses,
-		}
+		f.set(l.resultOf(res))
 	})
 	return f.res
+}
+
+// multiPhaseRun settles the flights of every given spec on one (workload,
+// phase) with a single pass over the stream: specs whose flight is already
+// settled are skipped, the rest replay together via cpu.MultiWindowReplay.
+// Each computed value is bit-identical to what phaseRun would have produced
+// (the kernel's per-model equivalence guarantee), so the two engines share
+// one memo safely; a concurrent phaseRun on the same key simply wins or
+// loses the once and both sides agree on the value.
+func (l *Lab) multiPhaseRun(specs []Spec, w workload.Workload, phase int) {
+	type slot struct {
+		f    *flight
+		spec Spec
+	}
+	var todo []slot
+	for _, s := range specs {
+		f := l.claim(l.results, phaseKey(s, w, phase))
+		if !f.ready.Load() {
+			todo = append(todo, slot{f: f, spec: s})
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	st := l.Streams(w)[phase]
+	pols := make([]cache.Policy, len(todo))
+	models := make([]*cpu.WindowModel, len(todo))
+	for i, s := range todo {
+		pols[i] = s.spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
+		models[i] = cpu.DefaultWindowModel()
+	}
+	results := cpu.MultiWindowReplay(st.Records, l.Cfg, pols, l.warm(len(st.Records)), models, nil)
+	for i, s := range todo {
+		res := l.resultOf(results[i])
+		s.f.once.Do(func() { s.f.set(res) })
+	}
 }
 
 // optimalRun computes Belady MIN for one phase, memoized with the same
@@ -219,12 +347,12 @@ func (l *Lab) optimalRun(w workload.Workload, phase int) phaseResult {
 	f.once.Do(func() {
 		st := l.Streams(w)[phase]
 		rs := policy.Optimal(st.Records, l.Cfg, l.warm(len(st.Records)))
-		f.res = phaseResult{
-			MPKI:     stats.MPKI(rs.Misses, rs.Instructions),
+		f.set(phaseResult{
+			MPKI:     l.phaseMPKI(rs.Misses, rs.Instructions),
 			Misses:   rs.Misses,
 			Instrs:   rs.Instructions,
 			Accesses: rs.Accesses,
-		}
+		})
 	})
 	return f.res
 }

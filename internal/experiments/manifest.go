@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 
+	"gippr/internal/cache"
 	"gippr/internal/cpu"
 	"gippr/internal/parallel"
 	"gippr/internal/stats"
@@ -28,7 +29,7 @@ func (l *Lab) TelemetryEntry(spec Spec, w workload.Workload) telemetry.Entry {
 		res := cpu.WindowReplayTel(st.Records, l.Cfg, pol, l.warm(len(st.Records)),
 			cpu.DefaultWindowModel(), &sink)
 		merged.Merge(&sink)
-		vals[pi] = stats.MPKI(res.Misses, res.Instructions)
+		vals[pi] = l.phaseMPKI(res.Misses, res.Instructions)
 		wts[pi] = ph.Weight
 	}
 	return telemetry.Entry{
@@ -39,42 +40,87 @@ func (l *Lab) TelemetryEntry(spec Spec, w workload.Workload) telemetry.Entry {
 	}
 }
 
+// multiTelemetryEntries builds TelemetryEntry's output for every spec on one
+// workload from a single pass per phase: one cpu.MultiWindowReplay drives
+// all the models with a private telemetry sink each, so N instrumented
+// entries cost one walk of the stream instead of N. Per-model results and
+// events are bit-identical to TelemetryEntry's (the kernel's equivalence
+// guarantee); entries come back in spec order.
+func (l *Lab) multiTelemetryEntries(specs []Spec, w workload.Workload) []telemetry.Entry {
+	merged := make([]*telemetry.Sink, len(specs))
+	vals := make([][]float64, len(specs))
+	for si := range specs {
+		merged[si] = &telemetry.Sink{}
+		vals[si] = make([]float64, len(w.Phases))
+	}
+	wts := make([]float64, len(w.Phases))
+	for pi, ph := range w.Phases {
+		st := l.Streams(w)[pi]
+		pols := make([]cache.Policy, len(specs))
+		models := make([]*cpu.WindowModel, len(specs))
+		sinks := make([]*telemetry.Sink, len(specs))
+		for si, spec := range specs {
+			pols[si] = spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
+			models[si] = cpu.DefaultWindowModel()
+			sinks[si] = &telemetry.Sink{}
+		}
+		results := cpu.MultiWindowReplay(st.Records, l.Cfg, pols, l.warm(len(st.Records)), models, sinks)
+		wts[pi] = ph.Weight
+		for si := range specs {
+			merged[si].Merge(sinks[si])
+			vals[si][pi] = l.phaseMPKI(results[si].Misses, results[si].Instructions)
+		}
+	}
+	entries := make([]telemetry.Entry, len(specs))
+	for si, spec := range specs {
+		entries[si] = telemetry.Entry{
+			Workload: w.Name,
+			Policy:   spec.Label,
+			MPKI:     stats.WeightedMean(vals[si], wts),
+			LLC:      merged[si].Report(),
+		}
+	}
+	return entries
+}
+
 // Manifest builds a run manifest over specs x the lab's workload suite,
-// replaying each (policy, workload) pair with telemetry attached. Pairs run
-// in parallel up to the lab's worker count; the entry order is deterministic
-// (spec-major, suite order) regardless of scheduling. On cancellation the
-// partial manifest built so far is returned with ctx's error; entries are
-// either complete or absent, never truncated mid-workload.
+// replaying each (policy, workload) pair with telemetry attached. Each
+// workload is one parallel task that replays all specs in a single pass
+// over its streams (multiTelemetryEntries), so the manifest costs one
+// stream walk per workload phase rather than one per (spec, phase); entry
+// values are bit-identical to per-spec replays. The entry order is
+// deterministic (spec-major, suite order) regardless of scheduling. On
+// cancellation the partial manifest built so far is returned with ctx's
+// error; a workload's entries are either all present or all absent, never
+// truncated mid-workload.
 func (l *Lab) Manifest(ctx context.Context, tool, fingerprint string, specs []Spec) (*telemetry.Manifest, error) {
+	geom := telemetry.CacheGeometry{
+		Name:       l.Cfg.Name,
+		SizeBytes:  l.Cfg.SizeBytes,
+		Ways:       l.Cfg.Ways,
+		BlockBytes: l.Cfg.BlockBytes,
+		Sets:       l.Cfg.Sets(),
+	}
+	if l.Cfg.SampleShift > 0 {
+		geom.SampleShift = l.Cfg.SampleShift
+		geom.SampledSets = l.Cfg.SampledSets()
+	}
 	m := &telemetry.Manifest{
 		Tool:        tool,
 		Fingerprint: fingerprint,
-		Cache: telemetry.CacheGeometry{
-			Name:       l.Cfg.Name,
-			SizeBytes:  l.Cfg.SizeBytes,
-			Ways:       l.Cfg.Ways,
-			BlockBytes: l.Cfg.BlockBytes,
-			Sets:       l.Cfg.Sets(),
-		},
-		Records:  l.Scale.PhaseRecords,
-		WarmFrac: l.Scale.WarmFrac,
+		Cache:       geom,
+		Records:     l.Scale.PhaseRecords,
+		WarmFrac:    l.Scale.WarmFrac,
 	}
-	type cell struct{ si, wi int }
-	var cells []cell
+	perWorkload := make([][]telemetry.Entry, len(l.suite))
+	err := parallel.ForCtx(ctx, l.Workers, len(l.suite), func(wi int) {
+		perWorkload[wi] = l.multiTelemetryEntries(specs, l.suite[wi])
+	})
 	for si := range specs {
 		for wi := range l.suite {
-			cells = append(cells, cell{si, wi})
-		}
-	}
-	entries := make([]telemetry.Entry, len(cells))
-	done := make([]bool, len(cells))
-	err := parallel.ForCtx(ctx, l.Workers, len(cells), func(i int) {
-		entries[i] = l.TelemetryEntry(specs[cells[i].si], l.suite[cells[i].wi])
-		done[i] = true
-	})
-	for i := range cells {
-		if done[i] {
-			m.Entries = append(m.Entries, entries[i])
+			if perWorkload[wi] != nil {
+				m.Entries = append(m.Entries, perWorkload[wi][si])
+			}
 		}
 	}
 	return m, err

@@ -1,0 +1,171 @@
+package experiments
+
+// Tests for the single-pass multi-policy engine (multiPhaseRun /
+// PrefetchMulti) and the set-sampling estimator: the engine must be
+// bit-identical to the per-spec engine for every registered policy, and the
+// estimator must stay within pinned relative-error tolerances of the full
+// simulation (DESIGN.md §9).
+
+import (
+	"testing"
+)
+
+// registeredSpecs is every policy spec the experiments package defines: the
+// baselines, the prior-work roster, and the full GIPPR family. The
+// equivalence test runs the whole list so a policy with replay-order
+// dependence (e.g. one that secretly shares state across instances) cannot
+// hide outside the golden roster.
+func registeredSpecs() []Spec {
+	return []Spec{
+		SpecLRU, SpecPLRU, SpecRandom, SpecFIFO, SpecNRU,
+		SpecLIP, SpecBIP, SpecDIP,
+		SpecSRRIP, SpecBRRIP, SpecDRRIP, SpecPDP, SpecSHiP,
+		SpecGIPLR,
+		SpecWIGIPPR, SpecWI2DGIPPR, SpecWI4DGIPPR,
+		SpecWNGIPPR, SpecWN2DGIPPR, SpecWN4DGIPPR,
+	}
+}
+
+// requireSettled asserts that PrefetchMulti actually settled every (spec,
+// workload, phase) flight. Without this check the equivalence test could
+// silently pass by falling back to the on-demand per-spec path when the
+// batch engine skipped a cell.
+func requireSettled(t *testing.T, l *Lab, specs []Spec) {
+	t.Helper()
+	for _, w := range l.Suite() {
+		for p := range w.Phases {
+			for _, s := range specs {
+				f := l.claim(l.results, phaseKey(s, w, p))
+				if !f.ready.Load() {
+					t.Fatalf("PrefetchMulti left %s unsettled", phaseKey(s, w, p))
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenMPKIMultiRun pins the single-pass engine to the same checked-in
+// fingerprints as TestGoldenMPKI: the multi-model kernel must reproduce the
+// per-spec engine's MPKIs bit-identically, not merely approximately.
+func TestGoldenMPKIMultiRun(t *testing.T) {
+	want := loadGolden(t)
+	lab := NewLab(Smoke).SetWorkers(8)
+	specs := goldenSpecs()
+	if testing.Short() {
+		specs = specs[:3]
+	}
+	lab.PrefetchMulti(specs, false)
+	requireSettled(t, lab, specs)
+	for _, w := range lab.Suite() {
+		for _, s := range specs {
+			wv := want[w.Name][s.Key]
+			if wv == "" {
+				t.Fatalf("no golden value for %s/%s", w.Name, s.Key)
+			}
+			if gv := goldenKey(lab.MPKI(s, w)); gv != wv {
+				t.Errorf("%s/%s: single-pass MPKI %s, golden %s", w.Name, s.Key, gv, wv)
+			}
+		}
+	}
+}
+
+// TestMultiRunEquivalence holds the tentpole invariant: for every registered
+// policy, on every workload, the single-pass engine (one walk of the stream
+// driving all policy models) produces bit-identical MPKI and CPI to the
+// per-spec engine (one walk per policy) — at one worker and at eight, so
+// scheduling cannot perturb results either. The sampled views share the
+// reference lab's captured streams, so any disagreement is in the replay
+// engines themselves, never in stream capture.
+func TestMultiRunEquivalence(t *testing.T) {
+	specs := registeredSpecs()
+	if testing.Short() {
+		// A cross-family slice: recency, RRIP, duelling, and per-workload
+		// vector selection all stay covered.
+		specs = []Spec{SpecLRU, SpecPLRU, SpecDRRIP, SpecSHiP, SpecWN4DGIPPR}
+	}
+	ref := NewLab(Smoke).SetWorkers(8)
+	ref.Prefetch(specs, false) // per-spec engine
+
+	for _, workers := range []int{1, 8} {
+		multi := ref.WithSampling(0).SetWorkers(workers) // fresh memos, shared streams
+		multi.PrefetchMulti(specs, false)
+		requireSettled(t, multi, specs)
+		for _, s := range specs {
+			for _, w := range multi.Suite() {
+				if a, b := goldenKey(ref.MPKI(s, w)), goldenKey(multi.MPKI(s, w)); a != b {
+					t.Errorf("workers=%d %s/%s: per-spec MPKI %s, single-pass %s",
+						workers, s.Key, w.Name, a, b)
+				}
+				if a, b := goldenKey(ref.CPI(s, w)), goldenKey(multi.CPI(s, w)); a != b {
+					t.Errorf("workers=%d %s/%s: per-spec CPI %s, single-pass %s",
+						workers, s.Key, w.Name, a, b)
+				}
+			}
+		}
+	}
+}
+
+// samplingTolerance pins the estimator's worst-case relative error per
+// sampling shift at smoke scale (fixed seeds, so these are deterministic
+// measurements with headroom, not statistical bounds): measured max errors
+// are ~5.0% at s=1, ~6.0% at s=2 and ~11.8% at s=3. A regression past these
+// ceilings means the estimator (hash selection, scaling, or the replay
+// kernel under sampling) got worse, not that the dice rolled badly.
+var samplingTolerance = map[uint]float64{1: 0.08, 2: 0.10, 3: 0.15}
+
+// TestSamplingEstimateWithinTolerance runs the suite under true LRU at full
+// fidelity and at shifts 1..3, and requires every LLC-sensitive workload's
+// sampled MPKI to land within the pinned relative-error tolerance of the
+// full simulation.
+func TestSamplingEstimateWithinTolerance(t *testing.T) {
+	lab := NewLab(Smoke).SetWorkers(8)
+	shifts := []uint{1, 2, 3}
+	res := Sampling(lab, SpecLRU, shifts...)
+
+	sensitive := 0
+	for _, row := range res.Table.Rows {
+		if row.Values[0] >= samplingErrFloor {
+			sensitive++
+		}
+	}
+	if sensitive < 10 {
+		t.Fatalf("only %d of %d workloads are LLC-sensitive; the tolerance check would be vacuous", sensitive, len(res.Table.Rows))
+	}
+
+	for i, s := range shifts {
+		tol := samplingTolerance[s]
+		if got := res.SampledSets[i]; got <= 0 || got >= res.Sets {
+			t.Errorf("s=%d: %d sampled sets out of %d, want a proper subset", s, got, res.Sets)
+		}
+		if res.MaxRelErr[i] > tol {
+			t.Errorf("s=%d: max relative error %.4f exceeds pinned tolerance %.2f", s, res.MaxRelErr[i], tol)
+		}
+		if res.MeanRelErr[i] > res.MaxRelErr[i] {
+			t.Errorf("s=%d: mean relative error %.4f exceeds max %.4f", s, res.MeanRelErr[i], res.MaxRelErr[i])
+		}
+		col := res.Table.Columns[2+2*i] // "relerr s=<s>"
+		for _, row := range res.Table.Rows {
+			if relErr := row.Values[2+2*i]; relErr > tol {
+				t.Errorf("%s %s: relative error %.4f exceeds pinned tolerance %.2f", row.Name, col, relErr, tol)
+			}
+		}
+	}
+}
+
+// TestSamplingReproducible builds the sampled estimate twice from scratch —
+// independent labs, different worker counts — and requires bit-identical
+// MPKIs: the estimator is deterministic (hashed set selection under a fixed
+// seed), so runs and schedules must never disagree.
+func TestSamplingReproducible(t *testing.T) {
+	const shift = 2
+	a := NewLab(Smoke).SetWorkers(1).WithSampling(shift)
+	b := NewLab(Smoke).SetWorkers(8).WithSampling(shift)
+	a.PrefetchMulti([]Spec{SpecLRU}, false)
+	b.PrefetchMulti([]Spec{SpecLRU}, false)
+	for _, w := range a.Suite() {
+		av, bv := goldenKey(a.MPKI(SpecLRU, w)), goldenKey(b.MPKI(SpecLRU, w))
+		if av != bv {
+			t.Errorf("%s: sampled MPKI %s at 1 worker, %s at 8 workers", w.Name, av, bv)
+		}
+	}
+}

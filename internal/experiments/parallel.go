@@ -78,6 +78,55 @@ func (l *Lab) PrefetchWorkloadsCtx(ctx context.Context, specs []Spec, ws []workl
 	})
 }
 
+// PrefetchMulti computes the same grid as Prefetch through the single-pass
+// engine: one task per (workload, phase), each replaying every spec's model
+// from one walk of the phase's stream (cpu.MultiWindowReplay) instead of
+// one walk per spec. Results land in the same memo as Prefetch and are
+// bit-identical to it; the golden equivalence test holds both engines to
+// that. Belady MIN needs future knowledge, so with withOptimal it runs as
+// its own offline task alongside each phase's multi-model replay.
+func (l *Lab) PrefetchMulti(specs []Spec, withOptimal bool) {
+	// See PrefetchWorkloads on why the error is safe to drop.
+	_ = l.PrefetchMultiCtx(l.ctx, specs, withOptimal)
+}
+
+// PrefetchMultiCtx is PrefetchMulti with explicit cancellation: no new
+// (workload, phase) task starts after ctx is cancelled, in-flight tasks
+// drain, and the error is ctx.Err().
+func (l *Lab) PrefetchMultiCtx(ctx context.Context, specs []Spec, withOptimal bool) error {
+	return l.PrefetchMultiWorkloadsCtx(ctx, specs, l.suite, withOptimal)
+}
+
+// PrefetchMultiWorkloadsCtx is PrefetchMultiCtx restricted to a subset of
+// workloads.
+func (l *Lab) PrefetchMultiWorkloadsCtx(ctx context.Context, specs []Spec, ws []workload.Workload, withOptimal bool) error {
+	if err := l.PrefetchStreamsCtx(ctx, ws); err != nil {
+		return err
+	}
+	type task struct {
+		w       workload.Workload
+		phase   int
+		optimal bool
+	}
+	var tasks []task
+	for _, w := range ws {
+		for p := range w.Phases {
+			tasks = append(tasks, task{w: w, phase: p})
+			if withOptimal {
+				tasks = append(tasks, task{w: w, phase: p, optimal: true})
+			}
+		}
+	}
+	return parallel.ForCtx(ctx, l.Workers, len(tasks), func(i int) {
+		t := tasks[i]
+		if t.optimal {
+			l.optimalRun(t.w, t.phase)
+		} else {
+			l.multiPhaseRun(specs, t.w, t.phase)
+		}
+	})
+}
+
 // PrefetchStreams builds the LLC-filtered streams of the given workloads in
 // parallel (all of them when ws is nil).
 func (l *Lab) PrefetchStreams(ws []workload.Workload) {

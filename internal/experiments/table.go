@@ -15,6 +15,10 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    []TableRow
+	// MeanFooter switches the Format summary row from geometric to
+	// arithmetic means, for tables whose columns legitimately contain zeros
+	// (GeoMean rejects non-positive values).
+	MeanFooter bool
 }
 
 // TableRow is one workload's values across the table's columns.
@@ -58,6 +62,36 @@ func (t *Table) GeoMeans() []float64 {
 // GeoMean returns one column's geometric mean.
 func (t *Table) GeoMean(col string) float64 { return t.GeoMeans()[t.columnIndex(col)] }
 
+// Means returns the per-column arithmetic means — the right summary for
+// columns that may legitimately contain zeros (e.g. relative errors), where
+// a geometric mean collapses.
+func (t *Table) Means() []float64 {
+	out := make([]float64, len(t.Columns))
+	for c := range t.Columns {
+		vals := make([]float64, len(t.Rows))
+		for r, row := range t.Rows {
+			vals[r] = row.Values[c]
+		}
+		out[c] = stats.Mean(vals)
+	}
+	return out
+}
+
+// ColumnMean returns one column's arithmetic mean.
+func (t *Table) ColumnMean(col string) float64 { return t.Means()[t.columnIndex(col)] }
+
+// ColumnMax returns one column's maximum value (0 for an empty table).
+func (t *Table) ColumnMax(col string) float64 {
+	idx := t.columnIndex(col)
+	max := 0.0
+	for i, row := range t.Rows {
+		if i == 0 || row.Values[idx] > max {
+			max = row.Values[idx]
+		}
+	}
+	return max
+}
+
 // GeoMeanOver returns a column's geometric mean over a subset of rows.
 func (t *Table) GeoMeanOver(col string, keep func(row string) bool) float64 {
 	idx := t.columnIndex(col)
@@ -98,8 +132,12 @@ func (t *Table) Format() string {
 		}
 		sb.WriteString("\n")
 	}
-	fmt.Fprintf(&sb, "%-18s", "geomean")
-	for _, v := range t.GeoMeans() {
+	footer, vals := "geomean", t.GeoMeans
+	if t.MeanFooter {
+		footer, vals = "mean", t.Means
+	}
+	fmt.Fprintf(&sb, "%-18s", footer)
+	for _, v := range vals() {
 		fmt.Fprintf(&sb, " %14.4f", v)
 	}
 	sb.WriteString("\n")

@@ -53,6 +53,11 @@ type Env struct {
 
 	streams []Stream
 	newLRU  func(sets, ways int) cache.Policy
+	// sampleFactor scales sampled-set hit/miss counts back to full-cache
+	// magnitudes when Config samples sets (Config.SampleShift > 0); it is
+	// exactly 1 at full fidelity, where the unscaled CPI path is used so
+	// results stay bit-identical to pre-sampling builds.
+	sampleFactor float64
 	// baseline CPI per stream under true LRU, computed once on first use so
 	// the construction cost lands under the caller's chosen Workers.
 	baseOnce sync.Once
@@ -69,15 +74,31 @@ func NewEnv(cfg cache.Config, model cpu.LinearModel, warmFrac float64,
 	if warmFrac < 0 || warmFrac >= 1 {
 		panic("ga: WarmFrac must be in [0,1)")
 	}
-	return &Env{
-		Config:    cfg,
-		Model:     model,
-		WarmFrac:  warmFrac,
-		NewPolicy: newPolicy,
-		Workers:   parallel.DefaultWorkers(),
-		streams:   streams,
-		newLRU:    newLRU,
+	factor := 1.0
+	if cfg.SampleShift != 0 {
+		factor = cfg.SampleFactor()
 	}
+	return &Env{
+		Config:       cfg,
+		Model:        model,
+		WarmFrac:     warmFrac,
+		NewPolicy:    newPolicy,
+		Workers:      parallel.DefaultWorkers(),
+		streams:      streams,
+		newLRU:       newLRU,
+		sampleFactor: factor,
+	}
+}
+
+// cpi maps replay stats to an estimated CPI, scaling the sampled hit and
+// miss counts back up when the environment's geometry samples sets. The
+// full-fidelity path keeps the historical operation order so fitness values
+// are bit-identical to pre-sampling builds.
+func (e *Env) cpi(rs cache.ReplayStats) float64 {
+	if e.sampleFactor != 1 {
+		return e.Model.SampledCPI(rs, e.sampleFactor)
+	}
+	return e.Model.CPIFromReplay(rs)
 }
 
 // SetWorkers sets the evaluation fan-out width (values below 1 mean
@@ -96,7 +117,7 @@ func (e *Env) baselines() []float64 {
 		parallel.For(e.Workers, len(e.streams), func(i int) {
 			s := e.streams[i]
 			rs := cache.ReplayStream(s.Records, e.Config, e.newLRU(sets, e.Config.Ways), e.warm(len(s.Records)))
-			base[i] = e.Model.CPIFromReplay(rs)
+			base[i] = e.cpi(rs)
 		})
 		e.baseCPI = base
 	})
@@ -115,12 +136,13 @@ func (e *Env) Streams() []Stream { return e.streams }
 func (e *Env) Subset(keep func(workload string) bool) *Env {
 	base := e.baselines()
 	sub := &Env{
-		Config:    e.Config,
-		Model:     e.Model,
-		WarmFrac:  e.WarmFrac,
-		NewPolicy: e.NewPolicy,
-		Workers:   e.Workers,
-		newLRU:    e.newLRU,
+		Config:       e.Config,
+		Model:        e.Model,
+		WarmFrac:     e.WarmFrac,
+		NewPolicy:    e.NewPolicy,
+		Workers:      e.Workers,
+		newLRU:       e.newLRU,
+		sampleFactor: e.sampleFactor,
 	}
 	var subBase []float64
 	for i, s := range e.streams {
@@ -148,7 +170,7 @@ func (e *Env) PerStream(v ipv.Vector) []float64 {
 		s := e.streams[i]
 		pol := e.NewPolicy(sets, e.Config.Ways, v)
 		rs := cache.ReplayStream(s.Records, e.Config, pol, e.warm(len(s.Records)))
-		out[i] = base[i] / e.Model.CPIFromReplay(rs)
+		out[i] = base[i] / e.cpi(rs)
 	})
 	return out
 }

@@ -47,6 +47,19 @@ func Optimal(stream []trace.Record, cfg cache.Config, warm int) cache.ReplayStat
 		last[b] = int64(i)
 	}
 
+	// Set sampling (cfg.SampleShift > 0): out-of-sample sets are not
+	// simulated, matching the online cache's behaviour. Instructions still
+	// accumulate over the whole measurement window — MIN's sampled misses
+	// scale up against true kiloinstructions exactly like every other
+	// policy's.
+	var inSample []bool
+	if cfg.SampleShift > 0 {
+		inSample = make([]bool, sets)
+		for s := 0; s < sets; s++ {
+			inSample[s] = cfg.InSample(uint32(s))
+		}
+	}
+
 	// Pass 2: simulate with farthest-next-use eviction.
 	type optLine struct {
 		block   uint64
@@ -57,8 +70,14 @@ func Optimal(stream []trace.Record, cfg cache.Config, warm int) cache.ReplayStat
 	for i, r := range stream {
 		b := r.Addr >> blockShift
 		s := b & setMask
-		lines := occ[s]
 		counted := i >= warm
+		if inSample != nil && !inSample[s] {
+			if counted {
+				rs.Instructions += uint64(r.Gap)
+			}
+			continue
+		}
+		lines := occ[s]
 		if counted {
 			rs.Accesses++
 			rs.Instructions += uint64(r.Gap)

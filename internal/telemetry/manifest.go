@@ -111,6 +111,11 @@ type CacheGeometry struct {
 	Ways       int    `json:"ways"`
 	BlockBytes int    `json:"block_bytes"`
 	Sets       int    `json:"sets"`
+	// SampleShift and SampledSets record the set-sampling configuration a
+	// manifest's numbers were estimated under; both absent (zero) for a
+	// full-fidelity run.
+	SampleShift uint `json:"sample_shift,omitempty"`
+	SampledSets int  `json:"sampled_sets,omitempty"`
 }
 
 // Entry is one (workload, policy) cell of a manifest.
