@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover fuzz check
+.PHONY: all build vet test race bench cover fuzz serve-smoke staticcheck check
 
 all: check
 
@@ -18,8 +18,11 @@ test: vet
 
 # The determinism tests (internal/experiments, internal/ga, parallel_test.go
 # files) only prove anything when the race detector watches the fan-out.
+# internal/experiments runs ~9.5 minutes under -race on a loaded builder,
+# which brushes against the Go test binary's default 600s per-package
+# timeout — set it explicitly so the suite fails on real hangs, not load.
 race: vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Short-mode benchmarks: one iteration each at smoke scale, enough to catch
 # a benchmark that no longer compiles or panics without paying full cost.
@@ -39,6 +42,30 @@ cover: vet
 		if (t+0 < min+0) { printf "coverage %.1f%% is below the %.1f%% gate\n", t, min; exit 1 } \
 		printf "coverage %.1f%% meets the %.1f%% gate\n", t, min }'
 
+# End-to-end daemon smoke: build gippr-serve, drive the v1 job API with
+# curl against an ephemeral port, and require SIGTERM to drain with exit 0.
+serve-smoke: build
+	bash scripts/serve_smoke.sh
+
+# Deprecation hygiene. The grep half needs no tooling: every Deprecated
+# marker must be a well-formed godoc paragraph ("// Deprecated: ") naming a
+# replacement, so the notes render and SA1019 can see them. The staticcheck
+# half then enforces that nothing in-tree (outside the wrappers' own
+# contract tests) calls a deprecated symbol; it is skipped with a notice
+# when the binary is not installed (CI installs it; we add no deps here).
+staticcheck:
+	@bad=$$(grep -rn "Deprecated:" --include='*.go' --exclude-dir=testdata . \
+		| grep -v "// Deprecated: [a-zA-Z]" || true); \
+	if [ -n "$$bad" ]; then \
+		echo "malformed deprecation annotations (want '// Deprecated: <use X instead>'):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 # Fuzz smoke: a few seconds per target over the external-input boundaries
 # (binary trace reader, IPV parser) and the single-pass multi-model replay
 # kernel. Long campaigns run these by hand with a bigger -fuzztime.
@@ -48,4 +75,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseVector -fuzztime=$(FUZZTIME) ./internal/ipv
 	$(GO) test -run=^$$ -fuzz=FuzzMultiRunConsistency -fuzztime=$(FUZZTIME) ./internal/cpu
 
-check: race fuzz
+check: race fuzz staticcheck serve-smoke

@@ -240,7 +240,11 @@ func BenchmarkGridMultiPass(b *testing.B) {
 	}
 	cfg := cache.L3Config
 	capture := func(w workload.Workload, pi int) []trace.Record {
-		h := DefaultHierarchy(policy.NewTrueLRU(cfg.Sets(), cfg.Ways))
+		sess, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := sess.Hierarchy(policy.NewTrueLRU(cfg.Sets(), cfg.Ways))
 		h.RecordLLC = true
 		h.ReserveLLC(records)
 		src := &workload.Limit{Src: w.Phases[pi].Source(xrand.Mix(uint64(pi), 0x5eed)), N: records}
@@ -550,7 +554,11 @@ func BenchmarkWindowModel(b *testing.B) {
 
 func BenchmarkHierarchyAccess(b *testing.B) {
 	b.ReportAllocs()
-	h := DefaultHierarchy(NewLRU(LLCConfig().Sets(), LLCConfig().Ways))
+	sess, err := New(LLCConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := sess.Hierarchy(NewLRU(LLCConfig().Sets(), LLCConfig().Ways))
 	stream := microStream(1 << 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,144 @@
+// Command gippr-serve is the simulation-as-a-service daemon: a long-lived
+// HTTP/JSON job API over the shared memoized Lab engine, so repeated grid
+// evaluations are served from warm stream captures and memoized replays
+// instead of rebuilt from cold per invocation.
+//
+// Usage:
+//
+//	gippr-serve [-addr host:port] [-addr-file path] [-scale smoke|default|full]
+//	            [-records N] [-warm frac] [-jobs N] [-queue N] [-lab-workers N]
+//	            [-timeout dur] [-max-timeout dur] [-retry-after dur]
+//	            [-drain-timeout dur]
+//
+// API (see DESIGN.md section 10 and the README "serving" section):
+//
+//	POST   /v1/jobs             submit a {workloads x policies x sampling} grid
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result manifest of a completed job
+//	GET    /v1/jobs/{id}/stream NDJSON per-cell results as they complete
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /metrics             queue depth, jobs in flight, records/sec,
+//	                            per-policy latency histograms
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /debug/vars,/debug/pprof/  live gauges and profiling
+//
+// Submissions beyond the queue bound are rejected with 429 + Retry-After,
+// never blocked. SIGINT/SIGTERM drains gracefully: intake stops (503),
+// queued jobs are rejected, in-flight jobs finish, and the process exits 0;
+// if -drain-timeout expires first, in-flight jobs are force-cancelled and
+// the exit code is 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"gippr/internal/experiments"
+	"gippr/internal/runctx"
+	"gippr/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8390", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	scaleFlag := flag.String("scale", "", "experiment scale: smoke, default or full (overrides GIPPR_SCALE)")
+	records := flag.Int("records", 0, "memory references per workload phase (overrides the scale preset)")
+	warm := flag.Float64("warm", 0, "warm-up fraction of each phase (overrides the scale preset)")
+	jobs := flag.Int("jobs", 2, "job worker pool: how many jobs run concurrently")
+	queue := flag.Int("queue", 8, "bounded queue depth; submissions beyond it get 429 + Retry-After")
+	labWorkers := flag.Int("lab-workers", 0, "per-job grid fan-out goroutines (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", time.Hour, "cap on request-supplied job deadlines")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before force-cancelling")
+	flag.Parse()
+
+	scale := experiments.ScaleFromEnv()
+	switch *scaleFlag {
+	case "":
+	case "smoke":
+		scale = experiments.Smoke
+	case "default":
+		scale = experiments.Default
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "gippr-serve: unknown scale %q\n", *scaleFlag)
+		os.Exit(runctx.ExitUsage)
+	}
+	if *records > 0 || *warm > 0 {
+		r, wf := scale.PhaseRecords, scale.WarmFrac
+		if *records > 0 {
+			r = *records
+		}
+		if *warm > 0 {
+			wf = *warm
+		}
+		scale = experiments.CustomScale(r, wf)
+	}
+
+	ctx, stop := runctx.Setup(0)
+	defer stop()
+
+	srv := serve.New(serve.Config{
+		Scale:          scale,
+		Workers:        *jobs,
+		QueueDepth:     *queue,
+		LabWorkers:     *labWorkers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		RetryAfter:     *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gippr-serve:", err)
+		os.Exit(runctx.ExitFailure)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gippr-serve:", err)
+			os.Exit(runctx.ExitFailure)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gippr-serve: listening on http://%s (scale %s, %d job workers, queue %d)\n",
+		bound, scale.Name, *jobs, *queue)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "gippr-serve:", err)
+		os.Exit(runctx.ExitFailure)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop intake and reject the queue first (so status
+	// polls keep working while in-flight jobs finish), then close the HTTP
+	// listener. stop() restores default signal handling, so a second
+	// SIGINT/SIGTERM during a stuck drain kills the process immediately.
+	stop()
+	fmt.Fprintln(os.Stderr, "gippr-serve: draining (in-flight jobs finish, queued jobs rejected)")
+	code := 0
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "gippr-serve: drain deadline reached; force-cancelling in-flight jobs")
+		srv.Close()
+		code = runctx.ExitFailure
+	}
+	dcancel()
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	httpSrv.Shutdown(hctx) //nolint:errcheck // best-effort close on exit
+	hcancel()
+	fmt.Fprintln(os.Stderr, "gippr-serve: drained, exiting")
+	os.Exit(code)
+}

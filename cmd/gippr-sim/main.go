@@ -8,17 +8,22 @@
 //	          [-records N] [-warm frac] [-sample s] [-ipv "0 0 1 ..."] [-workers N]
 //	          [-deadline dur] [-telemetry manifest.json] [-debug-addr host:port]
 //
-// With -ipv, an additional GIPPR policy using the given vector is included.
-// With -sample s, only a hashed 1-in-2^s subset of LLC sets is simulated and
-// reported MPKI is the scaled estimate (hit rates describe the sampled sets;
-// IPC is optimistic — skipped accesses are timed as hits).
+// The grid runs on the same memoized Lab engine the gippr-serve job daemon
+// uses (experiments.Lab.Grid), so a served job over the same spec returns
+// bit-identical cells. With -ipv, an additional GIPPR policy using the
+// given vector is included. With -sample s, only a hashed 1-in-2^s subset
+// of LLC sets is simulated and reported MPKI is the scaled estimate (hit
+// rates describe the sampled sets; IPC is optimistic — skipped accesses are
+// timed as hits); negative shifts or shifts that exceed the geometry are
+// rejected up front with the usage exit code.
 // With -telemetry, every grid cell is replayed with an event sink attached
 // and a JSON run manifest (config fingerprint plus per-cell counters and
 // insertion/promotion/reuse histograms) is written after the table. With
 // -debug-addr, live progress gauges (cells done, rate) are served as expvar
 // at /debug/vars alongside the pprof suite. SIGINT/SIGTERM or -deadline
 // stop the grid gracefully: in-flight cells drain, no partial table is
-// printed, and the exit code is 3.
+// printed, and the exit code is 3. Bad inputs (unknown workload or policy,
+// malformed IPV, invalid sample shift) exit with the usage code 2.
 package main
 
 import (
@@ -27,17 +32,13 @@ import (
 	"os"
 	"strings"
 
-	"gippr/internal/cache"
-	"gippr/internal/cpu"
+	"gippr/internal/experiments"
 	"gippr/internal/ipv"
 	"gippr/internal/parallel"
 	"gippr/internal/policy"
 	"gippr/internal/runctx"
-	"gippr/internal/stats"
 	"gippr/internal/telemetry"
-	"gippr/internal/trace"
 	"gippr/internal/workload"
-	"gippr/internal/xrand"
 )
 
 func main() {
@@ -45,7 +46,7 @@ func main() {
 	policiesFlag := flag.String("policies", "lru,plru,drrip,pdp,gippr,4-dgippr", "comma-separated policy names (see -list), or 'all'")
 	records := flag.Int("records", 600_000, "memory references per workload phase")
 	warm := flag.Float64("warm", 1.0/3, "fraction of each phase used for cache warm-up")
-	sample := flag.Uint("sample", 0, "set-sampling shift: simulate a hashed 1-in-2^s subset of LLC sets and scale misses up (0 = full fidelity)")
+	sample := flag.Int("sample", 0, "set-sampling shift: simulate a hashed 1-in-2^s subset of LLC sets and scale misses up (0 = full fidelity)")
 	ipvFlag := flag.String("ipv", "", "additional GIPPR vector to simulate, e.g. \"0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13\"")
 	specFile := flag.String("spec", "", "file of custom workload definitions (see workload.ParseSpec); adds them to -workloads")
 	list := flag.Bool("list", false, "list known workloads and policies, then exit")
@@ -67,7 +68,7 @@ func main() {
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
-		fmt.Println("policies: ", strings.Join(policy.Names(), " "))
+		fmt.Println("policies: ", strings.Join(policyNames(), " "))
 		return
 	}
 
@@ -107,119 +108,41 @@ func main() {
 		}
 	}
 
-	type polSpec struct {
-		name string
-		mk   func(sets, ways int) cache.Policy
-	}
-	var pols []polSpec
+	var specs []experiments.Spec
 	names := strings.Split(*policiesFlag, ",")
 	if *policiesFlag == "all" {
-		names = policy.Names()
+		names = policyNames()
 	}
 	for _, n := range names {
-		f, err := policy.Lookup(strings.TrimSpace(n))
+		s, err := experiments.SpecFromRegistry(strings.TrimSpace(n))
 		if err != nil {
 			fatal(err)
 		}
-		pols = append(pols, polSpec{name: f.Name, mk: f.New})
+		specs = append(specs, s)
 	}
 	if *ipvFlag != "" {
 		v, err := ipv.Parse(*ipvFlag)
 		if err != nil {
 			fatal(err)
 		}
-		pols = append(pols, polSpec{
-			name: "GIPPR*",
-			mk:   func(s, w int) cache.Policy { return policy.NewGIPPR(s, w, v) },
-		})
+		specs = append(specs, experiments.SpecForIPV("GIPPR*", v))
 	}
 
-	// Fan the grid out one task per workload: each task generates every
-	// phase's LLC stream once (capture happens before the L3 lookup, so the
-	// stream is policy-independent) and replays all policies from that
-	// single pass via cpu.MultiWindowReplay. The old grid re-captured the
-	// stream for every (workload, policy) cell; since capture dwarfs a
-	// single policy's replay, sharing it is where the multi-pass engine's
-	// speedup comes from (see BenchmarkGridMultiPass). Per-policy results
-	// are bit-identical to the per-cell grid at any worker count; rows print
-	// in the original order afterwards.
-	type row struct {
-		mpki, hitr, ipc float64
-		misses          uint64
-		llc             *telemetry.Sink
+	// One lab per run: the grid engine builds each workload's LLC streams
+	// once (capture happens before the L3 lookup, so the stream is
+	// policy-independent) and replays every cold policy from a single pass
+	// via the multi-policy kernel. This is the same engine gippr-serve jobs
+	// run on, so CLI rows and served cells are bit-identical by
+	// construction. Per-policy results are bit-identical at any -workers.
+	lab := experiments.NewLab(experiments.CustomScale(*records, *warm)).SetWorkers(*workers)
+	shift, err := lab.Cfg.CheckSampleShift(*sample)
+	if err != nil {
+		fatal(err)
 	}
-	l3 := cache.L3Config
-	l3.SampleShift = *sample
-	sampleFactor := 1.0
-	if *sample > 0 {
-		sampleFactor = l3.SampleFactor()
-	}
-	rows := make([]row, len(wls)*len(pols))
-	prog.SetTotal(uint64(len(rows)))
-	err = parallel.ForCtx(ctx, *workers, len(wls), func(wi int) {
-		w := wls[wi]
-		mpkis := make([][]float64, len(pols))
-		hitrs := make([][]float64, len(pols))
-		ipcs := make([][]float64, len(pols))
-		misses := make([]uint64, len(pols))
-		merged := make([]*telemetry.Sink, len(pols))
-		for i := range pols {
-			mpkis[i] = make([]float64, len(w.Phases))
-			hitrs[i] = make([]float64, len(w.Phases))
-			ipcs[i] = make([]float64, len(w.Phases))
-			if *telemetryPath != "" {
-				merged[i] = &telemetry.Sink{}
-			}
-		}
-		weights := make([]float64, len(w.Phases))
-		for pi, ph := range w.Phases {
-			h := hierarchyWith(policy.NewTrueLRU(cache.L3Config.Sets(), cache.L3Config.Ways))
-			h.RecordLLC = true
-			h.ReserveLLC(*records)
-			src := &workload.Limit{Src: ph.Source(xrand.Mix(uint64(pi), 0x5eed)), N: uint64(*records)}
-			h.Run(src)
-			stream := h.LLCStream
-			polInstances := make([]cache.Policy, len(pols))
-			models := make([]*cpu.WindowModel, len(pols))
-			var sinks []*telemetry.Sink
-			if *telemetryPath != "" {
-				sinks = make([]*telemetry.Sink, len(pols))
-			}
-			for i, ps := range pols {
-				polInstances[i] = ps.mk(l3.Sets(), l3.Ways)
-				models[i] = cpu.DefaultWindowModel()
-				if sinks != nil {
-					sinks[i] = &telemetry.Sink{}
-				}
-			}
-			results := cpu.MultiWindowReplay(stream, l3, polInstances,
-				int(float64(len(stream))**warm), models, sinks)
-			weights[pi] = ph.Weight
-			for i, res := range results {
-				mpki := stats.MPKI(res.Misses, res.Instructions)
-				if *sample > 0 {
-					mpki *= sampleFactor
-				}
-				mpkis[i][pi] = mpki
-				hitrs[i][pi] = 100 * float64(res.Hits) / float64(max(res.Accesses, 1))
-				ipcs[i][pi] = float64(res.Instructions) / res.Cycles
-				misses[i] += res.Misses
-				if sinks != nil {
-					merged[i].Merge(sinks[i])
-				}
-			}
-		}
-		for i := range pols {
-			rows[wi*len(pols)+i] = row{
-				mpki:   stats.WeightedMean(mpkis[i], weights),
-				hitr:   stats.WeightedMean(hitrs[i], weights),
-				ipc:    stats.WeightedMean(ipcs[i], weights),
-				misses: misses[i],
-				llc:    merged[i],
-			}
-			prog.Add(1)
-		}
-	})
+	lab.Cfg.SampleShift = shift
+
+	prog.SetTotal(uint64(len(wls) * len(specs)))
+	cells, err := lab.Grid(ctx, specs, wls, func(experiments.GridCell) { prog.Add(1) })
 	if err != nil {
 		// A truncated grid would print zero rows for the cells that never
 		// ran; report the interruption instead of a misleading table.
@@ -228,36 +151,42 @@ func main() {
 	}
 
 	fmt.Printf("%-18s %-12s %10s %10s %10s %8s\n", "workload", "policy", "LLC MPKI", "LLC hit%", "IPC", "misses")
-	for idx, r := range rows {
+	for _, c := range cells {
 		fmt.Printf("%-18s %-12s %10.3f %10.2f %10.3f %8d\n",
-			wls[idx/len(pols)].Name, pols[idx%len(pols)].name,
-			r.mpki, r.hitr, r.ipc, r.misses)
+			c.Workload, c.Policy, c.MPKI, c.HitPct, c.IPC, c.Misses)
 	}
 
 	if *telemetryPath != "" {
+		// Instrumented pass: the grid memo holds terminal numbers only, so
+		// manifest entries replay each cell once more with sinks attached
+		// (streams are already captured and shared, so the extra cost is
+		// the replays, not the capture).
 		geom := telemetry.CacheGeometry{
-			Name: l3.Name, SizeBytes: l3.SizeBytes, Ways: l3.Ways,
-			BlockBytes: l3.BlockBytes, Sets: l3.Sets(),
+			Name: lab.Cfg.Name, SizeBytes: lab.Cfg.SizeBytes, Ways: lab.Cfg.Ways,
+			BlockBytes: lab.Cfg.BlockBytes, Sets: lab.Cfg.Sets(),
 		}
-		if *sample > 0 {
-			geom.SampleShift = *sample
-			geom.SampledSets = l3.SampledSets()
+		if shift > 0 {
+			geom.SampleShift = shift
+			geom.SampledSets = lab.Cfg.SampledSets()
 		}
 		m := &telemetry.Manifest{
 			Tool: "gippr-sim",
 			Fingerprint: fmt.Sprintf("gippr-sim|v1|records=%d|warm=%.6f|sample=%d|workloads=%s|policies=%s|ipv=%s",
-				*records, *warm, *sample, *workloadsFlag, *policiesFlag, *ipvFlag),
+				*records, *warm, shift, *workloadsFlag, *policiesFlag, *ipvFlag),
 			Cache:    geom,
 			Records:  *records,
 			WarmFrac: *warm,
 		}
-		for idx, r := range rows {
-			m.Entries = append(m.Entries, telemetry.Entry{
-				Workload: wls[idx/len(pols)].Name,
-				Policy:   pols[idx%len(pols)].name,
-				MPKI:     r.mpki,
-				LLC:      r.llc.Report(),
-			})
+		perWorkload := make([][]telemetry.Entry, len(wls))
+		err := parallel.ForCtx(ctx, lab.Workers, len(wls), func(wi int) {
+			perWorkload[wi] = lab.TelemetryEntries(specs, wls[wi])
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, runctx.Explain("gippr-sim", err))
+			os.Exit(runctx.ExitCode(err))
+		}
+		for _, entries := range perWorkload {
+			m.Entries = append(m.Entries, entries...)
 		}
 		if err := m.WriteFile(*telemetryPath); err != nil {
 			fatal(err)
@@ -267,24 +196,18 @@ func main() {
 	}
 }
 
-func hierarchyWith(llc cache.Policy) *cache.Hierarchy {
-	return cache.NewHierarchy(
-		cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
-		cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
-		cache.New(cache.L3Config, llc),
-	)
-}
+// policyNames returns the policy registry's names (kept behind a helper so
+// main reads top-down).
+func policyNames() []string { return policy.Names() }
 
-func max(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
+// fatal reports a hard failure and exits with the typed-error exit-code
+// convention: usage mistakes (unknown names, bad vectors or shifts) exit 2,
+// everything else 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gippr-sim:", err)
-	os.Exit(1)
+	code := runctx.ExitCode(err)
+	if code == 0 {
+		code = runctx.ExitFailure
+	}
+	os.Exit(code)
 }
-
-var _ trace.Source = (*workload.Limit)(nil)

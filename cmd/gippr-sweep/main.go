@@ -35,7 +35,7 @@ func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale (overrides GIPPR_SCALE)")
 	seed := flag.Uint64("seed", 0xF161, "random seed")
 	csv := flag.Bool("csv", false, "emit the full sorted curve as CSV (index,speedup) for plotting")
-	sample := flag.Uint("sample", 0, "set-sampling shift: simulate a hashed 1-in-2^S subset of LLC sets (0 = full fidelity)")
+	sample := flag.Int("sample", 0, "set-sampling shift: simulate a hashed 1-in-2^S subset of LLC sets (0 = full fidelity)")
 	workers := flag.Int("workers", 0, "worker goroutines for stream building and fitness evaluation (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the sweep drains and exits with code 3")
 	progressEvery := flag.Duration("progress-every", 30*time.Second, "interval between progress lines on stderr (0 disables)")
@@ -73,7 +73,12 @@ func main() {
 	runctx.StartProgressLog(ctx, os.Stderr, *progressEvery, prog)
 
 	lab := experiments.NewLab(scale).SetWorkers(*workers)
-	lab.Cfg.SampleShift = *sample
+	shift, err := lab.Cfg.CheckSampleShift(*sample)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gippr-sweep:", err)
+		os.Exit(runctx.ExitCode(err))
+	}
+	lab.Cfg.SampleShift = shift
 	fmt.Fprintf(os.Stderr, "building LLC streams (%s scale, %d workers)...\n", scale.Name, lab.Workers)
 	if *sample > 0 {
 		fmt.Fprintf(os.Stderr, "set sampling: %d of %d LLC sets (shift %d)\n",

@@ -11,16 +11,28 @@
 // genetic-algorithm IPV search, the competing policies (LRU, PLRU, DIP,
 // DRRIP, PDP, SHiP, ...) and Belady's MIN.
 //
-// Quick start (see examples/quickstart for the runnable version):
+// The v1 entry point is New, which builds a Session: the LLC geometry plus
+// cross-cutting options (WithTelemetry, WithSampling, WithWorkers) that
+// every construction derived from it honours. Invalid input surfaces at New
+// as a typed sentinel (ErrBadGeometry, ErrUnknownPolicy, ErrBadVector,
+// ErrUnknownWorkload) testable with errors.Is. Quick start (see
+// examples/quickstart for the runnable version):
 //
-//	cfg := gippr.LLCConfig()                       // 4 MB, 16-way
-//	pol := gippr.NewDGIPPR4(cfg.Sets(), cfg.Ways,  // the paper's headline policy
+//	sess, err := gippr.New(gippr.LLCConfig())     // 4 MB, 16-way
+//	if err != nil { ... }
+//	cfg := sess.Config()
+//	pol := gippr.NewDGIPPR4(cfg.Sets(), cfg.Ways, // the paper's headline policy
 //		gippr.PaperWI4DGIPPR)
-//	c := gippr.NewCache(cfg, pol)
-//	hit := c.Access(gippr.Record{Gap: 1, Addr: 0xdeadbeef})
+//	h := sess.Hierarchy(pol)                      // LRU L1/L2, pol at the LLC
+//	level := h.Access(gippr.Record{Gap: 1, Addr: 0xdeadbeef})
+//
+// Pre-Session constructors (DefaultHierarchy, NewEvolveEnv) remain as thin
+// deprecated wrappers; new code should go through a Session.
 //
 // The experiment harness reproducing every figure in the paper lives in
 // internal/experiments and is driven by cmd/gippr-report and the benchmarks
-// in bench_test.go. DESIGN.md maps paper figure -> module -> bench target;
-// EXPERIMENTS.md records paper-vs-measured results.
+// in bench_test.go; cmd/gippr-serve serves the same evaluation engine as a
+// long-lived HTTP/JSON job daemon (see internal/serve). DESIGN.md maps
+// paper figure -> module -> bench target; EXPERIMENTS.md records
+// paper-vs-measured results.
 package gippr

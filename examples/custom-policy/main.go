@@ -71,6 +71,10 @@ func (p *srripFP) OnFill(s uint32, w int, _ gippr.Record) { p.set(s)[w] = 2 }
 func main() {
 	cfg := gippr.LLCConfig()
 	sets, ways := cfg.Sets(), cfg.Ways
+	sess, err := gippr.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, name := range []string{"sphinx3_like", "dealII_like", "omnetpp_like"} {
 		w, err := gippr.WorkloadByName(name)
@@ -78,7 +82,7 @@ func main() {
 			log.Fatal(err)
 		}
 		// Capture the LLC stream once.
-		h := gippr.DefaultHierarchy(gippr.NewLRU(sets, ways))
+		h := sess.Hierarchy(gippr.NewLRU(sets, ways))
 		h.RecordLLC = true
 		src := w.Phases[0].Source(5)
 		for i := 0; i < 400_000; i++ {

@@ -14,12 +14,12 @@ import (
 
 // captureStream records the LLC-visible access stream of one workload
 // phase (the GA's fitness input).
-func captureStream(name string, seed uint64, records int) gippr.EvolveStream {
+func captureStream(sess *gippr.Session, name string, seed uint64, records int) gippr.EvolveStream {
 	w, err := gippr.WorkloadByName(name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := gippr.DefaultHierarchy(gippr.NewLRU(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways))
+	h := sess.Hierarchy(gippr.NewLRU(sess.Config().Sets(), sess.Config().Ways))
 	h.RecordLLC = true
 	src := w.Phases[0].Source(seed)
 	for i := 0; i < records; i++ {
@@ -36,12 +36,16 @@ func main() {
 	// A deliberately mixed training set: one thrasher, one LRU-friendly
 	// workload, one streaming workload.
 	fmt.Println("capturing LLC streams for the training mix...")
-	streams := []gippr.EvolveStream{
-		captureStream("cactusADM_like", 11, 200_000),
-		captureStream("dealII_like", 22, 200_000),
-		captureStream("lbm_like", 33, 200_000),
+	sess, err := gippr.New(gippr.LLCConfig())
+	if err != nil {
+		log.Fatal(err)
 	}
-	env := gippr.NewEvolveEnv(gippr.LLCConfig(), 1.0/3, streams)
+	streams := []gippr.EvolveStream{
+		captureStream(sess, "cactusADM_like", 11, 200_000),
+		captureStream(sess, "dealII_like", 22, 200_000),
+		captureStream(sess, "lbm_like", 33, 200_000),
+	}
+	env := sess.EvolveEnv(1.0/3, streams)
 
 	cfg := gippr.DefaultEvolveConfig(0xbee)
 	cfg.Population = 16

@@ -26,7 +26,11 @@ func main() {
 
 	// Capture the LLC-visible stream once: it is the same for every LLC
 	// policy because L1/L2 are fixed.
-	h := gippr.DefaultHierarchy(gippr.NewLRU(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways))
+	sess, err := gippr.New(gippr.LLCConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sess.Hierarchy(gippr.NewLRU(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways))
 	h.RecordLLC = true
 	src := w.Phases[0].Source(7)
 	for i := 0; i < 600_000; i++ {

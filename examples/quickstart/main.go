@@ -19,6 +19,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The v1 entry point: a Session carries the LLC geometry plus options
+	// (sampling, telemetry, workers) into everything built from it.
+	sess, err := gippr.New(gippr.LLCConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	const records = 400_000
 	for _, setup := range []struct {
 		name string
@@ -27,7 +34,7 @@ func main() {
 		{"LRU", gippr.NewLRU(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways)},
 		{"4-DGIPPR", gippr.NewDGIPPR4(gippr.LLCConfig().Sets(), gippr.LLCConfig().Ways, gippr.PaperWI4DGIPPR)},
 	} {
-		h := gippr.DefaultHierarchy(setup.llc)
+		h := sess.Hierarchy(setup.llc)
 		src := w.Phases[0].Source(1)
 		for i := 0; i < records; i++ {
 			rec, ok := src.Next()

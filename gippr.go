@@ -99,12 +99,15 @@ func NewHierarchy(l1, l2, l3 *Cache) *Hierarchy { return cache.NewHierarchy(l1, 
 
 // DefaultHierarchy builds the paper's hierarchy with LRU-managed L1/L2 and
 // the given policy at the LLC.
+//
+// Deprecated: build a Session with New(LLCConfig()) and call its Hierarchy
+// method, which additionally honours WithSampling and WithTelemetry.
 func DefaultHierarchy(llc Policy) *Hierarchy {
-	return cache.NewHierarchy(
-		cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
-		cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
-		cache.New(cache.L3Config, llc),
-	)
+	s, err := New(cache.L3Config)
+	if err != nil {
+		panic(err) // unreachable: the paper geometry is valid
+	}
+	return s.Hierarchy(llc)
 }
 
 // Replacement policies. Each constructor takes the cache geometry (sets,
@@ -195,11 +198,16 @@ func WorkloadByName(name string) (Workload, error) { return workload.ByName(name
 // NewEvolveEnv builds a GIPPR fitness environment over LLC-filtered
 // streams: estimated speedup over true LRU under the linear CPI model, with
 // warmFrac of each stream used for cache warm-up.
+//
+// Deprecated: build a Session with New(cfg) and call its EvolveEnv method;
+// invalid geometries then surface as ErrBadGeometry instead of panicking
+// deep inside the cache constructor.
 func NewEvolveEnv(cfg CacheConfig, warmFrac float64, streams []EvolveStream) *EvolveEnv {
-	return ga.NewEnv(cfg, cpu.DefaultLinearModel(), warmFrac, streams,
-		func(sets, ways int) cache.Policy { return policy.NewTrueLRU(sets, ways) },
-		func(sets, ways int, v ipv.Vector) cache.Policy { return policy.NewGIPPR(sets, ways, v) },
-	)
+	s, err := New(cfg)
+	if err != nil {
+		panic(err) // preserved historical behaviour: bad geometry panics
+	}
+	return s.EvolveEnv(warmFrac, streams)
 }
 
 // Evolve runs the genetic algorithm and returns the best vector, its

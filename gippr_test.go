@@ -60,6 +60,7 @@ func TestAllPolicyConstructors(t *testing.T) {
 }
 
 func TestDefaultHierarchyEndToEnd(t *testing.T) {
+	//lint:ignore SA1019 the deprecated wrapper's behaviour is the contract under test
 	h := DefaultHierarchy(NewDGIPPR4(LLCConfig().Sets(), LLCConfig().Ways, PaperWI4DGIPPR))
 	w, err := WorkloadByName("lbm_like")
 	if err != nil {
@@ -96,7 +97,11 @@ func TestWorkloadsComplete(t *testing.T) {
 
 func TestOptimalAndReplayAgreeOnAccessCounts(t *testing.T) {
 	w, _ := WorkloadByName("milc_like")
-	h := DefaultHierarchy(NewLRU(LLCConfig().Sets(), LLCConfig().Ways))
+	sess, err := New(LLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sess.Hierarchy(NewLRU(LLCConfig().Sets(), LLCConfig().Ways))
 	h.RecordLLC = true
 	src := w.Phases[0].Source(3)
 	for i := 0; i < 60_000; i++ {
@@ -124,7 +129,11 @@ func TestEvolveThroughFacade(t *testing.T) {
 	for i := range recs {
 		recs[i] = Record{Gap: 3, Addr: uint64(i%(96<<10)) * 64}
 	}
-	env := NewEvolveEnv(LLCConfig(), 1.0/3, []EvolveStream{
+	sess, err := New(LLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sess.EvolveEnv(1.0/3, []EvolveStream{
 		{Workload: "thrash", Weight: 1, Records: recs},
 	})
 	cfg := DefaultEvolveConfig(1)
@@ -229,7 +238,11 @@ func TestAnnealFacade(t *testing.T) {
 	for i := range recs {
 		recs[i] = Record{Gap: 3, Addr: uint64(i%(96<<10)) * 64}
 	}
-	env := NewEvolveEnv(LLCConfig(), 1.0/3, []EvolveStream{{Workload: "t", Weight: 1, Records: recs}})
+	sess, err := New(LLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sess.EvolveEnv(1.0/3, []EvolveStream{{Workload: "t", Weight: 1, Records: recs}})
 	cfg := DefaultAnnealConfig(2)
 	cfg.Steps = 15
 	best, fit := Anneal(env, LIPVector(16), cfg)

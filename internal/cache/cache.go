@@ -23,6 +23,7 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -30,6 +31,13 @@ import (
 	"gippr/internal/trace"
 	"gippr/internal/xrand"
 )
+
+// ErrBadGeometry is the sentinel wrapped by every cache-geometry validation
+// failure (inconsistent size/ways/block, non-power-of-two set counts, and
+// out-of-range set-sampling shifts). Callers branch with errors.Is: the cmd
+// tools map it to their usage exit code and the job service maps it to
+// 400 Bad Request.
+var ErrBadGeometry = errors.New("cache: bad geometry")
 
 // Policy decides replacement within each set of one cache. Implementations
 // hold all their per-set state (recency stacks, plru bits, RRPVs, ...).
@@ -150,6 +158,51 @@ func (c Config) SampledSets() int {
 // fidelity).
 func (c Config) SampleFactor() float64 {
 	return float64(c.Sets()) / float64(c.SampledSets())
+}
+
+// Validate checks the whole geometry without panicking: positive
+// size/ways/block, power-of-two set and block counts, and a sampling shift
+// that still selects at least one set. Every failure wraps ErrBadGeometry.
+// Sets() enforces the same invariants by panic for internal callers that
+// construct geometries from trusted constants; Validate is the error-path
+// twin for geometries that cross an API boundary (job submissions, facade
+// construction, flag parsing).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("%w: %s: size %d, ways %d, block %d must all be positive",
+			ErrBadGeometry, c.Name, c.SizeBytes, c.Ways, c.BlockBytes)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("%w: %s: block size %d is not a power of two", ErrBadGeometry, c.Name, c.BlockBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.BlockBytes)
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("%w: %s: %d sets is not a power of two", ErrBadGeometry, c.Name, sets)
+	}
+	if _, err := c.CheckSampleShift(int(c.SampleShift)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CheckSampleShift validates a user-supplied set-sampling shift against
+// this geometry and returns it as the SampleShift field value. Negative
+// shifts and shifts that sample fewer than one set (2^shift > sets) wrap
+// ErrBadGeometry — they used to be silently clamped by the degenerate-hash
+// fallback, which made "-sample 99" quietly simulate a single set.
+func (c Config) CheckSampleShift(shift int) (uint, error) {
+	if shift < 0 {
+		return 0, fmt.Errorf("%w: %s: sample shift %d is negative", ErrBadGeometry, c.Name, shift)
+	}
+	if shift > 0 {
+		base := c
+		base.SampleShift = 0
+		if sets := base.Sets(); shift >= bits.Len(uint(sets)) {
+			return 0, fmt.Errorf("%w: %s: sample shift %d exceeds the geometry (2^%d > %d sets)",
+				ErrBadGeometry, c.Name, shift, shift, sets)
+		}
+	}
+	return uint(shift), nil
 }
 
 // Sets returns the number of sets implied by the geometry. It panics if the

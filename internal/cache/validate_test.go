@@ -1,0 +1,43 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := L3Config.Validate(); err != nil {
+		t.Fatalf("paper LLC geometry invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.SizeBytes = 0 },
+		func(c *Config) { c.Ways = 0 },
+		func(c *Config) { c.BlockBytes = 48 },
+		func(c *Config) { c.SizeBytes = c.SizeBytes * 3 / 2 }, // non-pow2 sets
+		func(c *Config) { c.SampleShift = 40 },
+	}
+	for i, mutate := range bad {
+		cfg := L3Config
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadGeometry) {
+			t.Errorf("bad config %d: err = %v, want ErrBadGeometry", i, err)
+		}
+	}
+}
+
+// CheckSampleShift accepts exactly 0..log2(sets) and returns the typed
+// sentinel otherwise — no silent clamping.
+func TestCheckSampleShift(t *testing.T) {
+	cfg := L3Config // 4096 sets
+	for shift := 0; shift <= 12; shift++ {
+		got, err := cfg.CheckSampleShift(shift)
+		if err != nil || got != uint(shift) {
+			t.Errorf("CheckSampleShift(%d) = %d, %v; want %d, nil", shift, got, err, shift)
+		}
+	}
+	for _, shift := range []int{-1, -64, 13, 1000} {
+		if _, err := cfg.CheckSampleShift(shift); !errors.Is(err, ErrBadGeometry) {
+			t.Errorf("CheckSampleShift(%d): err = %v, want ErrBadGeometry", shift, err)
+		}
+	}
+}

@@ -31,7 +31,9 @@ type Spec struct {
 type phaseResult struct {
 	MPKI     float64
 	CPI      float64
+	Cycles   float64
 	Misses   uint64
+	Hits     uint64
 	Instrs   uint64
 	Accesses uint64
 }
@@ -277,7 +279,9 @@ func (l *Lab) resultOf(res cpu.ReplayResult) phaseResult {
 	return phaseResult{
 		MPKI:     l.phaseMPKI(res.Misses, res.Instructions),
 		CPI:      res.CPI,
+		Cycles:   res.Cycles,
 		Misses:   res.Misses,
+		Hits:     res.Hits,
 		Instrs:   res.Instructions,
 		Accesses: res.Accesses,
 	}

@@ -55,6 +55,20 @@ var (
 	}
 )
 
+// CustomScale returns a scale with explicit per-phase record count and
+// warm-up fraction — the shape the gippr-sim CLI's -records/-warm flags and
+// the job daemon's configuration need. The search-related knobs (random IPV
+// count, GA sizing, evolve-stream truncation) inherit Default's structure,
+// with the evolve streams scaled by Default's evolve/evaluate ratio.
+func CustomScale(records int, warmFrac float64) Scale {
+	s := Default
+	s.Name = "custom"
+	s.PhaseRecords = records
+	s.WarmFrac = warmFrac
+	s.EvolveRecords = records * Default.EvolveRecords / Default.PhaseRecords
+	return s
+}
+
 // ScaleFromEnv returns the preset selected by the GIPPR_SCALE environment
 // variable ("smoke", "default" or "full"), defaulting to Default.
 func ScaleFromEnv() Scale {

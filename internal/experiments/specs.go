@@ -2,8 +2,33 @@ package experiments
 
 import (
 	"gippr/internal/cache"
+	"gippr/internal/ipv"
 	"gippr/internal/policy"
 )
+
+// SpecFromRegistry resolves a policy-registry name (the names gippr-sim's
+// -policies flag and the job API accept) into a Spec keyed by that name.
+// Unknown names wrap policy.ErrUnknownPolicy.
+func SpecFromRegistry(name string) (Spec, error) {
+	f, err := policy.Lookup(name)
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{Key: name, Label: f.Name, New: func(_ string, s, w int) cache.Policy {
+		return f.New(s, w)
+	}}, nil
+}
+
+// SpecForIPV returns a Spec simulating GIPPR driven by an explicit vector
+// (gippr-sim's -ipv flag, the job API's "ipv" field). The memo key embeds
+// the vector so distinct vectors never collide in a shared Lab.
+func SpecForIPV(label string, v ipv.Vector) Spec {
+	return Spec{Key: "gippr-ipv|" + v.String(), Label: label, New: func(_ string, s, w int) cache.Policy {
+		g := policy.NewGIPPR(s, w, v)
+		g.SetName(label)
+		return g
+	}}
+}
 
 // Baseline and prior-work policy specs. Labels follow the paper's figures.
 var (

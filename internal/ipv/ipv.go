@@ -19,10 +19,17 @@
 package ipv
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrBadVector is the sentinel wrapped by every vector validation or parse
+// failure, so callers can branch with errors.Is instead of string matching
+// (the cmd tools map it to their usage exit code, the job service to
+// 400 Bad Request).
+var ErrBadVector = errors.New("ipv: bad vector")
 
 // Vector is an insertion/promotion vector for a k-way cache: k promotion
 // entries followed by one insertion entry, so len(Vector) == k+1.
@@ -74,11 +81,11 @@ func (v Vector) Promotion(i int) int { return v[i] }
 func (v Vector) Validate() error {
 	k := v.K()
 	if k < 2 {
-		return fmt.Errorf("ipv: vector of length %d is too short (need k+1 entries, k >= 2)", len(v))
+		return fmt.Errorf("%w: length %d is too short (need k+1 entries, k >= 2)", ErrBadVector, len(v))
 	}
 	for i, e := range v {
 		if e < 0 || e >= k {
-			return fmt.Errorf("ipv: entry %d is %d, outside 0..%d", i, e, k-1)
+			return fmt.Errorf("%w: entry %d is %d, outside 0..%d", ErrBadVector, i, e, k-1)
 		}
 	}
 	return nil
@@ -118,13 +125,13 @@ func Parse(s string) (Vector, error) {
 	s = strings.NewReplacer("[", " ", "]", " ", ",", " ").Replace(s)
 	fields := strings.Fields(s)
 	if len(fields) == 0 {
-		return nil, fmt.Errorf("ipv: empty vector")
+		return nil, fmt.Errorf("%w: empty vector", ErrBadVector)
 	}
 	v := make(Vector, len(fields))
 	for i, f := range fields {
 		n, err := strconv.Atoi(f)
 		if err != nil {
-			return nil, fmt.Errorf("ipv: bad entry %q: %v", f, err)
+			return nil, fmt.Errorf("%w: bad entry %q: %v", ErrBadVector, f, err)
 		}
 		v[i] = n
 	}

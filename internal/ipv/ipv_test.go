@@ -1,6 +1,7 @@
 package ipv
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -313,5 +314,21 @@ func TestStringFormat(t *testing.T) {
 	got := (Vector{0, 1, 2}).String()
 	if got != "[ 0 1 2 ]" {
 		t.Fatalf("String = %q", got)
+	}
+}
+
+// Every Parse and Validate failure wraps ErrBadVector, so callers can
+// classify with errors.Is (usage exit in the CLIs, 400 in gippr-serve).
+func TestBadVectorSentinel(t *testing.T) {
+	for _, s := range []string{"", "[ ]", "[ 1 2 junk ]", "[ 0 1 99 0 16 ]"} {
+		if _, err := Parse(s); !errors.Is(err, ErrBadVector) {
+			t.Errorf("Parse(%q): err = %v, want ErrBadVector", s, err)
+		}
+	}
+	if err := (Vector{0, 9, 1}).Validate(); !errors.Is(err, ErrBadVector) {
+		t.Error("Validate of out-of-range vector must wrap ErrBadVector")
+	}
+	if _, err := Parse(LRU(16).String()); err != nil {
+		t.Errorf("round-trip parse failed: %v", err)
 	}
 }

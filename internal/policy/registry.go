@@ -1,12 +1,18 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"gippr/internal/cache"
 	"gippr/internal/ipv"
 )
+
+// ErrUnknownPolicy is the sentinel wrapped by Lookup failures, so callers
+// can branch with errors.Is (usage exit code in the cmd tools, 400 Bad
+// Request in the job service).
+var ErrUnknownPolicy = errors.New("policy: unknown policy")
 
 // Registry returns factories for every named policy, keyed by the names the
 // CLI tools and experiment harness use. The DGIPPR entries use the paper's
@@ -68,7 +74,7 @@ func Names() []string {
 func Lookup(name string) (Factory, error) {
 	f, ok := Registry()[name]
 	if !ok {
-		return Factory{}, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+		return Factory{}, fmt.Errorf("%w %q (known: %v)", ErrUnknownPolicy, name, Names())
 	}
 	return f, nil
 }

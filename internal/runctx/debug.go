@@ -140,6 +140,22 @@ func publishGauges() {
 	})
 }
 
+// AttachDebug registers the live-introspection suite on an existing mux:
+// expvar at /debug/vars (including the "gippr" progress gauges for p) and
+// the pprof handlers at /debug/pprof/. Long-lived servers with their own
+// mux (gippr-serve) use this directly; the one-shot tools go through
+// ServeDebug, which owns the listener too.
+func AttachDebug(mux *http.ServeMux, p *Progress) {
+	current.Store(p)
+	publishGauges()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // ServeDebug starts the live-introspection HTTP server every cmd tool hangs
 // off its -debug-addr flag: expvar at /debug/vars (including the "gippr"
 // progress gauges for p) and the pprof suite at /debug/pprof/. It returns
@@ -147,20 +163,12 @@ func publishGauges() {
 // uses its own mux, so tools never expose handlers they did not choose, and
 // it lives on a background goroutine until shutdown or process exit.
 func ServeDebug(addr string, p *Progress) (string, func(), error) {
-	current.Store(p)
-	publishGauges()
-
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("runctx: debug server: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	AttachDebug(mux, p)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	stop := func() {

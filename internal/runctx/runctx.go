@@ -16,6 +16,11 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"gippr/internal/cache"
+	"gippr/internal/ipv"
+	"gippr/internal/policy"
+	"gippr/internal/workload"
 )
 
 // Exit codes shared by the cmd tools. 0 is success and flag.ExitOnError
@@ -50,14 +55,29 @@ func Cancelled(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// UsageError reports whether err is (or wraps) one of the typed input-
+// validation sentinels — a bad cache geometry or sampling shift, an unknown
+// policy or workload name, or a malformed IPV. These are the caller's
+// mistake, not the tool's, so they exit with the flag-parse code rather
+// than ExitFailure.
+func UsageError(err error) bool {
+	return errors.Is(err, cache.ErrBadGeometry) ||
+		errors.Is(err, policy.ErrUnknownPolicy) ||
+		errors.Is(err, workload.ErrUnknownWorkload) ||
+		errors.Is(err, ipv.ErrBadVector)
+}
+
 // ExitCode maps an error to the tools' exit-code convention: nil is 0,
-// cancellation is ExitCancelled, anything else ExitFailure.
+// cancellation is ExitCancelled, typed input-validation errors are
+// ExitUsage, anything else ExitFailure.
 func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return 0
 	case Cancelled(err):
 		return ExitCancelled
+	case UsageError(err):
+		return ExitUsage
 	default:
 		return ExitFailure
 	}

@@ -1,0 +1,61 @@
+package runctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gippr/internal/cache"
+	"gippr/internal/ipv"
+	"gippr/internal/policy"
+	"gippr/internal/workload"
+)
+
+func TestUsageError(t *testing.T) {
+	usage := []error{
+		cache.ErrBadGeometry,
+		fmt.Errorf("checking shift: %w", cache.ErrBadGeometry),
+		policy.ErrUnknownPolicy,
+		workload.ErrUnknownWorkload,
+		ipv.ErrBadVector,
+	}
+	for _, err := range usage {
+		if !UsageError(err) {
+			t.Errorf("UsageError(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{nil, errors.New("boom"), context.Canceled} {
+		if UsageError(err) {
+			t.Errorf("UsageError(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("boom"), ExitFailure},
+		{fmt.Errorf("bad flag: %w", policy.ErrUnknownPolicy), ExitUsage},
+		{fmt.Errorf("bad shift: %w", cache.ErrBadGeometry), ExitUsage},
+		{context.Canceled, ExitCancelled},
+		{fmt.Errorf("run: %w", context.DeadlineExceeded), ExitCancelled},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// A cancelled run that also wraps a usage sentinel counts as cancelled: the
+// cancellation is what the operator needs to see.
+func TestExitCodeCancelledWins(t *testing.T) {
+	err := fmt.Errorf("%w while validating: %w", context.Canceled, cache.ErrBadGeometry)
+	if got := ExitCode(err); got != ExitCancelled {
+		t.Errorf("ExitCode = %d, want %d", got, ExitCancelled)
+	}
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gippr/internal/runctx"
+)
+
+// StatusOf maps the service's error vocabulary to HTTP statuses: the typed
+// input sentinels (bad geometry/shift, unknown policy or workload, bad
+// vector) are the client's fault (400), a missing job is 404, a result
+// requested before completion is 409, a full queue is 429, draining is 503,
+// and anything else is a 500.
+func StatusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotDone):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case runctx.UsageError(err):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes v as JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to report to
+}
+
+// writeError writes an error response; backpressure statuses carry a
+// Retry-After hint so well-behaved clients wait instead of hammering.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := StatusOf(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		secs := int(s.cfg.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Handler returns the daemon's HTTP surface: the /v1 job API, /metrics,
+// /healthz, and the runctx debug suite (/debug/vars with the live progress
+// gauges, /debug/pprof/).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	runctx.AttachDebug(mux, s.prog)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	res, err := s.Result(job)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleStream serves NDJSON: one GridCell object per line as each cell
+// settles, then a single trailer line {"state": "..."} once the job reaches
+// a terminal state (cells never carry a "state" key, so the shapes are
+// unambiguous line by line). A client that connects after completion gets
+// every cell followed by the trailer immediately.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	i := 0
+	for {
+		cells, ch, state := job.snapshotFrom(i)
+		for _, c := range cells {
+			if err := enc.Encode(c); err != nil {
+				return // client went away
+			}
+		}
+		i += len(cells)
+		if flusher != nil && len(cells) > 0 {
+			flusher.Flush()
+		}
+		if state.Terminal() {
+			enc.Encode(map[string]State{"state": state}) //nolint:errcheck // final line, best effort
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ok": !draining, "draining": draining})
+}

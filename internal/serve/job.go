@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"gippr/internal/experiments"
+	"gippr/internal/workload"
+)
+
+// State is a job's lifecycle stage. Transitions are strictly forward:
+// queued -> running -> one of done/failed/cancelled, or queued -> rejected
+// when a drain empties the queue before a worker picks the job up.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+	StateRejected  State = "rejected"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateRejected:
+		return true
+	}
+	return false
+}
+
+// JobRequest is the POST /v1/jobs body: a {workloads x policies x sampling}
+// grid spec. The daemon's scale (records per phase, warm-up fraction) is
+// server configuration, not per-job — that is what lets jobs share one
+// memoized Lab.
+type JobRequest struct {
+	// Workloads lists suite workload names; empty or ["all"] means the full
+	// 29-workload suite.
+	Workloads []string `json:"workloads,omitempty"`
+	// Policies lists policy-registry names; empty means the gippr-sim
+	// default set.
+	Policies []string `json:"policies,omitempty"`
+	// IPV, when set, adds a GIPPR policy driven by this vector (the same
+	// syntax as gippr-sim's -ipv).
+	IPV string `json:"ipv,omitempty"`
+	// Sample is the set-sampling shift (0 = full fidelity). Negative or
+	// geometry-exceeding shifts are rejected at submission.
+	Sample int `json:"sample,omitempty"`
+	// TimeoutSec caps the job's wall-clock run time. 0 uses the server
+	// default; values above the server maximum are clamped to it.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// defaultPolicies mirrors gippr-sim's -policies default.
+var defaultPolicies = []string{"lru", "plru", "drrip", "pdp", "gippr", "4-dgippr"}
+
+// Job is one submitted grid evaluation. All mutable fields are guarded by
+// mu; broadcast to watchers (streaming handlers, pollers in tests) happens
+// by closing and replacing the updated channel.
+type Job struct {
+	ID  string
+	Req JobRequest
+
+	// Resolved at submission (immutable afterwards).
+	specs   []experiments.Spec
+	wls     []workload.Workload
+	shift   uint
+	timeout time.Duration
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	cells    []experiments.GridCell
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	updated  chan struct{}
+}
+
+// newID returns a 16-hex-char random job identifier.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// broadcast wakes every watcher; call with mu held.
+func (j *Job) broadcast() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// appendCell records one settled grid cell and wakes watchers.
+func (j *Job) appendCell(c experiments.GridCell) {
+	j.mu.Lock()
+	j.cells = append(j.cells, c)
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued -> running and installs the job's cancel
+// function (DELETE /v1/jobs/{id} calls it).
+func (j *Job) setRunning(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// finish transitions to a terminal state exactly once.
+func (j *Job) finish(state State, err error) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = state
+		j.err = err
+		j.finished = time.Now()
+		j.broadcast()
+	}
+	j.mu.Unlock()
+}
+
+// Cancel requests cooperative cancellation of a running job; a queued job
+// cancels immediately. Cancelling a terminal job is a no-op.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	state := j.state
+	j.mu.Unlock()
+	switch {
+	case cancel != nil:
+		cancel() // the run loop observes ctx and finishes as cancelled
+	case state == StateQueued:
+		j.finish(StateCancelled, context.Canceled)
+	}
+}
+
+// snapshotFrom returns the cells appended at or after index i, the channel
+// that will be closed on the next update, and the current state — the
+// streaming handler's wait primitive.
+func (j *Job) snapshotFrom(i int) ([]experiments.GridCell, <-chan struct{}, State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []experiments.GridCell
+	if i < len(j.cells) {
+		out = append(out, j.cells[i:]...)
+	}
+	return out, j.updated, j.state
+}
+
+// JobStatus is the GET /v1/jobs/{id} JSON view.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	State      State      `json:"state"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+	CellsDone  int        `json:"cells_done"`
+	CellsTotal int        `json:"cells_total"`
+	Error      string     `json:"error,omitempty"`
+	Sample     int        `json:"sample,omitempty"`
+	Workloads  []string   `json:"workloads"`
+	Policies   []string   `json:"policies"`
+	ResultURL  string     `json:"result_url,omitempty"`
+	StreamURL  string     `json:"stream_url"`
+}
+
+// Status renders the job's current status view.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.ID,
+		State:      j.state,
+		Created:    j.created,
+		CellsDone:  len(j.cells),
+		CellsTotal: len(j.wls) * len(j.specs),
+		Sample:     int(j.shift),
+		StreamURL:  "/v1/jobs/" + j.ID + "/stream",
+	}
+	for _, w := range j.wls {
+		st.Workloads = append(st.Workloads, w.Name)
+	}
+	for _, s := range j.specs {
+		st.Policies = append(st.Policies, s.Label)
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == StateDone {
+		st.ResultURL = "/v1/jobs/" + j.ID + "/result"
+	}
+	return st
+}

@@ -1,0 +1,423 @@
+// Package serve is the simulation-as-a-service layer: a long-lived job
+// daemon that evaluates {workloads x policies x sampling} grids over one
+// shared, memoized experiments.Lab behind an HTTP/JSON v1 API
+// (cmd/gippr-serve is the binary).
+//
+// Architecture: submissions validate against the typed-sentinel error
+// vocabulary (bad vectors, unknown policies/workloads, bad sampling shifts
+// all fail fast with 400), then enter a bounded FIFO queue served by a
+// fixed worker pool — one worker runs one job at a time, and each job fans
+// its grid out over the Lab's own worker pool. A full queue rejects with
+// ErrQueueFull (HTTP 429 + Retry-After) rather than blocking the client;
+// a draining server rejects with ErrDraining (503). Because every job runs
+// through the same Lab engine as the gippr-sim CLI, a served cell is
+// bit-identical to the CLI's row for the same spec, and repeated jobs over
+// overlapping specs are memo reads, not replays.
+//
+// Lifecycle: Drain (SIGTERM in the daemon) stops intake, lets in-flight
+// jobs finish, marks still-queued jobs rejected, and returns when the pool
+// is idle; Close force-cancels in-flight jobs through their contexts for
+// the case where a drain deadline expires.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gippr/internal/experiments"
+	"gippr/internal/ipv"
+	"gippr/internal/runctx"
+	"gippr/internal/telemetry"
+	"gippr/internal/workload"
+)
+
+// Service-level sentinels, mapped to HTTP statuses by StatusOf.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue has no free
+	// slot (HTTP 429 + Retry-After; the client should back off and retry).
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrDraining rejects a submission during graceful shutdown (HTTP 503).
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrNotFound reports an unknown job id (HTTP 404).
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrNotDone reports a result request for a job that has not finished
+	// successfully (HTTP 409).
+	ErrNotDone = errors.New("serve: job has not completed")
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Scale fixes the per-phase record budget and warm-up fraction every
+	// job runs at (jobs share one Lab, so this is server-wide).
+	Scale experiments.Scale
+	// Workers is the job worker pool size: how many jobs run concurrently.
+	// Values below 1 mean 1.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting behind the running
+	// ones; a submission beyond it gets ErrQueueFull. Values below 1
+	// mean 1.
+	QueueDepth int
+	// LabWorkers is each job's grid fan-out width (0 = GOMAXPROCS).
+	LabWorkers int
+	// DefaultTimeout is the per-job deadline applied when a request does
+	// not set one (0 = none). MaxTimeout caps request-supplied deadlines
+	// (0 = uncapped).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the hint returned with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// Server is the job daemon: a bounded queue, a worker pool, and the shared
+// Lab (plus its per-shift sampling views). It is safe for concurrent use by
+// any number of HTTP handler goroutines.
+type Server struct {
+	cfg  Config
+	base *experiments.Lab
+
+	viewMu sync.Mutex
+	views  map[uint]*experiments.Lab // sampling shift -> lab view sharing base streams
+
+	mu       sync.Mutex // guards jobs, order, draining, and queue sends
+	jobs     map[string]*Job
+	order    []string
+	queue    chan *Job
+	draining bool
+
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	metrics *Metrics
+	prog    *runctx.Progress
+
+	// runGrid is the job execution hook; tests substitute a blocking stub
+	// to hold workers busy deterministically.
+	runGrid func(ctx context.Context, lab *experiments.Lab, job *Job) error
+}
+
+// New builds a server and starts its worker pool. Call Drain (and, if the
+// drain deadline expires, Close) to stop it.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Scale.PhaseRecords == 0 {
+		cfg.Scale = experiments.ScaleFromEnv()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		base:       experiments.NewLab(cfg.Scale).SetWorkers(cfg.LabWorkers),
+		views:      make(map[uint]*experiments.Lab),
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		metrics:    newMetrics(),
+		prog:       runctx.NewProgress("gippr-serve"),
+	}
+	s.runGrid = s.runGridReal
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Lab returns the server's base (full-fidelity) lab — the one the
+// equivalence tests compare served results against.
+func (s *Server) Lab() *experiments.Lab { return s.base }
+
+// labFor returns the lab view for a sampling shift: the base lab at shift
+// 0, else a per-shift view sharing the base's captured streams but with its
+// own result memo (sampled and full-fidelity results must never mix).
+func (s *Server) labFor(shift uint) *experiments.Lab {
+	if shift == 0 {
+		return s.base
+	}
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	if l, ok := s.views[shift]; ok {
+		return l
+	}
+	l := s.base.WithSampling(shift)
+	s.views[shift] = l
+	return l
+}
+
+// resolve validates a request into its immutable execution plan. Every
+// failure wraps one of the typed sentinels, so the HTTP layer can map it to
+// 400 with errors.Is.
+func (s *Server) resolve(req JobRequest) (*Job, error) {
+	var wls []workload.Workload
+	names := req.Workloads
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		wls = workload.Suite()
+	} else {
+		for _, n := range names {
+			w, err := workload.ByName(strings.TrimSpace(n))
+			if err != nil {
+				return nil, err
+			}
+			wls = append(wls, w)
+		}
+	}
+
+	polNames := req.Policies
+	if len(polNames) == 0 {
+		polNames = defaultPolicies
+	}
+	var specs []experiments.Spec
+	for _, n := range polNames {
+		sp, err := experiments.SpecFromRegistry(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	if req.IPV != "" {
+		v, err := ipv.Parse(req.IPV)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, experiments.SpecForIPV("GIPPR*", v))
+	}
+
+	shift, err := s.base.Cfg.CheckSampleShift(req.Sample)
+	if err != nil {
+		return nil, err
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	return &Job{
+		ID:      newID(),
+		Req:     req,
+		specs:   specs,
+		wls:     wls,
+		shift:   shift,
+		timeout: timeout,
+		state:   StateQueued,
+		created: time.Now(),
+		updated: make(chan struct{}),
+	}, nil
+}
+
+// Submit validates a request and enqueues it. It never blocks: with the
+// queue full it fails with ErrQueueFull, while draining with ErrDraining;
+// validation failures wrap the typed input sentinels.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	job, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.rejectedFull.Add(1)
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.metrics.submitted.Add(1)
+	return job, nil
+}
+
+// Get returns a job by id.
+func (s *Server) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueueDepth returns the number of queued (not yet started) jobs.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// worker is one pool goroutine: it serves jobs until the queue closes at
+// drain time, rejecting any job it dequeues after draining began (those
+// were queued, never started — the drain contract).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			job.finish(StateRejected, ErrDraining)
+			s.metrics.rejectedDrain.Add(1)
+			continue
+		}
+		s.run(job)
+	}
+}
+
+// run executes one job with its deadline and cancellation plumbing.
+func (s *Server) run(job *Job) {
+	// A queued job can be cancelled via DELETE before a worker picks it up.
+	job.mu.Lock()
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.mu.Unlock()
+
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if job.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, job.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
+	job.setRunning(cancel)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	err := s.runGrid(ctx, s.labFor(job.shift), job)
+	switch {
+	case err == nil:
+		job.finish(StateDone, nil)
+		s.metrics.done.Add(1)
+	case runctx.Cancelled(err):
+		job.finish(StateCancelled, err)
+		s.metrics.cancelled.Add(1)
+	default:
+		job.finish(StateFailed, err)
+		s.metrics.failed.Add(1)
+	}
+}
+
+// runGridReal is the production job body: the shared-Lab grid engine with
+// per-cell delivery into the job record and the metrics.
+func (s *Server) runGridReal(ctx context.Context, lab *experiments.Lab, job *Job) error {
+	start := time.Now()
+	_, err := lab.Grid(ctx, job.specs, job.wls, func(c experiments.GridCell) {
+		job.appendCell(c)
+		s.metrics.cellDone(c, time.Since(start))
+		s.prog.Add(1)
+	})
+	return err
+}
+
+// Result renders the done job's manifest: the configuration fingerprint
+// (mirroring gippr-sim's -telemetry fingerprint format) plus every cell in
+// workload-major order. Cells accumulate in completion order while the job
+// runs (that is the order the NDJSON stream shows), so the manifest sorts
+// them back into the deterministic workload-major layout gippr-sim prints.
+func (s *Server) Result(job *Job) (*Result, error) {
+	job.mu.Lock()
+	state, err := job.state, job.err
+	cells := append([]experiments.GridCell(nil), job.cells...)
+	job.mu.Unlock()
+	rank := make(map[string]int, len(job.wls)*len(job.specs))
+	for wi, w := range job.wls {
+		for si, sp := range job.specs {
+			rank[w.Name+"\x00"+sp.Label] = wi*len(job.specs) + si
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		return rank[cells[a].Workload+"\x00"+cells[a].Policy] < rank[cells[b].Workload+"\x00"+cells[b].Policy]
+	})
+	if state != StateDone {
+		if err != nil {
+			return nil, fmt.Errorf("%w: state %s: %v", ErrNotDone, state, err)
+		}
+		return nil, fmt.Errorf("%w: state %s", ErrNotDone, state)
+	}
+	lab := s.labFor(job.shift)
+	geom := telemetry.CacheGeometry{
+		Name: lab.Cfg.Name, SizeBytes: lab.Cfg.SizeBytes, Ways: lab.Cfg.Ways,
+		BlockBytes: lab.Cfg.BlockBytes, Sets: lab.Cfg.Sets(),
+	}
+	if job.shift > 0 {
+		geom.SampleShift = job.shift
+		geom.SampledSets = lab.Cfg.SampledSets()
+	}
+	return &Result{
+		ID: job.ID,
+		Fingerprint: fmt.Sprintf("gippr-serve|v1|records=%d|warm=%.6f|sample=%d|workloads=%s|policies=%s|ipv=%s",
+			s.cfg.Scale.PhaseRecords, s.cfg.Scale.WarmFrac, job.shift,
+			strings.Join(job.Status().Workloads, ","), strings.Join(job.Status().Policies, ","), job.Req.IPV),
+		Cache:    geom,
+		Records:  s.cfg.Scale.PhaseRecords,
+		WarmFrac: s.cfg.Scale.WarmFrac,
+		Cells:    cells,
+	}, nil
+}
+
+// Result is the GET /v1/jobs/{id}/result document.
+type Result struct {
+	ID          string                  `json:"id"`
+	Fingerprint string                  `json:"fingerprint"`
+	Cache       telemetry.CacheGeometry `json:"cache"`
+	Records     int                     `json:"records_per_phase"`
+	WarmFrac    float64                 `json:"warm_frac"`
+	Cells       []experiments.GridCell  `json:"cells"`
+}
+
+// Drain performs the SIGTERM shutdown contract: stop intake (submissions
+// fail with ErrDraining), reject every still-queued job, let in-flight jobs
+// finish, and return once the pool is idle. If ctx expires first, Drain
+// returns its error with jobs still running — the caller can then Close to
+// force-cancel them.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers drain the remainder and see draining=true
+	}
+	s.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close force-cancels every in-flight job through the base context. It is
+// the escalation path after a Drain deadline, and safe to call at any time.
+func (s *Server) Close() { s.baseCancel() }

@@ -1,0 +1,523 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gippr/internal/experiments"
+)
+
+// testScale keeps daemon tests fast; it is also the scale the equivalence
+// test rebuilds independently, so the two engines must agree bit-for-bit.
+var testScale = experiments.CustomScale(4_000, 1.0/3)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Scale.PhaseRecords == 0 {
+		cfg.Scale = testScale
+	}
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			s.Close()
+		}
+	})
+	return s
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest) (JobStatus, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode job status: %v", err)
+		}
+	}
+	return st, resp
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET status: %v", err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for job %s to reach %s (at %s)", id, want, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServedGridBitIdentical is the acceptance criterion: a served job's
+// manifest must be bit-identical to what the gippr-sim CLI computes for the
+// same grid. Both run Lab.Grid, so the test rebuilds the CLI side as a
+// fresh Lab at the daemon's scale and compares cells with exact equality —
+// every float bit included.
+func TestServedGridBitIdentical(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 4, LabWorkers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := JobRequest{
+		Workloads: []string{"mcf_like", "libquantum_like"},
+		Policies:  []string{"lru", "plru"},
+	}
+	st, resp := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", resp.StatusCode)
+	}
+	if st.CellsTotal != 4 {
+		t.Fatalf("CellsTotal = %d, want 4", st.CellsTotal)
+	}
+	done := waitState(t, ts, st.ID, StateDone)
+	if done.ResultURL == "" {
+		t.Fatal("done status missing result_url")
+	}
+
+	rresp, err := http.Get(ts.URL + done.ResultURL)
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d, want 200", rresp.StatusCode)
+	}
+	var res Result
+	if err := json.NewDecoder(rresp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+
+	// The CLI side: a fresh Lab at the same scale, same specs, same
+	// workloads — the exact computation gippr-sim prints as its table.
+	var specs []experiments.Spec
+	for _, n := range req.Policies {
+		sp, err := experiments.SpecFromRegistry(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, sp)
+	}
+	job, err := s.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.NewLab(testScale).Grid(context.Background(), specs, job.wls, nil)
+	if err != nil {
+		t.Fatalf("reference Grid: %v", err)
+	}
+	if !reflect.DeepEqual(res.Cells, want) {
+		t.Errorf("served cells are not bit-identical to the CLI engine:\n served %+v\n want   %+v", res.Cells, want)
+	}
+	if !strings.Contains(res.Fingerprint, "records=4000") {
+		t.Errorf("fingerprint %q missing scale", res.Fingerprint)
+	}
+
+	// Resubmitting the same grid is served from the shared Lab's memo and
+	// must reproduce the identical manifest cells.
+	st2, _ := postJob(t, ts, req)
+	waitState(t, ts, st2.ID, StateDone)
+	r2, err := http.Get(ts.URL + "/v1/jobs/" + st2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var res2 Result
+	if err := json.NewDecoder(r2.Body).Decode(&res2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Cells, res2.Cells) {
+		t.Error("repeat job disagrees with first (memo reads must be identical)")
+	}
+}
+
+// TestStreamNDJSON: the stream endpoint yields one JSON cell per line then a
+// terminal-state trailer, and the union of streamed cells equals the result.
+func TestStreamNDJSON(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru", "plru"}})
+	resp, err := http.Get(ts.URL + st.StreamURL)
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	var cells []experiments.GridCell
+	var trailer struct {
+		State State `json:"state"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"state"`)) {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatalf("bad trailer %q: %v", line, err)
+			}
+			continue
+		}
+		var c experiments.GridCell
+		if err := json.Unmarshal(line, &c); err != nil {
+			t.Fatalf("bad cell line %q: %v", line, err)
+		}
+		cells = append(cells, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if trailer.State != StateDone {
+		t.Fatalf("trailer state = %q, want done", trailer.State)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("streamed %d cells, want 2", len(cells))
+	}
+	// Late-connecting client gets the full replay.
+	resp2, err := http.Get(ts.URL + st.StreamURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	n := 0
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		n++
+	}
+	if n != 3 { // 2 cells + trailer
+		t.Errorf("replayed stream has %d lines, want 3", n)
+	}
+}
+
+// blockingGrid substitutes the job body with one that parks until released
+// (or its context ends), making queue saturation deterministic.
+type blockingGrid struct {
+	started chan string   // job IDs, as their runGrid begins
+	release chan struct{} // close to let every parked job finish
+}
+
+func installBlocking(s *Server) *blockingGrid {
+	b := &blockingGrid{started: make(chan string, 64), release: make(chan struct{})}
+	s.runGrid = func(ctx context.Context, _ *experiments.Lab, job *Job) error {
+		b.started <- job.ID
+		select {
+		case <-b.release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return b
+}
+
+// TestQueueFullRejects: submissions beyond workers+queue get 429 with a
+// Retry-After header and never block.
+func TestQueueFullRejects(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	b := installBlocking(s)
+	defer close(b.release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru"}}
+	// First job occupies the worker...
+	st1, _ := postJob(t, ts, req)
+	<-b.started
+	// ...second fills the queue...
+	if _, resp := postJob(t, ts, req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: status %d, want 202", resp.StatusCode)
+	}
+	// ...third must bounce, immediately.
+	start := time.Now()
+	_, resp := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("rejection took %v; Submit must not block", elapsed)
+	}
+	var snap MetricsSnapshot
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rejected429 != 1 || snap.JobsSubmitted != 2 || snap.JobsInflight != 1 {
+		t.Errorf("metrics = %+v, want 1 rejection, 2 submitted, 1 inflight", snap)
+	}
+	_ = st1
+}
+
+// TestDrain pins the SIGTERM contract: draining stops intake with 503,
+// rejects still-queued jobs, lets the in-flight job finish, and Drain
+// returns once idle.
+func TestDrain(t *testing.T) {
+	s := New(Config{Scale: testScale, Workers: 1, QueueDepth: 2})
+	b := installBlocking(s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru"}}
+	running, _ := postJob(t, ts, req)
+	<-b.started
+	queued, _ := postJob(t, ts, req)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Wait for intake to close, then verify rejections while the in-flight
+	// job still runs.
+	for i := 0; ; i++ {
+		if _, resp := postJob(t, ts, req); resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+			}
+			break
+		}
+		if i > 500 {
+			t.Fatal("draining server kept accepting jobs")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", hresp.StatusCode)
+	}
+
+	close(b.release) // let the in-flight job finish
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := waitState(t, ts, running.ID, StateDone); st.State != StateDone {
+		t.Errorf("in-flight job = %s, want done", st.State)
+	}
+	qj, err := s.Get(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := qj.Status(); st.State != StateRejected {
+		t.Errorf("queued job after drain = %s, want rejected", st.State)
+	}
+}
+
+// TestConcurrentSubmitters hammers a small queue from many goroutines (the
+// -race exercise): every submission either lands or bounces with 429, all
+// accepted jobs reach done, and the books balance.
+func TestConcurrentSubmitters(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 2, LabWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var accepted []string
+	rejected := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru"}}
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var st JobStatus
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					t.Errorf("submit %d decode: %v", i, err)
+					return
+				}
+				mu.Lock()
+				accepted = append(accepted, st.ID)
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+			default:
+				t.Errorf("submit %d: unexpected status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(accepted)+rejected != n {
+		t.Fatalf("accepted %d + rejected %d != %d", len(accepted), rejected, n)
+	}
+	if len(accepted) == 0 {
+		t.Fatal("every submission bounced; queue never admitted work")
+	}
+	for _, id := range accepted {
+		waitState(t, ts, id, StateDone)
+	}
+}
+
+// TestSubmitValidation: every bad input maps to 400 via the typed
+// sentinels; missing jobs are 404; early results are 409.
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	b := installBlocking(s)
+	defer close(b.release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bad := []JobRequest{
+		{Policies: []string{"no-such-policy"}},
+		{Workloads: []string{"no_such_workload"}},
+		{Workloads: []string{"lbm_like"}, IPV: "[ not a vector ]"},
+		{Workloads: []string{"lbm_like"}, Sample: -1},
+		{Workloads: []string{"lbm_like"}, Sample: 64},
+	}
+	for i, req := range bad {
+		if _, resp := postJob(t, ts, req); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Unknown fields are rejected too (a typo must not silently no-op).
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload": ["lbm_like"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+
+	gresp, err := http.Get(ts.URL + "/v1/jobs/deadbeef00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", gresp.StatusCode)
+	}
+
+	st, _ := postJob(t, ts, JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru"}})
+	<-b.started
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Errorf("result of running job: status %d, want 409", rresp.StatusCode)
+	}
+}
+
+// TestCancel: DELETE cancels a running job (its context ends, state becomes
+// cancelled) and a queued job directly.
+func TestCancel(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	b := installBlocking(s)
+	defer close(b.release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru"}}
+	running, _ := postJob(t, ts, req)
+	<-b.started
+	queued, _ := postJob(t, ts, req)
+
+	for _, id := range []string{queued.ID, running.ID} {
+		dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		dresp, err := http.DefaultClient.Do(dreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusAccepted {
+			t.Fatalf("cancel %s: status %d, want 202", id, dresp.StatusCode)
+		}
+	}
+	waitState(t, ts, running.ID, StateCancelled)
+	waitState(t, ts, queued.ID, StateCancelled)
+}
+
+// TestJobTimeout: a request deadline cancels the job as cancelled, not
+// failed.
+func TestJobTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	b := installBlocking(s)
+	defer close(b.release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, _ := postJob(t, ts, JobRequest{
+		Workloads: []string{"lbm_like"}, Policies: []string{"lru"}, TimeoutSec: 0.05,
+	})
+	<-b.started
+	waitState(t, ts, st.ID, StateCancelled)
+}
+
+// TestStatusOf pins the error -> HTTP mapping.
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ErrNotFound, http.StatusNotFound},
+		{fmt.Errorf("wrap: %w", ErrNotDone), http.StatusConflict},
+		{fmt.Errorf("wrap: %w", ErrQueueFull), http.StatusTooManyRequests},
+		{ErrDraining, http.StatusServiceUnavailable},
+		{errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := StatusOf(c.err); got != c.want {
+			t.Errorf("StatusOf(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -1,12 +1,18 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"gippr/internal/trace"
 	"gippr/internal/xrand"
 )
+
+// ErrUnknownWorkload is the sentinel wrapped by ByName failures, so callers
+// can branch with errors.Is (usage exit code in the cmd tools, 400 Bad
+// Request in the job service).
+var ErrUnknownWorkload = errors.New("workload: unknown workload")
 
 // Phase is one SimPoint-like program phase: a weighted, independently
 // seeded access-stream generator. Per-benchmark results are the weighted
@@ -395,7 +401,7 @@ func ByName(name string) (Workload, error) {
 	}
 	sorted := Names()
 	sort.Strings(sorted)
-	return Workload{}, fmt.Errorf("workload: unknown workload %q (known: %v)", name, sorted)
+	return Workload{}, fmt.Errorf("%w %q (known: %v)", ErrUnknownWorkload, name, sorted)
 }
 
 // Records materializes n records of one phase with the given seed.

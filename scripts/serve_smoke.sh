@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the gippr-serve daemon, exercising the acceptance
+# contract with the real binary: start on an ephemeral port, submit a grid
+# over HTTP, stream NDJSON cells, fetch the manifest, check /metrics and
+# /healthz, then SIGTERM and require a graceful drain with exit code 0.
+#
+# Usage: scripts/serve_smoke.sh   (run from the repo root; `make serve-smoke`)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+cleanup() {
+    if [[ -n "${serve_pid:-}" ]] && kill -0 "$serve_pid" 2>/dev/null; then
+        kill -KILL "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/gippr-serve" ./cmd/gippr-serve
+
+echo "== start"
+"$workdir/gippr-serve" \
+    -addr localhost:0 -addr-file "$workdir/addr" \
+    -records 4000 -jobs 2 -queue 4 \
+    2>"$workdir/serve.log" &
+serve_pid=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "$workdir/addr" ]] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "daemon died during startup:" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$workdir/addr")
+[[ -n "$addr" ]] || { echo "no address written" >&2; exit 1; }
+echo "   listening on $addr"
+
+echo "== health"
+curl -sf "http://$addr/healthz" >/dev/null
+
+echo "== submit"
+job=$(curl -sf "http://$addr/v1/jobs" -d '{
+    "workloads": ["mcf_like", "libquantum_like"],
+    "policies":  ["lru", "plru"]
+}')
+id=$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' <<<"$job" | head -1)
+[[ -n "$id" ]] || { echo "submit returned no job id: $job" >&2; exit 1; }
+echo "   job $id"
+
+echo "== stream (NDJSON)"
+stream=$(curl -sfN "http://$addr/v1/jobs/$id/stream")
+cells=$(grep -c '"workload"' <<<"$stream")
+if [[ "$cells" -ne 4 ]]; then
+    echo "streamed $cells cells, want 4:" >&2
+    echo "$stream" >&2
+    exit 1
+fi
+grep -q '"state":"done"' <<<"$stream" || { echo "stream trailer missing done state" >&2; exit 1; }
+
+echo "== result manifest"
+result=$(curl -sf "http://$addr/v1/jobs/$id/result")
+grep -q '"fingerprint": "gippr-serve|v1|' <<<"$result" || { echo "bad fingerprint" >&2; exit 1; }
+rcells=$(grep -c '"workload"' <<<"$result")
+[[ "$rcells" -eq 4 ]] || { echo "manifest has $rcells cells, want 4" >&2; exit 1; }
+
+echo "== validation is typed (400 on unknown policy)"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/jobs" -d '{"policies": ["nope"]}')
+[[ "$code" == 400 ]] || { echo "unknown policy returned $code, want 400" >&2; exit 1; }
+
+echo "== metrics"
+metrics=$(curl -sf "http://$addr/metrics")
+grep -q '"jobs_done": 1' <<<"$metrics" || { echo "metrics missing completed job: $metrics" >&2; exit 1; }
+
+echo "== SIGTERM drains and exits 0"
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+serve_pid=
+if [[ "$rc" -ne 0 ]]; then
+    echo "daemon exited $rc after SIGTERM, want 0:" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$workdir/serve.log" || { echo "drain log line missing" >&2; exit 1; }
+
+echo "PASS: serve smoke"

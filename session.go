@@ -1,0 +1,149 @@
+package gippr
+
+import (
+	"gippr/internal/cache"
+	"gippr/internal/cpu"
+	"gippr/internal/ga"
+	"gippr/internal/ipv"
+	"gippr/internal/parallel"
+	"gippr/internal/policy"
+	"gippr/internal/telemetry"
+	"gippr/internal/workload"
+)
+
+// Typed error sentinels, re-exported so facade users can classify failures
+// with errors.Is without importing internal packages. The cmd tools map
+// these to the usage exit code and gippr-serve maps them to 400 responses.
+var (
+	// ErrBadGeometry marks an invalid cache geometry or set-sampling shift.
+	ErrBadGeometry = cache.ErrBadGeometry
+	// ErrUnknownPolicy marks a policy name missing from the registry.
+	ErrUnknownPolicy = policy.ErrUnknownPolicy
+	// ErrUnknownWorkload marks a workload name missing from the suite.
+	ErrUnknownWorkload = workload.ErrUnknownWorkload
+	// ErrBadVector marks a malformed or out-of-range IPV.
+	ErrBadVector = ipv.ErrBadVector
+)
+
+// TelemetrySink collects cache events (hits, misses, insertions, promotion
+// transitions) during instrumented replays.
+type TelemetrySink = telemetry.Sink
+
+// Session is the configured entry point to the simulator: an LLC geometry
+// plus cross-cutting options (telemetry, set sampling, worker count) that
+// every subsequent construction should respect. Build one with New.
+type Session struct {
+	cfg     CacheConfig
+	sink    *TelemetrySink
+	workers int
+
+	sampleShift int
+	sampleSet   bool
+}
+
+// Option configures a Session. Options are applied in order by New; the
+// resulting configuration is validated once, after all of them.
+type Option func(*Session)
+
+// WithTelemetry attaches a telemetry sink: replays run through the Session
+// record per-event counters and position histograms into it.
+func WithTelemetry(sink *TelemetrySink) Option {
+	return func(s *Session) { s.sink = sink }
+}
+
+// WithSampling enables set sampling: only a deterministic 1-in-2^shift
+// fraction of LLC sets is simulated and miss counts are scaled back up.
+// New rejects negative shifts and shifts that leave fewer than one set.
+func WithSampling(shift int) Option {
+	return func(s *Session) { s.sampleShift, s.sampleSet = shift, true }
+}
+
+// WithWorkers sets the fan-out width for the Session's parallel helpers.
+// Values < 1 select the host's default (GOMAXPROCS, clamped).
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.workers = n }
+}
+
+// New builds a Session around an LLC geometry. With no options it behaves
+// like the package-level constructors: full-fidelity simulation, no
+// telemetry, default parallelism.
+//
+//	sess, err := gippr.New(gippr.LLCConfig(),
+//	    gippr.WithTelemetry(sink),
+//	    gippr.WithSampling(4),
+//	    gippr.WithWorkers(8))
+func New(cfg CacheConfig, opts ...Option) (*Session, error) {
+	s := &Session{cfg: cfg}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.sampleSet {
+		shift, err := s.cfg.CheckSampleShift(s.sampleShift)
+		if err != nil {
+			return nil, err
+		}
+		s.cfg.SampleShift = shift
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s.workers < 1 {
+		s.workers = parallel.DefaultWorkers()
+	}
+	return s, nil
+}
+
+// Config returns the Session's validated LLC geometry (including the
+// sampling shift installed by WithSampling).
+func (s *Session) Config() CacheConfig { return s.cfg }
+
+// Workers returns the Session's parallel fan-out width.
+func (s *Session) Workers() int { return s.workers }
+
+// Telemetry returns the attached sink, or nil.
+func (s *Session) Telemetry() *TelemetrySink { return s.sink }
+
+// Policy instantiates a registry policy (the names gippr-sim and
+// gippr-serve accept: "lru", "plru", "drrip", "gippr", "4-dgippr", ...)
+// for the Session's geometry. Unknown names wrap ErrUnknownPolicy.
+func (s *Session) Policy(name string) (Policy, error) {
+	f, err := policy.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.New(s.cfg.Sets(), s.cfg.Ways), nil
+}
+
+// Hierarchy builds the paper's three-level hierarchy with LRU-managed
+// L1/L2 and the given policy at a last level using the Session's geometry.
+func (s *Session) Hierarchy(llc Policy) *Hierarchy {
+	return cache.NewHierarchy(
+		cache.New(cache.L1Config, policy.NewTrueLRU(cache.L1Config.Sets(), cache.L1Config.Ways)),
+		cache.New(cache.L2Config, policy.NewTrueLRU(cache.L2Config.Sets(), cache.L2Config.Ways)),
+		cache.New(s.cfg, llc),
+	)
+}
+
+// Replay replays an LLC access stream into a standalone cache with the
+// Session's geometry (honouring WithSampling) and returns miss statistics;
+// the first warm accesses only warm the cache. A sink attached via
+// WithTelemetry records the measurement window's events.
+func (s *Session) Replay(stream []Record, pol Policy, warm int) ReplayStats {
+	return cache.ReplayStreamTel(stream, s.cfg, pol, warm, s.sink)
+}
+
+// Optimal replays an LLC access stream under Belady's MIN (with bypass)
+// at the Session's geometry and returns its miss statistics.
+func (s *Session) Optimal(stream []Record, warm int) ReplayStats {
+	return policy.Optimal(stream, s.cfg, warm)
+}
+
+// EvolveEnv builds a GIPPR fitness environment over LLC-filtered streams at
+// the Session's geometry: estimated speedup over true LRU under the linear
+// CPI model, with warmFrac of each stream used for cache warm-up.
+func (s *Session) EvolveEnv(warmFrac float64, streams []EvolveStream) *EvolveEnv {
+	return ga.NewEnv(s.cfg, cpu.DefaultLinearModel(), warmFrac, streams,
+		func(sets, ways int) cache.Policy { return policy.NewTrueLRU(sets, ways) },
+		func(sets, ways int, v ipv.Vector) cache.Policy { return policy.NewGIPPR(sets, ways, v) },
+	)
+}

@@ -1,0 +1,159 @@
+package gippr
+
+import (
+	"errors"
+	"testing"
+
+	"gippr/internal/xrand"
+)
+
+// sessionStream builds a small deterministic LLC-like access stream.
+func sessionStream(n int) []Record {
+	out := make([]Record, n)
+	r := xrand.New(42)
+	for i := range out {
+		out[i] = Record{Addr: (r.Uint64() % 4096) << 6, PC: uint64(i % 64), Gap: 1 + uint32(i%3)}
+	}
+	return out
+}
+
+func TestNewSessionDefaults(t *testing.T) {
+	s, err := New(LLCConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Config().SampleShift != 0 {
+		t.Errorf("default SampleShift = %d, want 0", s.Config().SampleShift)
+	}
+	if s.Workers() < 1 {
+		t.Errorf("Workers() = %d, want >= 1", s.Workers())
+	}
+	if s.Telemetry() != nil {
+		t.Error("default session has a telemetry sink")
+	}
+}
+
+func TestNewSessionOptions(t *testing.T) {
+	sink := &TelemetrySink{}
+	s, err := New(LLCConfig(), WithTelemetry(sink), WithSampling(4), WithWorkers(3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Config().SampleShift != 4 {
+		t.Errorf("SampleShift = %d, want 4", s.Config().SampleShift)
+	}
+	if s.Workers() != 3 {
+		t.Errorf("Workers = %d, want 3", s.Workers())
+	}
+	if s.Telemetry() != sink {
+		t.Error("Telemetry() did not return the installed sink")
+	}
+}
+
+// Bad sampling shifts surface the typed sentinel, never a silent clamp.
+func TestNewSessionRejectsBadSampling(t *testing.T) {
+	for _, shift := range []int{-1, 13, 64} {
+		if _, err := New(LLCConfig(), WithSampling(shift)); !errors.Is(err, ErrBadGeometry) {
+			t.Errorf("WithSampling(%d): err = %v, want ErrBadGeometry", shift, err)
+		}
+	}
+	// The largest legal shift still leaves one sampled set.
+	if _, err := New(LLCConfig(), WithSampling(12)); err != nil {
+		t.Errorf("WithSampling(12) on 4096 sets: %v", err)
+	}
+}
+
+func TestNewSessionRejectsBadGeometry(t *testing.T) {
+	cfg := LLCConfig()
+	cfg.BlockBytes = 48 // not a power of two
+	if _, err := New(cfg); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("bad geometry: err = %v, want ErrBadGeometry", err)
+	}
+}
+
+func TestSessionPolicyLookup(t *testing.T) {
+	s, err := New(LLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.Policy("plru")
+	if err != nil || pol == nil {
+		t.Fatalf("Policy(plru): %v", err)
+	}
+	if _, err := s.Policy("no-such"); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("Policy(no-such): err = %v, want ErrUnknownPolicy", err)
+	}
+}
+
+// A Session replay with no options must agree exactly with the legacy
+// package-level ReplayStream — the compatibility contract of the redesign.
+func TestSessionReplayMatchesLegacy(t *testing.T) {
+	stream := sessionStream(20_000)
+	s, err := New(LLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Replay(stream, NewPLRU(s.Config().Sets(), s.Config().Ways), 5_000)
+	want := ReplayStream(stream, LLCConfig(), NewPLRU(LLCConfig().Sets(), LLCConfig().Ways), 5_000)
+	if got != want {
+		t.Errorf("Session.Replay = %+v, legacy ReplayStream = %+v", got, want)
+	}
+}
+
+// WithSampling changes the replayed population; WithTelemetry fills the
+// sink. Both must flow through Session.Replay.
+func TestSessionReplayHonoursOptions(t *testing.T) {
+	stream := sessionStream(20_000)
+	sink := &TelemetrySink{}
+	s, err := New(LLCConfig(), WithSampling(2), WithTelemetry(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := s.Replay(stream, NewPLRU(s.Config().Sets(), s.Config().Ways), 5_000)
+	full := ReplayStream(stream, LLCConfig(), NewPLRU(LLCConfig().Sets(), LLCConfig().Ways), 5_000)
+	if sampled.Accesses >= full.Accesses {
+		t.Errorf("sampled accesses %d not below full %d", sampled.Accesses, full.Accesses)
+	}
+	if sink.Accesses() == 0 {
+		t.Error("telemetry sink saw no events")
+	}
+}
+
+func TestSessionHierarchyAndEvolveEnv(t *testing.T) {
+	s, err := New(LLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Hierarchy(NewPLRU(s.Config().Sets(), s.Config().Ways))
+	for _, r := range sessionStream(2_000) {
+		h.Access(r)
+	}
+	if h.L1.Stats.Accesses == 0 || h.L3.Stats.Accesses == 0 {
+		t.Error("session hierarchy not wired through L1..L3")
+	}
+
+	env := s.EvolveEnv(1.0/3, []EvolveStream{{Workload: "t", Weight: 1, Records: sessionStream(4_000)}})
+	if env == nil {
+		t.Fatal("EvolveEnv returned nil")
+	}
+	if f := env.Fitness(LRUVector(s.Config().Ways)); f <= 0 {
+		t.Errorf("LRU-vector fitness = %v, want > 0 (speedup ratio)", f)
+	}
+}
+
+// The deprecated wrappers must keep working verbatim.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	//lint:ignore SA1019 the wrapper's behaviour is the contract under test
+	h := DefaultHierarchy(NewPLRU(4096, 16))
+	for _, r := range sessionStream(2_000) {
+		h.Access(r)
+	}
+	if h.L3.Stats.Accesses == 0 {
+		t.Error("DefaultHierarchy LLC saw no accesses")
+	}
+	//lint:ignore SA1019 the wrapper's behaviour is the contract under test
+	env := NewEvolveEnv(LLCConfig(), 1.0/3, []EvolveStream{{Workload: "t", Weight: 1, Records: sessionStream(4_000)}})
+	if env == nil {
+		t.Fatal("NewEvolveEnv returned nil")
+	}
+}
