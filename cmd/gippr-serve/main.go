@@ -8,7 +8,14 @@
 //	gippr-serve [-addr host:port] [-addr-file path] [-scale smoke|default|full]
 //	            [-records N] [-warm frac] [-jobs N] [-queue N] [-lab-workers N]
 //	            [-timeout dur] [-max-timeout dur] [-retry-after dur]
-//	            [-drain-timeout dur]
+//	            [-drain-timeout dur] [-store dir] [-store-max-bytes N]
+//
+// With -store, results persist in a disk-backed content-addressed store
+// keyed by the result fingerprint: across restarts, a repeat submission is
+// served from disk (queued -> running -> done with zero grid recompute),
+// and /metrics reports store_hits / store_misses / store_corrupt /
+// store_entries / store_bytes. -store-max-bytes bounds the store's size by
+// evicting oldest entries first (0 = unbounded).
 //
 // API (see DESIGN.md section 10 and the README "serving" section):
 //
@@ -40,6 +47,7 @@ import (
 	"time"
 
 	"gippr/internal/experiments"
+	"gippr/internal/resultstore"
 	"gippr/internal/runctx"
 	"gippr/internal/serve"
 )
@@ -57,6 +65,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", time.Hour, "cap on request-supplied job deadlines")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before force-cancelling")
+	storeDir := flag.String("store", "", "persistent content-addressed result store directory (empty = in-memory only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "evict oldest result-store entries beyond this total size (0 = unbounded)")
 	flag.Parse()
 
 	scale := experiments.ScaleFromEnv()
@@ -86,6 +96,19 @@ func main() {
 	ctx, stop := runctx.Setup(0)
 	defer stop()
 
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = resultstore.Open(*storeDir, *storeMaxBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gippr-serve:", err)
+			os.Exit(runctx.ExitFailure)
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "gippr-serve: result store %s (%d entries, %d bytes)\n",
+			*storeDir, st.Entries, st.Bytes)
+	}
+
 	srv := serve.New(serve.Config{
 		Scale:          scale,
 		Workers:        *jobs,
@@ -94,6 +117,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		RetryAfter:     *retryAfter,
+		Store:          store,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

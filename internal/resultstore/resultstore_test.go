@@ -1,0 +1,257 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	Name  string    `json:"name"`
+	Cells []float64 `json:"cells"`
+}
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	in := payload{Name: "a", Cells: []float64{1.5, 2.25, 3.125}}
+	const fp = "gippr-serve|v2|records=4000|policies=lru"
+	if err := s.Put(fp, in); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	var out payload
+	if !s.Get(fp, &out) {
+		t.Fatal("Get after Put: miss, want hit")
+	}
+	if out.Name != in.Name || len(out.Cells) != len(in.Cells) || out.Cells[2] != in.Cells[2] {
+		t.Errorf("round trip mismatch: got %+v, want %+v", out, in)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("stats after hit = %+v", st)
+	}
+	// An unknown fingerprint is a plain miss, not corruption.
+	if s.Get("some-other-fingerprint", &out) {
+		t.Error("Get of unknown fingerprint: hit, want miss")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("stats after miss = %+v", st)
+	}
+}
+
+// TestReopenSurvivesRestart is the point of the store: entries written by
+// one Store are served, bit-identical, by a fresh Store over the same dir.
+func TestReopenSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, 0)
+	in := payload{Name: "persisted", Cells: []float64{0.1, 0.2}}
+	if err := s1.Put("fp-restart", in); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, 0)
+	var out payload
+	if !s2.Get("fp-restart", &out) {
+		t.Fatal("entry did not survive reopen")
+	}
+	if out.Name != "persisted" || out.Cells[1] != 0.2 {
+		t.Errorf("reopened payload = %+v", out)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("reopened stats = %+v", st)
+	}
+}
+
+// TestCrashMidWriteSweep: a temp file left by a crash between write and
+// rename is deleted at Open and never indexed or served.
+func TestCrashMidWriteSweep(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, Key("fp-crash")+".tmp-123456")
+	if err := os.WriteFile(tmp, []byte(`{"half":"written`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, 0)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("temp file survived Open (stat err %v)", err)
+	}
+	var out payload
+	if s.Get("fp-crash", &out) {
+		t.Error("Get served a crash-torn temp file")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats counted the temp file: %+v", st)
+	}
+}
+
+// TestChecksumCorruption: a bit-flipped payload fails its sha256 check; the
+// entry is deleted, counted corrupt, and reported as a miss.
+func TestChecksumCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	const fp = "fp-corrupt"
+	if err := s.Put(fp, payload{Name: "clean", Cells: []float64{42}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, Key(fp))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(raw), `"clean"`, `"dirty"`, 1)
+	if mangled == string(raw) {
+		t.Fatal("test bug: corruption did not change the file")
+	}
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Get(fp, &out) {
+		t.Fatal("Get served a checksum-failing entry")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Errorf("stats after corrupt read = %+v, want 1 corrupt + 1 miss", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry was not deleted")
+	}
+	// The slot heals: a fresh Put serves again.
+	if err := s.Put(fp, payload{Name: "healed"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(fp, &out) || out.Name != "healed" {
+		t.Errorf("healed slot: hit=%v out=%+v", s.Get(fp, &out), out)
+	}
+}
+
+// TestVersionSkew: an entry written under a different envelope version is
+// refused, deleted, and treated as a miss (a future format change must
+// degrade to recompute, not to garbage).
+func TestVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	const fp = "fp-skew"
+	env, _ := json.Marshal(map[string]any{
+		"version":     99,
+		"fingerprint": fp,
+		"sha256":      "0000",
+		"payload":     map[string]string{"name": "future"},
+	})
+	path := filepath.Join(dir, Key(fp))
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Get(fp, &out) {
+		t.Fatal("Get served a version-skewed entry")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats after version skew = %+v, want 1 corrupt", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("version-skewed entry was not deleted")
+	}
+}
+
+// TestFingerprintMismatch: a file sitting at some key's path but recording
+// a different fingerprint (misplaced by hand, or a key-hash collision) is
+// refused rather than served.
+func TestFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("fp-real", payload{Name: "real"}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the valid entry to a different key's path.
+	raw, err := os.ReadFile(filepath.Join(dir, Key("fp-real")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, Key("fp-other")), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Get("fp-other", &out) {
+		t.Fatal("Get served an entry recorded under a different fingerprint")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt", st)
+	}
+}
+
+// TestGCEvictionOrder pins the eviction policy: over the cap, the oldest-
+// mtime entries go first. Mtimes are forced with Chtimes and the store
+// reopened, so the order is deterministic regardless of filesystem clock
+// granularity.
+func TestGCEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	fps := []string{"fp-oldest", "fp-middle", "fp-newest"}
+	var perEntry int64
+	for i, fp := range fps {
+		if err := s.Put(fp, payload{Name: fp, Cells: []float64{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(filepath.Join(dir, Key(fp)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perEntry = info.Size()
+		mtime := time.Now().Add(time.Duration(i-len(fps)) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, Key(fp)), mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen with room for two entries: Open's GC must evict exactly the
+	// oldest.
+	s2 := mustOpen(t, dir, 2*perEntry+perEntry/2)
+	var out payload
+	if s2.Get("fp-oldest", &out) {
+		t.Error("oldest entry survived GC")
+	}
+	for _, fp := range fps[1:] {
+		if !s2.Get(fp, &out) {
+			t.Errorf("entry %s was evicted, want oldest-first order", fp)
+		}
+	}
+	if st := s2.Stats(); st.Entries != 2 {
+		t.Errorf("entries after GC = %d, want 2", st.Entries)
+	}
+}
+
+// TestGCOnPut: the cap is enforced on the write path too, keeping the
+// store's footprint bounded as entries accumulate.
+func TestGCOnPut(t *testing.T) {
+	dir := t.TempDir()
+	probe := mustOpen(t, dir, 0)
+	if err := probe.Put("fp-probe", payload{Name: "probe"}); err != nil {
+		t.Fatal(err)
+	}
+	size := probe.Stats().Bytes
+	os.Remove(filepath.Join(dir, Key("fp-probe")))
+
+	s := mustOpen(t, dir, 3*size+size/2)
+	for i := 0; i < 10; i++ {
+		fp := strings.Repeat("x", i+1) // distinct fingerprints, same payload size
+		if err := s.Put(fp, payload{Name: "probe"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bytes > 3*size+size/2 {
+		t.Errorf("store bytes %d exceed cap %d", st.Bytes, 3*size+size/2)
+	}
+	if st.Entries >= 10 {
+		t.Errorf("no eviction happened: %d entries", st.Entries)
+	}
+}

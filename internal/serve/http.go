@@ -27,6 +27,8 @@ func StatusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
 	case runctx.UsageError(err):
 		return http.StatusBadRequest
 	default:

@@ -68,10 +68,11 @@ type Job struct {
 	Req JobRequest
 
 	// Resolved at submission (immutable afterwards).
-	specs   []experiments.Spec
-	wls     []workload.Workload
-	shift   uint
-	timeout time.Duration
+	specs    []experiments.Spec
+	wls      []workload.Workload
+	shift    uint
+	timeout  time.Duration
+	ipvCanon string // canonical form of Req.IPV (ipv.Parse -> String), "" if unset
 
 	mu       sync.Mutex
 	state    State
@@ -107,42 +108,68 @@ func (j *Job) appendCell(c experiments.GridCell) {
 	j.mu.Unlock()
 }
 
-// setRunning transitions queued -> running and installs the job's cancel
-// function (DELETE /v1/jobs/{id} calls it).
-func (j *Job) setRunning(cancel context.CancelFunc) {
+// setRunning atomically transitions queued -> running and installs the
+// job's cancel function (DELETE /v1/jobs/{id} calls it). It refuses
+// terminal states — a job cancelled while queued must stay cancelled, not
+// be resurrected by the worker that later dequeues it — and reports
+// whether the transition happened; on false the caller must not run the
+// job.
+func (j *Job) setRunning(cancel context.CancelFunc) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
 	j.broadcast()
-	j.mu.Unlock()
+	return true
 }
 
-// finish transitions to a terminal state exactly once.
-func (j *Job) finish(state State, err error) {
+// finish transitions to a terminal state exactly once and reports whether
+// this call performed the transition — the caller's metrics must count a
+// state change only when it actually happened, not on every attempt.
+func (j *Job) finish(state State, err error) bool {
 	j.mu.Lock()
-	if !j.state.Terminal() {
-		j.state = state
-		j.err = err
-		j.finished = time.Now()
-		j.broadcast()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
 	}
-	j.mu.Unlock()
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	j.broadcast()
+	return true
 }
 
 // Cancel requests cooperative cancellation of a running job; a queued job
-// cancels immediately. Cancelling a terminal job is a no-op.
+// cancels immediately. Cancelling a terminal job is a no-op. The decision
+// is made in one critical section with the state transitions above, so a
+// DELETE racing the worker's pickup resolves to exactly one of two
+// serializations: the cancel lands first and setRunning refuses, or the
+// pickup lands first and the job's context is cancelled.
 func (j *Job) Cancel() {
 	j.mu.Lock()
-	cancel := j.cancel
-	state := j.state
-	j.mu.Unlock()
-	switch {
-	case cancel != nil:
-		cancel() // the run loop observes ctx and finishes as cancelled
-	case state == StateQueued:
-		j.finish(StateCancelled, context.Canceled)
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
 	}
+	if j.state == StateRunning {
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel() // the run loop observes ctx and finishes as cancelled
+		}
+		return
+	}
+	// Still queued: terminal immediately, under the same lock the worker's
+	// setRunning will take — no resurrection window.
+	j.state = StateCancelled
+	j.err = context.Canceled
+	j.finished = time.Now()
+	j.broadcast()
+	j.mu.Unlock()
 }
 
 // snapshotFrom returns the cells appended at or after index i, the channel

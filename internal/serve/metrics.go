@@ -66,6 +66,14 @@ type MetricsSnapshot struct {
 	RejectedDrain uint64  `json:"rejected_draining"`
 	CellsDone     uint64  `json:"cells_done"`
 	LLCAccesses   uint64  `json:"llc_accesses"`
+	// Store* expose the persistent result store (all zero when the daemon
+	// runs without -store): jobs served from disk vs sent to the grid,
+	// entries deleted for failing verification, and the store's footprint.
+	StoreHits    uint64 `json:"store_hits"`
+	StoreMisses  uint64 `json:"store_misses"`
+	StoreCorrupt uint64 `json:"store_corrupt"`
+	StoreEntries int    `json:"store_entries"`
+	StoreBytes   int64  `json:"store_bytes"`
 	// RecordsPerSec is replayed LLC accesses per second of daemon uptime —
 	// the serving-throughput gauge the ROADMAP's "fast as the hardware
 	// allows" goal is tracked by.
@@ -97,6 +105,14 @@ func (s *Server) Snapshot() MetricsSnapshot {
 	}
 	if up > 0 {
 		snap.RecordsPerSec = float64(snap.LLCAccesses) / up
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.StoreHits = st.Hits
+		snap.StoreMisses = st.Misses
+		snap.StoreCorrupt = st.Corrupt
+		snap.StoreEntries = st.Entries
+		snap.StoreBytes = st.Bytes
 	}
 	m.mu.Lock()
 	for name, h := range m.perPolicy {

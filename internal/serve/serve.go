@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +32,7 @@ import (
 
 	"gippr/internal/experiments"
 	"gippr/internal/ipv"
+	"gippr/internal/resultstore"
 	"gippr/internal/runctx"
 	"gippr/internal/telemetry"
 	"gippr/internal/workload"
@@ -48,6 +50,9 @@ var (
 	// ErrNotDone reports a result request for a job that has not finished
 	// successfully (HTTP 409).
 	ErrNotDone = errors.New("serve: job has not completed")
+	// ErrBadRequest rejects a malformed request field (a negative or
+	// non-finite timeout, for example) at submission time (HTTP 400).
+	ErrBadRequest = errors.New("serve: bad request")
 )
 
 // Config sizes the daemon.
@@ -71,6 +76,12 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// RetryAfter is the hint returned with 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// Store, when non-nil, is the persistent content-addressed result store
+	// the server reads through: a job whose fingerprint is already stored
+	// is served from disk (queued -> running -> done with the stored cells,
+	// zero grid recompute), and every freshly computed result is persisted
+	// on completion. Nil keeps today's in-memory-only behavior.
+	Store *resultstore.Store
 }
 
 // Server is the job daemon: a bounded queue, a worker pool, and the shared
@@ -82,6 +93,8 @@ type Server struct {
 
 	viewMu sync.Mutex
 	views  map[uint]*experiments.Lab // sampling shift -> lab view sharing base streams
+
+	store *resultstore.Store // nil = in-memory only
 
 	mu       sync.Mutex // guards jobs, order, draining, and queue sends
 	jobs     map[string]*Job
@@ -119,6 +132,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		store:      cfg.Store,
 		base:       experiments.NewLab(cfg.Scale).SetWorkers(cfg.LabWorkers),
 		views:      make(map[uint]*experiments.Lab),
 		jobs:       make(map[string]*Job),
@@ -187,11 +201,15 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 		}
 		specs = append(specs, sp)
 	}
+	var ipvCanon string
 	if req.IPV != "" {
 		v, err := ipv.Parse(req.IPV)
 		if err != nil {
 			return nil, err
 		}
+		// The canonical form (not the raw request string) feeds the result
+		// fingerprint, so "0,1,2" and "[ 0 1 2 ]" collide to one store key.
+		ipvCanon = v.String()
 		specs = append(specs, experiments.SpecForIPV("GIPPR*", v))
 	}
 
@@ -200,6 +218,12 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 		return nil, err
 	}
 
+	if math.IsNaN(req.TimeoutSec) || math.IsInf(req.TimeoutSec, 0) {
+		return nil, fmt.Errorf("%w: timeout_sec must be finite", ErrBadRequest)
+	}
+	if req.TimeoutSec < 0 {
+		return nil, fmt.Errorf("%w: timeout_sec %v is negative", ErrBadRequest, req.TimeoutSec)
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutSec > 0 {
 		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
@@ -209,15 +233,16 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 	}
 
 	return &Job{
-		ID:      newID(),
-		Req:     req,
-		specs:   specs,
-		wls:     wls,
-		shift:   shift,
-		timeout: timeout,
-		state:   StateQueued,
-		created: time.Now(),
-		updated: make(chan struct{}),
+		ID:       newID(),
+		Req:      req,
+		specs:    specs,
+		wls:      wls,
+		shift:    shift,
+		timeout:  timeout,
+		ipvCanon: ipvCanon,
+		state:    StateQueued,
+		created:  time.Now(),
+		updated:  make(chan struct{}),
 	}, nil
 }
 
@@ -281,24 +306,19 @@ func (s *Server) worker() {
 		draining := s.draining
 		s.mu.Unlock()
 		if draining {
-			job.finish(StateRejected, ErrDraining)
-			s.metrics.rejectedDrain.Add(1)
+			if job.finish(StateRejected, ErrDraining) {
+				s.metrics.rejectedDrain.Add(1)
+			}
 			continue
 		}
 		s.run(job)
 	}
 }
 
-// run executes one job with its deadline and cancellation plumbing.
+// run executes one job with its deadline and cancellation plumbing: compute
+// the fingerprint up front, serve a store hit from disk, otherwise run the
+// grid and persist the settled result (read-through / write-behind).
 func (s *Server) run(job *Job) {
-	// A queued job can be cancelled via DELETE before a worker picks it up.
-	job.mu.Lock()
-	if job.state.Terminal() {
-		job.mu.Unlock()
-		return
-	}
-	job.mu.Unlock()
-
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if job.timeout > 0 {
@@ -307,22 +327,101 @@ func (s *Server) run(job *Job) {
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
 	defer cancel()
-	job.setRunning(cancel)
+	// setRunning is the atomic check-and-transition: a job cancelled via
+	// DELETE while queued is terminal and must stay that way, so a refusal
+	// means this worker never touches the job.
+	if !job.setRunning(cancel) {
+		return
+	}
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+
+	fp := s.fingerprint(job)
+	if s.serveFromStore(job, fp) {
+		return
+	}
 
 	err := s.runGrid(ctx, s.labFor(job.shift), job)
 	switch {
 	case err == nil:
-		job.finish(StateDone, nil)
-		s.metrics.done.Add(1)
+		if job.finish(StateDone, nil) {
+			s.metrics.done.Add(1)
+			s.persist(job, fp)
+		}
 	case runctx.Cancelled(err):
-		job.finish(StateCancelled, err)
-		s.metrics.cancelled.Add(1)
+		if job.finish(StateCancelled, err) {
+			s.metrics.cancelled.Add(1)
+		}
 	default:
-		job.finish(StateFailed, err)
-		s.metrics.failed.Add(1)
+		if job.finish(StateFailed, err) {
+			s.metrics.failed.Add(1)
+		}
 	}
+}
+
+// serveFromStore attempts the read-through path: on a verified store hit
+// the stored cells are delivered through appendCell — so NDJSON streaming,
+// /result rendering, and late-connect replay behave exactly as for a
+// computed job — and the job completes without any grid work. A corrupt
+// entry was already deleted by the store and reads as a miss; the caller
+// recomputes and re-persists.
+func (s *Server) serveFromStore(job *Job, fp string) bool {
+	if s.store == nil {
+		return false
+	}
+	var stored Result
+	if !s.store.Get(fp, &stored) {
+		return false
+	}
+	for _, c := range stored.Cells {
+		job.appendCell(c)
+	}
+	if job.finish(StateDone, nil) {
+		s.metrics.done.Add(1)
+	}
+	return true
+}
+
+// persist is the write-behind path: render the completed job's manifest
+// and store it under its fingerprint. Best-effort — a full disk must not
+// fail the job the client already watched succeed; the entry simply stays
+// cold and the next identical request recomputes.
+func (s *Server) persist(job *Job, fp string) {
+	if s.store == nil {
+		return
+	}
+	res, err := s.Result(job)
+	if err != nil {
+		return
+	}
+	// The stored document is content-addressed and job-independent; the
+	// per-request random job id would otherwise be the one field keeping
+	// two identical results from being byte-identical.
+	res.ID = ""
+	s.store.Put(fp, res) //nolint:errcheck // write-behind is best-effort
+}
+
+// fingerprint renders the canonical configuration string a job's manifest
+// is fully determined by: engine version, scale, the cache geometry under
+// study, the sampling shift, the resolved workload and policy lists, and
+// the canonicalized IPV. It is the persistence key of the result store, so
+// everything that changes the cells must appear here — geometry included,
+// because two daemons with different LLCs must never share an entry — and
+// nothing request-cosmetic (like IPV spelling) may.
+func (s *Server) fingerprint(job *Job) string {
+	cfg := s.base.Cfg
+	wls := make([]string, len(job.wls))
+	for i, w := range job.wls {
+		wls[i] = w.Name
+	}
+	pols := make([]string, len(job.specs))
+	for i, sp := range job.specs {
+		pols[i] = sp.Label
+	}
+	return fmt.Sprintf("gippr-serve|v2|records=%d|warm=%.6f|cache=%s;size=%d;ways=%d;block=%d;sets=%d|sample=%d|workloads=%s|policies=%s|ipv=%s",
+		s.cfg.Scale.PhaseRecords, s.cfg.Scale.WarmFrac,
+		cfg.Name, cfg.SizeBytes, cfg.Ways, cfg.BlockBytes, cfg.Sets(),
+		job.shift, strings.Join(wls, ","), strings.Join(pols, ","), job.ipvCanon)
 }
 
 // runGridReal is the production job body: the shared-Lab grid engine with
@@ -372,14 +471,12 @@ func (s *Server) Result(job *Job) (*Result, error) {
 		geom.SampledSets = lab.Cfg.SampledSets()
 	}
 	return &Result{
-		ID: job.ID,
-		Fingerprint: fmt.Sprintf("gippr-serve|v1|records=%d|warm=%.6f|sample=%d|workloads=%s|policies=%s|ipv=%s",
-			s.cfg.Scale.PhaseRecords, s.cfg.Scale.WarmFrac, job.shift,
-			strings.Join(job.Status().Workloads, ","), strings.Join(job.Status().Policies, ","), job.Req.IPV),
-		Cache:    geom,
-		Records:  s.cfg.Scale.PhaseRecords,
-		WarmFrac: s.cfg.Scale.WarmFrac,
-		Cells:    cells,
+		ID:          job.ID,
+		Fingerprint: s.fingerprint(job),
+		Cache:       geom,
+		Records:     s.cfg.Scale.PhaseRecords,
+		WarmFrac:    s.cfg.Scale.WarmFrac,
+		Cells:       cells,
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -419,6 +420,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Workloads: []string{"lbm_like"}, IPV: "[ not a vector ]"},
 		{Workloads: []string{"lbm_like"}, Sample: -1},
 		{Workloads: []string{"lbm_like"}, Sample: 64},
+		{Workloads: []string{"lbm_like"}, TimeoutSec: -1},
 	}
 	for i, req := range bad {
 		if _, resp := postJob(t, ts, req); resp.StatusCode != http.StatusBadRequest {
@@ -502,6 +504,130 @@ func TestJobTimeout(t *testing.T) {
 	waitState(t, ts, st.ID, StateCancelled)
 }
 
+// TestResolveTimeoutValidation: a negative or non-finite timeout_sec is a
+// typed usage error (400), never silently replaced by the server default.
+// NaN and Inf cannot arrive through the JSON handler (encoding/json rejects
+// them), but Submit is also a Go API, so resolve itself must refuse them.
+func TestResolveTimeoutValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	for _, bad := range []float64{-1, -0.001, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, err := s.resolve(JobRequest{Workloads: []string{"lbm_like"}, TimeoutSec: bad})
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("resolve(timeout_sec=%v) err = %v, want ErrBadRequest", bad, err)
+		}
+		if got := StatusOf(err); got != http.StatusBadRequest {
+			t.Errorf("StatusOf(resolve(timeout_sec=%v)) = %d, want 400", bad, got)
+		}
+	}
+	for _, ok := range []float64{0, 0.5, 30} {
+		if _, err := s.resolve(JobRequest{Workloads: []string{"lbm_like"}, TimeoutSec: ok}); err != nil {
+			t.Errorf("resolve(timeout_sec=%v) = %v, want nil", ok, err)
+		}
+	}
+}
+
+// TestCancelPickupRace hammers DELETE against worker pickup of queued jobs
+// (run under -race). The state-machine contract it pins: a job the cancel
+// handler reported as cancelled (terminal) is never resurrected to running
+// — its grid body must not execute — and the done/cancelled metrics count
+// exactly the transitions that actually happened, so a cancelled job never
+// also increments jobs_done.
+func TestCancelPickupRace(t *testing.T) {
+	const n = 200
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: n})
+	var mu sync.Mutex
+	ran := make(map[string]bool)
+	s.runGrid = func(_ context.Context, _ *experiments.Lab, job *Job) error {
+		mu.Lock()
+		ran[job.ID] = true
+		mu.Unlock()
+		return nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru"}}
+	type attempt struct {
+		id       string
+		atCancel State // state the DELETE response reported
+	}
+	var attempts []attempt
+	for i := 0; i < n; i++ {
+		job, err := s.Submit(req)
+		if errors.Is(err, ErrQueueFull) {
+			continue // workers lagging; the submitted jobs still exercise the race
+		}
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+		dresp, err := http.DefaultClient.Do(dreq)
+		if err != nil {
+			t.Fatalf("DELETE %d: %v", i, err)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(dresp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode DELETE response %d: %v", i, err)
+		}
+		dresp.Body.Close()
+		attempts = append(attempts, attempt{id: job.ID, atCancel: st.State})
+	}
+
+	// Wait for every job to settle.
+	deadline := time.Now().Add(20 * time.Second)
+	for _, a := range attempts {
+		for {
+			job, err := s.Get(a.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if job.Status().State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never settled (state %s)", a.id, job.Status().State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var done, cancelled int
+	for _, a := range attempts {
+		job, _ := s.Get(a.id)
+		final := job.Status().State
+		switch final {
+		case StateDone:
+			done++
+			if !ran[a.id] {
+				t.Errorf("job %s is done but its grid never ran", a.id)
+			}
+		case StateCancelled:
+			cancelled++
+			if ran[a.id] {
+				t.Errorf("job %s is cancelled but its grid ran (cancelled queued job was resurrected)", a.id)
+			}
+		default:
+			t.Errorf("job %s settled as %s, want done or cancelled", a.id, final)
+		}
+		if a.atCancel.Terminal() && final != a.atCancel {
+			t.Errorf("job %s: DELETE reported terminal %s but final state is %s (terminal state changed)",
+				a.id, a.atCancel, final)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.JobsDone != uint64(done) {
+		t.Errorf("metrics jobs_done = %d, want %d (post-cancel done must not count)", snap.JobsDone, done)
+	}
+	if snap.JobsCancelled != uint64(cancelled) {
+		t.Errorf("metrics jobs_cancelled = %d, want %d", snap.JobsCancelled, cancelled)
+	}
+	if done+cancelled != len(attempts) {
+		t.Errorf("done %d + cancelled %d != %d jobs", done, cancelled, len(attempts))
+	}
+}
+
 // TestStatusOf pins the error -> HTTP mapping.
 func TestStatusOf(t *testing.T) {
 	cases := []struct {
@@ -513,6 +639,7 @@ func TestStatusOf(t *testing.T) {
 		{fmt.Errorf("wrap: %w", ErrNotDone), http.StatusConflict},
 		{fmt.Errorf("wrap: %w", ErrQueueFull), http.StatusTooManyRequests},
 		{ErrDraining, http.StatusServiceUnavailable},
+		{fmt.Errorf("wrap: %w", ErrBadRequest), http.StatusBadRequest},
 		{errors.New("boom"), http.StatusInternalServerError},
 	}
 	for _, c := range cases {

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gippr/internal/experiments"
+	"gippr/internal/resultstore"
+)
+
+func getResult(t *testing.T, ts *httptest.Server, id string) Result {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d, want 200", resp.StatusCode)
+	}
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return res
+}
+
+// TestStoreWarmRestart is the acceptance criterion for the persistent
+// store: a daemon computes a result, "restarts" (a fresh Server over a
+// fresh store handle on the same directory), and a repeat submission is
+// served from disk — zero grid runs, bit-identical Result — while a
+// corrupted entry degrades to recompute, never to bad data.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := resultstore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Store: st1})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+
+	req := JobRequest{Workloads: []string{"mcf_like"}, Policies: []string{"lru", "plru"}}
+	job1, _ := postJob(t, ts1, req)
+	waitState(t, ts1, job1.ID, StateDone)
+	res1 := getResult(t, ts1, job1.ID)
+	if got := st1.Stats(); got.Entries != 1 || got.Misses != 1 || got.Hits != 0 {
+		t.Fatalf("after first run store stats = %+v, want 1 entry from 1 miss", got)
+	}
+
+	// A same-process resubmission is already a store hit (the Lab memo
+	// would also make it cheap, but the transition must go through the
+	// store so the counters prove the read-through path).
+	job1b, _ := postJob(t, ts1, req)
+	waitState(t, ts1, job1b.ID, StateDone)
+	if got := st1.Stats(); got.Hits != 1 {
+		t.Fatalf("same-process repeat: store hits = %d, want 1", got.Hits)
+	}
+
+	// "Restart": drain the first daemon, open a second one over the same
+	// directory with the grid stubbed to count invocations.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain first server: %v", err)
+	}
+	st2, err := resultstore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Store: st2})
+	var gridRuns atomic.Int64
+	real2 := s2.runGrid
+	s2.runGrid = func(ctx context.Context, lab *experiments.Lab, job *Job) error {
+		gridRuns.Add(1)
+		return real2(ctx, lab, job)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	job2, _ := postJob(t, ts2, req)
+	waitState(t, ts2, job2.ID, StateDone)
+	res2 := getResult(t, ts2, job2.ID)
+	if n := gridRuns.Load(); n != 0 {
+		t.Errorf("warm restart ran the grid %d times, want 0 (result must come from the store)", n)
+	}
+
+	// Bit-identical modulo the per-request random job id, which is the one
+	// field that names the request rather than the content.
+	norm1, norm2 := res1, res2
+	norm1.ID, norm2.ID = "", ""
+	if !reflect.DeepEqual(norm1, norm2) {
+		t.Errorf("restarted result differs from original:\n first  %+v\n second %+v", norm1, norm2)
+	}
+	snap := s2.Snapshot()
+	if snap.StoreHits != 1 || snap.StoreEntries != 1 || snap.StoreBytes <= 0 {
+		t.Errorf("metrics after warm hit = hits %d entries %d bytes %d, want 1/1/>0",
+			snap.StoreHits, snap.StoreEntries, snap.StoreBytes)
+	}
+
+	// A store-hit job streams like a computed one: late-connect NDJSON
+	// replay yields every cell plus the done trailer.
+	sresp, err := http.Get(ts2.URL + "/v1/jobs/" + job2.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 3 { // 2 cells + trailer
+		t.Errorf("store-hit stream has %d lines, want 3", lines)
+	}
+
+	// Corrupt the entry on disk: the next identical submission must fall
+	// back to recompute (one grid run), reproduce the same cells, and heal
+	// the store entry.
+	job2j, err := s2.Get(job2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, resultstore.Key(s2.fingerprint(job2j)))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(raw), `"mpki"`, `"mpkX"`, 1)
+	if mangled == string(raw) {
+		t.Fatal("test bug: corruption did not change the entry")
+	}
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	job3, _ := postJob(t, ts2, req)
+	waitState(t, ts2, job3.ID, StateDone)
+	res3 := getResult(t, ts2, job3.ID)
+	if n := gridRuns.Load(); n != 1 {
+		t.Errorf("corrupt entry: grid ran %d times, want exactly 1 recompute", n)
+	}
+	if !reflect.DeepEqual(res3.Cells, res1.Cells) {
+		t.Errorf("recomputed cells differ from original")
+	}
+	snap = s2.Snapshot()
+	if snap.StoreCorrupt != 1 {
+		t.Errorf("store_corrupt = %d, want 1", snap.StoreCorrupt)
+	}
+	if snap.StoreEntries != 1 {
+		t.Errorf("store_entries = %d, want 1 (recompute must re-persist)", snap.StoreEntries)
+	}
+}
+
+// TestFingerprintCanonicalization pins the two persistence-key fixes:
+// equivalent IPV spellings collide to one fingerprint, and the cache
+// geometry is part of the key so different LLCs can never share an entry.
+func TestFingerprintCanonicalization(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	base := JobRequest{Workloads: []string{"lbm_like"}, Policies: []string{"lru"}}
+
+	reqA, reqB := base, base
+	reqA.IPV = "0,0,1,0,3,0,1,2,1,0,5,1,0,0,1,11,13"
+	reqB.IPV = "[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]"
+	jobA, err := s.resolve(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := s.resolve(reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, fpB := s.fingerprint(jobA), s.fingerprint(jobB)
+	if fpA != fpB {
+		t.Errorf("equivalent IPV spellings produce different fingerprints:\n %s\n %s", fpA, fpB)
+	}
+	if !strings.Contains(fpA, "ipv=[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]") {
+		t.Errorf("fingerprint does not carry the canonical IPV: %s", fpA)
+	}
+
+	job, err := s.resolve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1 := s.fingerprint(job)
+	for _, field := range []string{"cache=", "size=", "ways=", "block=", "sets=", "records=", "sample="} {
+		if !strings.Contains(fp1, field) {
+			t.Errorf("fingerprint missing %q: %s", field, fp1)
+		}
+	}
+	// Same request against a lab with a different geometry must key
+	// differently (halving the ways doubles the sets: both axes move).
+	s.base.Cfg.Ways /= 2
+	fp2 := s.fingerprint(job)
+	if fp1 == fp2 {
+		t.Errorf("fingerprint ignores cache geometry: %s", fp1)
+	}
+}

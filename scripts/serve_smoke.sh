@@ -3,6 +3,10 @@
 # contract with the real binary: start on an ephemeral port, submit a grid
 # over HTTP, stream NDJSON cells, fetch the manifest, check /metrics and
 # /healthz, then SIGTERM and require a graceful drain with exit code 0.
+# A second phase proves the persistent result store: restart the daemon
+# with the same -store directory, resubmit the identical job, and require
+# a store hit in /metrics plus a byte-identical manifest (modulo the
+# per-request job id) with zero recompute.
 #
 # Usage: scripts/serve_smoke.sh   (run from the repo root; `make serve-smoke`)
 set -euo pipefail
@@ -63,7 +67,8 @@ grep -q '"state":"done"' <<<"$stream" || { echo "stream trailer missing done sta
 
 echo "== result manifest"
 result=$(curl -sf "http://$addr/v1/jobs/$id/result")
-grep -q '"fingerprint": "gippr-serve|v1|' <<<"$result" || { echo "bad fingerprint" >&2; exit 1; }
+grep -q '"fingerprint": "gippr-serve|v2|' <<<"$result" || { echo "bad fingerprint" >&2; exit 1; }
+grep -q 'size=' <<<"$result" || { echo "fingerprint missing cache geometry" >&2; exit 1; }
 rcells=$(grep -c '"workload"' <<<"$result")
 [[ "$rcells" -eq 4 ]] || { echo "manifest has $rcells cells, want 4" >&2; exit 1; }
 
@@ -86,5 +91,77 @@ if [[ "$rc" -ne 0 ]]; then
     exit 1
 fi
 grep -q "drained, exiting" "$workdir/serve.log" || { echo "drain log line missing" >&2; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Phase 2: the persistent result store survives a restart. Run a daemon with
+# -store, compute once, SIGTERM it, restart over the same directory, resubmit
+# the identical job, and require (a) the /metrics store-hit counter moved,
+# (b) the manifest is byte-identical to the pre-restart one once the
+# per-request job id is stripped.
+# ---------------------------------------------------------------------------
+
+store="$workdir/store"
+job_body='{"workloads": ["mcf_like", "libquantum_like"], "policies": ["lru", "plru"]}'
+
+start_store_daemon() { # $1 = addr-file suffix, $2 = log suffix
+    "$workdir/gippr-serve" \
+        -addr localhost:0 -addr-file "$workdir/addr$1" \
+        -records 4000 -jobs 2 -queue 4 \
+        -store "$store" \
+        2>"$workdir/serve$2.log" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$workdir/addr$1" ]] && break
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "store daemon died during startup:" >&2
+            cat "$workdir/serve$2.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr=$(cat "$workdir/addr$1")
+    [[ -n "$addr" ]] || { echo "no address written" >&2; exit 1; }
+}
+
+run_store_job() { # submits $job_body, waits via the stream, echoes the id-stripped manifest
+    local job id
+    job=$(curl -sf "http://$addr/v1/jobs" -d "$job_body")
+    id=$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' <<<"$job" | head -1)
+    [[ -n "$id" ]] || { echo "store submit returned no job id: $job" >&2; exit 1; }
+    curl -sfN "http://$addr/v1/jobs/$id/stream" >/dev/null # blocks until terminal
+    curl -sf "http://$addr/v1/jobs/$id/result" | sed '/"id":/d'
+}
+
+echo "== store: cold start computes and persists"
+start_store_daemon "2" "2"
+echo "   listening on $addr (store $store)"
+cold=$(run_store_job)
+metrics=$(curl -sf "http://$addr/metrics")
+grep -q '"store_misses": 1' <<<"$metrics" || { echo "cold run did not miss the store: $metrics" >&2; exit 1; }
+grep -q '"store_entries": 1' <<<"$metrics" || { echo "cold run did not persist an entry: $metrics" >&2; exit 1; }
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+serve_pid=
+[[ "$rc" -eq 0 ]] || { echo "store daemon exited $rc after SIGTERM, want 0" >&2; cat "$workdir/serve2.log" >&2; exit 1; }
+
+echo "== store: warm restart serves from disk"
+start_store_daemon "3" "3"
+echo "   listening on $addr"
+warm=$(run_store_job)
+metrics=$(curl -sf "http://$addr/metrics")
+grep -q '"store_hits": 1' <<<"$metrics" || { echo "warm restart did not hit the store: $metrics" >&2; exit 1; }
+grep -q '"llc_accesses": 0' <<<"$metrics" || { echo "warm restart replayed the grid (llc_accesses moved): $metrics" >&2; exit 1; }
+if [[ "$cold" != "$warm" ]]; then
+    echo "restarted manifest differs from the original:" >&2
+    diff <(echo "$cold") <(echo "$warm") >&2 || true
+    exit 1
+fi
+echo "   manifests byte-identical across restart"
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+serve_pid=
+[[ "$rc" -eq 0 ]] || { echo "store daemon exited $rc after final SIGTERM, want 0" >&2; exit 1; }
 
 echo "PASS: serve smoke"
