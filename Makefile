@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover fuzz serve-smoke staticcheck check
+.PHONY: all build vet test race bench cover fuzz chaos serve-smoke staticcheck check
 
 all: check
 
@@ -74,5 +74,12 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzParseVector -fuzztime=$(FUZZTIME) ./internal/ipv
 	$(GO) test -run=^$$ -fuzz=FuzzMultiRunConsistency -fuzztime=$(FUZZTIME) ./internal/cpu
+	$(GO) test -run=^$$ -fuzz=FuzzSubmitRequest -fuzztime=$(FUZZTIME) ./internal/serve
 
-check: race fuzz staticcheck serve-smoke
+# Fault-injection suite under the race detector: torn streams, dropped
+# connections, dead/slow/flaky peers, breaker transitions — every scenario
+# must end with a manifest byte-identical to a single node's.
+chaos: vet
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/cluster
+
+check: race fuzz chaos staticcheck serve-smoke

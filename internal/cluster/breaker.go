@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The machine is the classic three-state circuit breaker:
+//
+//	closed     -> open       after Threshold consecutive failures
+//	open       -> half-open  when Cooldown has elapsed (next Allow probes)
+//	half-open  -> closed     on the first success
+//	half-open  -> open       on the first failure (cooldown restarts)
+//
+// Successes in any state reset the consecutive-failure count. Both
+// dispatch outcomes and active health probes feed the breaker, so a dead
+// peer trips within Threshold probe periods even when no job is running,
+// and a recovered peer is readmitted by its probes without waiting for
+// live traffic to risk a request.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateNames are the /metrics spellings.
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// breaker is one peer's circuit. It is safe for concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures
+	openedAt time.Time // when the circuit last opened
+
+	opens  uint64 // closed/half-open -> open transitions
+	closes uint64 // half-open -> closed transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may be sent. On an open circuit whose
+// cooldown has elapsed it transitions to half-open and admits the caller
+// as the probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // closed or half-open
+		return true
+	}
+}
+
+// success records a successful request or probe: the circuit closes and
+// the failure count resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen || b.state == breakerOpen {
+		// An open circuit can close directly on a health-probe success;
+		// count it as the half-open -> closed transition it logically is.
+		b.closes++
+	}
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure records a failed request or probe, opening the circuit at the
+// threshold (immediately when half-open).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// snapshot returns the display state, consecutive failures, and the
+// transition counters.
+func (b *breaker) snapshot() (state string, fails int, opens, closes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateNames[b.state], b.fails, b.opens, b.closes
+}

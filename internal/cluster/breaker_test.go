@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func wantState(t *testing.T, b *breaker, want string) {
+	t.Helper()
+	if state, _, _, _ := b.snapshot(); state != want {
+		t.Fatalf("breaker state = %s, want %s", state, want)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.failure()
+	b.failure()
+	wantState(t, b, "closed")
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	b.failure() // third consecutive failure trips it
+	wantState(t, b, "open")
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic before cooldown")
+	}
+	if _, _, opens, _ := b.snapshot(); opens != 1 {
+		t.Fatalf("opens = %d, want 1", opens)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.failure()
+	b.failure()
+	b.success() // streak broken
+	b.failure()
+	b.failure()
+	wantState(t, b, "closed")
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.failure()
+	b.failure()
+	wantState(t, b, "open")
+
+	clk.advance(999 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("breaker admitted traffic before the cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	wantState(t, b, "half-open")
+	b.success()
+	wantState(t, b, "closed")
+	if _, _, _, closes := b.snapshot(); closes != 1 {
+		t.Fatalf("closes = %d, want 1", closes)
+	}
+	if !b.allow() {
+		t.Fatal("re-closed breaker refused traffic")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.failure()
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("no half-open probe admitted")
+	}
+	b.failure() // the probe failed: straight back to open, cooldown restarts
+	wantState(t, b, "open")
+	clk.advance(999 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("reopened breaker did not restart its cooldown")
+	}
+	clk.advance(time.Millisecond)
+	if !b.allow() {
+		t.Fatal("no second half-open probe after restarted cooldown")
+	}
+	if _, _, opens, _ := b.snapshot(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+}
+
+// TestBreakerProbeSuccessClosesOpenCircuit covers the health-prober path:
+// a success arriving while the circuit is open (the prober does not call
+// allow) closes it directly and counts the close.
+func TestBreakerProbeSuccessClosesOpenCircuit(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Hour)
+	b.failure()
+	wantState(t, b, "open")
+	b.success()
+	wantState(t, b, "closed")
+	if _, _, opens, closes := b.snapshot(); opens != 1 || closes != 1 {
+		t.Fatalf("opens/closes = %d/%d, want 1/1", opens, closes)
+	}
+}

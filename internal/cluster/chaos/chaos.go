@@ -1,0 +1,297 @@
+// Package chaos is the test-only fault-injection harness for the cluster
+// layer. It wraps the two seams every cross-node byte passes through — the
+// coordinator's http.RoundTripper and a worker's http.Handler — with
+// scripted faults: added latency, synthesized 5xx, dropped connections,
+// and streams torn after a byte budget. Faults are rule-matched and
+// counted, not sampled, so "the second stream request dies mid-body" is a
+// deterministic test line rather than a flake; the optional latency jitter
+// is seeded for the same reason.
+//
+// Nothing in the production path imports this package.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the synthetic transport-level failure used for dropped
+// connections, so tests (and error chains) can tell injected faults from
+// real ones.
+var ErrInjected = errors.New("chaos: injected connection failure")
+
+// Rule scripts one fault. The zero value matches every request and
+// injects nothing; set fields to narrow and to hurt.
+type Rule struct {
+	// Match limits the rule to some requests: method and/or a substring of
+	// the URL path. Empty fields match everything.
+	Method     string
+	PathSubstr string
+
+	// Times bounds how many matching requests the rule faults; 0 means
+	// every one, forever. Skip lets the first N matches through clean
+	// (e.g. "fault the second stream, not the first").
+	Times int
+	Skip  int
+
+	// Latency is added before the request proceeds (plus up to Jitter,
+	// drawn from the harness's seeded generator). Cancellation of the
+	// request context cuts the sleep short.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Exactly one (or none) of the fault kinds below.
+	//
+	// DropConn fails the exchange with ErrInjected as if the TCP
+	// connection died. On a Transport the round trip errors; on a Handler
+	// the connection is aborted via http.ErrAbortHandler before any bytes.
+	DropConn bool
+	// Status short-circuits with this status code and an empty body.
+	Status int
+	// TearAfter cuts the response body off after N bytes: a Transport
+	// truncates and then fails the read; a Handler writes N bytes and
+	// aborts the connection. Streams die mid-cell this way.
+	TearAfter int64
+}
+
+// Fault is a registered Rule plus its hit counters — the handle tests
+// assert "the retry really happened" against.
+type Fault struct {
+	Rule
+
+	skipped atomic.Int64
+	faulted atomic.Int64
+}
+
+// Faults reports how many requests this rule has actually faulted.
+func (f *Fault) Faults() int64 { return f.faulted.Load() }
+
+// matches reports whether the rule applies to the request at all.
+func (f *Fault) matches(req *http.Request) bool {
+	if f.Method != "" && req.Method != f.Method {
+		return false
+	}
+	if f.PathSubstr != "" && !strings.Contains(req.URL.Path, f.PathSubstr) {
+		return false
+	}
+	return true
+}
+
+// claim consumes one matching request, reporting whether it should fault.
+func (f *Fault) claim() bool {
+	if s := f.skipped.Add(1); int(s) <= f.Skip {
+		return false
+	}
+	if n := f.faulted.Add(1); f.Times > 0 && int(n) > f.Times {
+		f.faulted.Add(-1)
+		return false
+	}
+	return true
+}
+
+// harness holds the shared rule list and seeded jitter source.
+type harness struct {
+	mu    sync.Mutex
+	rules []*Fault
+	rng   *rand.Rand
+}
+
+func newHarness(seed uint64) *harness {
+	return &harness{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// add registers a rule and returns it for fault-count assertions.
+func (h *harness) add(r Rule) *Fault {
+	f := &Fault{Rule: r}
+	h.mu.Lock()
+	h.rules = append(h.rules, f)
+	h.mu.Unlock()
+	return f
+}
+
+// pick returns the first rule that matches and claims the request.
+func (h *harness) pick(req *http.Request) *Fault {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.rules {
+		if r.matches(req) && r.claim() {
+			return r
+		}
+	}
+	return nil
+}
+
+// sleep applies a rule's latency (with seeded jitter), cut short by ctx.
+func (h *harness) sleep(req *http.Request, r *Fault) {
+	d := r.Latency
+	if r.Jitter > 0 {
+		h.mu.Lock()
+		d += time.Duration(h.rng.Int64N(int64(r.Jitter)))
+		h.mu.Unlock()
+	}
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-req.Context().Done():
+	}
+}
+
+// Transport injects faults on the client side of the wire: wrap the
+// coordinator's http.RoundTripper with it (cluster.Config.Transport).
+type Transport struct {
+	*harness
+	base http.RoundTripper
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with a seeded
+// fault harness. Add faults with Rule.
+func NewTransport(base http.RoundTripper, seed uint64) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{harness: newHarness(seed), base: base}
+}
+
+// Rule registers a fault rule; the returned handle reports Faults().
+func (t *Transport) Rule(r Rule) *Fault { return t.add(r) }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := t.pick(req)
+	if r == nil {
+		return t.base.RoundTrip(req)
+	}
+	t.sleep(req, r)
+	switch {
+	case r.DropConn:
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Path)
+	case r.Status != 0:
+		return &http.Response{
+			StatusCode: r.Status,
+			Status:     http.StatusText(r.Status),
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     make(http.Header),
+			Body:       http.NoBody,
+			Request:    req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if r.TearAfter > 0 {
+		resp.Body = &tornBody{rc: resp.Body, left: r.TearAfter}
+	}
+	return resp, err
+}
+
+// tornBody reads through up to left bytes, then fails like a dying TCP
+// stream (an error, not a clean EOF — the scanner must notice).
+type tornBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, fmt.Errorf("%w: body torn", ErrInjected)
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= int64(n)
+	if err == nil && b.left <= 0 {
+		err = fmt.Errorf("%w: body torn", ErrInjected)
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.rc.Close() }
+
+// Handler injects faults on the server side of the wire: wrap a worker's
+// serve handler with it, and the faults happen after real work has
+// started — a torn stream here killed a job that was genuinely running,
+// which is as close to kill -9 as an in-process test can get.
+type Handler struct {
+	*harness
+	next http.Handler
+}
+
+// NewHandler wraps next with a seeded fault harness.
+func NewHandler(next http.Handler, seed uint64) *Handler {
+	return &Handler{harness: newHarness(seed), next: next}
+}
+
+// Rule registers a fault rule; the returned handle reports Faults().
+func (h *Handler) Rule(r Rule) *Fault { return h.add(r) }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r := h.pick(req)
+	if r == nil {
+		h.next.ServeHTTP(w, req)
+		return
+	}
+	h.sleep(req, r)
+	switch {
+	case r.DropConn:
+		// The canonical way to kill the connection without a response:
+		// net/http recovers this sentinel and closes the socket.
+		panic(http.ErrAbortHandler)
+	case r.Status != 0:
+		w.WriteHeader(r.Status)
+		return
+	case r.TearAfter > 0:
+		h.next.ServeHTTP(&tornWriter{ResponseWriter: w, left: r.TearAfter}, req)
+		return
+	}
+	h.next.ServeHTTP(w, req)
+}
+
+// tornWriter lets a handler write up to left bytes, then aborts the
+// connection mid-response. Flush passes through so streamed cells really
+// reach the client before the tear.
+type tornWriter struct {
+	http.ResponseWriter
+	left int64
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	cut := false
+	if int64(len(p)) > t.left {
+		p = p[:t.left]
+		cut = true
+	}
+	n, err := t.ResponseWriter.Write(p)
+	t.left -= int64(n)
+	if cut && err == nil {
+		if f, ok := t.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	return n, err
+}
+
+func (t *tornWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gippr/internal/experiments"
+	"gippr/internal/retry"
+	"gippr/internal/serve"
+)
+
+// client speaks the gippr-serve v1 HTTP surface to shard workers. One
+// attempt of a sub-job is submit + stream-to-completion; any tear in the
+// middle (connection drop, truncated NDJSON, non-done trailer) surfaces as
+// an error for the retry/failover machinery above it. A worker-side 400 is
+// marked retry.Permanent — it means the sub-job itself is malformed or the
+// peer is incompatible, and resending the same bytes cannot succeed.
+type client struct {
+	hc *http.Client
+}
+
+func newClient(transport http.RoundTripper) *client {
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	// No client-level timeout: per-attempt deadlines come from the retry
+	// policy's contexts, which (unlike http.Client.Timeout) the streaming
+	// read respects per sub-job rather than per connection.
+	return &client{hc: &http.Client{Transport: transport}}
+}
+
+// health fetches and decodes a peer's /healthz. A 503 (draining) decodes
+// fine and reports OK=false; transport-level failures return the error.
+func (c *client) health(ctx context.Context, addr string) (serve.Health, error) {
+	var h serve.Health
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return h, fmt.Errorf("cluster: %s /healthz: status %d", addr, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h); err != nil {
+		return h, fmt.Errorf("cluster: %s /healthz: %w", addr, err)
+	}
+	return h, nil
+}
+
+// run executes one sub-job on addr: submit, stream every cell into onCell,
+// and require a "done" trailer. On any failure after submission the job is
+// best-effort cancelled on the worker so an abandoned sub-job does not
+// keep burning the peer's capacity.
+func (c *client) run(ctx context.Context, addr string, jr serve.JobRequest, onCell func(experiments.GridCell)) error {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return retry.Permanent(fmt.Errorf("cluster: marshal sub-job: %w", err))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s submit: %w", addr, err)
+	}
+	var st serve.JobStatus
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusBadRequest:
+		// The peer rejected the sub-job's content: retrying the identical
+		// bytes is futile (version skew or a coordinator bug).
+		return retry.Permanent(fmt.Errorf("cluster: %s rejected sub-job: status 400", addr))
+	case resp.StatusCode != http.StatusAccepted:
+		// 429 (queue full), 503 (draining), 5xx: all transient from the
+		// coordinator's seat — retry here, then fail over.
+		return fmt.Errorf("cluster: %s submit: status %d", addr, resp.StatusCode)
+	case decErr != nil:
+		return fmt.Errorf("cluster: %s submit: decode response: %w", addr, decErr)
+	case st.ID == "":
+		return fmt.Errorf("cluster: %s submit: response carries no job id", addr)
+	}
+
+	if err := c.stream(ctx, addr, st.ID, onCell); err != nil {
+		c.cancel(addr, st.ID)
+		return err
+	}
+	return nil
+}
+
+// stream consumes the sub-job's NDJSON: one GridCell per line, then a
+// {"state": ...} trailer. Anything other than a complete stream ending in
+// "done" is an error — a torn stream must look exactly like a dead peer.
+func (c *client) stream(ctx context.Context, addr, id string, onCell func(experiments.GridCell)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s stream: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s stream: status %d", addr, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		// Cells never carry a "state" key, so the shapes are unambiguous.
+		if bytes.Contains(line, []byte(`"state"`)) {
+			var trailer struct {
+				State serve.State `json:"state"`
+			}
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				return fmt.Errorf("cluster: %s stream: bad trailer %q: %w", addr, line, err)
+			}
+			if trailer.State != serve.StateDone {
+				return fmt.Errorf("cluster: %s sub-job %s ended %s", addr, id, trailer.State)
+			}
+			return nil
+		}
+		var cell experiments.GridCell
+		if err := json.Unmarshal(line, &cell); err != nil {
+			return fmt.Errorf("cluster: %s stream: bad cell %q: %w", addr, line, err)
+		}
+		onCell(cell)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("cluster: %s stream torn: %w", addr, err)
+	}
+	return fmt.Errorf("cluster: %s stream ended without a trailer: %w", addr, io.ErrUnexpectedEOF)
+}
+
+// cancel best-effort DELETEs an abandoned sub-job so the worker stops
+// computing cells nobody will merge. Fire-and-forget with its own short
+// deadline: the coordinator's context may already be dead.
+func (c *client) cancel(addr, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, "http://"+addr+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.hc.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+}

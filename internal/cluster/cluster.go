@@ -1,0 +1,571 @@
+// Package cluster is gippr-serve's horizontal sharding layer, built
+// robustness-first: a Coordinator implements serve.GridRunner by
+// rendezvous-hashing (workload, policy, geometry) cells across shard
+// workers, fanning sub-jobs out over the existing HTTP/JSON surface, and
+// merging the streamed NDJSON cells back into the job record — so
+// /result, NDJSON streaming, late-connect replay, and the result store
+// behave exactly as on a single node, and manifests stay byte-identical
+// to what gippr-sim computes.
+//
+// Every cross-node hop is wrapped in the failure machinery:
+//
+//   - retries with exponential backoff, full jitter, and per-attempt
+//     deadlines (internal/retry), so transient faults and slow peers cost
+//     bounded time;
+//   - active health checks (/healthz, which also carries the peer's scale
+//     and cache geometry) driving a per-peer circuit breaker, so a dead or
+//     flapping peer stops receiving cells after a handful of failures and
+//     is readmitted by a successful probe after the cooldown;
+//   - failover: cells owned by a failed or tripped peer move to the next
+//     peer in their rendezvous ranking, and when no peer remains they
+//     degrade to the coordinator's own in-process Lab. A single-node
+//     deployment (no peers) and a fully-degraded cluster run the same
+//     local path.
+//
+// Because every engine in the system computes bit-identical cells for the
+// same (workload, policy, scale, geometry), it does not matter which node
+// computes a cell — only that exactly the requested cells arrive. The
+// coordinator therefore deduplicates re-streamed cells after a retry and
+// verifies per sub-job that everything it asked for was delivered.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gippr/internal/experiments"
+	"gippr/internal/retry"
+	"gippr/internal/serve"
+	"gippr/internal/workload"
+)
+
+// Signature is the result-determining configuration a peer must share with
+// the coordinator before it may own cells: cells computed at a different
+// scale or cache geometry would merge into a silently wrong manifest.
+type Signature struct {
+	Records  int
+	WarmFrac float64
+	Cache    string
+}
+
+// SignatureOf extracts the comparable signature from a health document.
+func SignatureOf(h serve.Health) Signature {
+	return Signature{Records: h.Records, WarmFrac: h.WarmFrac, Cache: h.Cache}
+}
+
+// Config wires a Coordinator.
+type Config struct {
+	// Peers are the shard workers' host:port addresses. Empty means every
+	// job runs on the local Lab (the single-node path).
+	Peers []string
+	// Signature is the coordinator's own scale and geometry; peers whose
+	// /healthz reports a different signature are marked incompatible and
+	// never dispatched to. The zero value disables the check.
+	Signature Signature
+	// SubJobTimeout bounds one dispatch attempt (submit + stream) of one
+	// sub-job; it is also sent to the worker as the sub-job's own deadline
+	// so an abandoned sub-job self-reaps. Default 2m.
+	SubJobTimeout time.Duration
+	// Retry shapes per-peer retrying of a failed sub-job attempt before
+	// failover. Zero-valued fields take the package defaults; MaxAttempts
+	// defaults to 3.
+	Retry retry.Policy
+	// HealthInterval is the active health-probe period (default 2s).
+	HealthInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit (default 3); BreakerCooldown how long it stays open
+	// before a half-open probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Transport overrides the HTTP transport (the chaos harness injects
+	// faults here). Nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Logf, when non-nil, receives one line per notable event (failover,
+	// breaker transition, probe flip). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// peer is one shard worker plus its health and circuit state.
+type peer struct {
+	addr string
+	brk  *breaker
+
+	mu         sync.Mutex
+	probed     bool // at least one probe completed
+	healthy    bool
+	compatible bool
+	lastErr    string
+
+	probes     atomic.Uint64
+	probeFails atomic.Uint64
+	subJobs    atomic.Uint64
+	subJobFail atomic.Uint64
+}
+
+// setErr records the peer's most recent failure for /metrics.
+func (p *peer) setErr(err error) {
+	p.mu.Lock()
+	p.lastErr = err.Error()
+	p.mu.Unlock()
+}
+
+// dispatchable reports whether assignment may consider this peer at all:
+// a probed-incompatible peer is permanently out (until its config
+// changes); an unprobed one is admitted optimistically — if it is dead,
+// the dispatch fails fast and the cell falls over.
+func (p *peer) dispatchable() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.probed || p.compatible
+}
+
+// Coordinator fans grid cells out across shard workers. It implements
+// serve.GridRunner and serve.ClusterReporter.
+type Coordinator struct {
+	cfg   Config
+	cl    *client
+	peers []*peer
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	subJobsSent atomic.Uint64
+	retries     atomic.Uint64
+	failovers   atomic.Uint64
+	localCells  atomic.Uint64
+	remoteCells atomic.Uint64
+}
+
+// New builds a Coordinator and starts one health prober per peer. Close
+// stops the probers.
+func New(cfg Config) *Coordinator {
+	if cfg.SubJobTimeout <= 0 {
+		cfg.SubJobTimeout = 2 * time.Minute
+	}
+	if cfg.Retry.MaxAttempts < 1 {
+		cfg.Retry.MaxAttempts = 3
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	c := &Coordinator{cfg: cfg, cl: newClient(cfg.Transport), stop: make(chan struct{})}
+	for _, addr := range cfg.Peers {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		p := &peer{addr: addr, brk: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)}
+		p.compatible = true // until a probe says otherwise
+		c.peers = append(c.peers, p)
+	}
+	for _, p := range c.peers {
+		c.wg.Add(1)
+		go c.probeLoop(p)
+	}
+	return c
+}
+
+// Close stops the health probers. In-flight RunGrid calls are unaffected
+// (their sub-jobs own their contexts); call after the serving layer has
+// drained.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// probeLoop actively health-checks one peer: an immediate probe at
+// startup, then one per HealthInterval. Probe outcomes feed the peer's
+// breaker, so a dead peer trips without any job traffic and a recovered
+// one is readmitted by its first successful probe after the cooldown.
+func (c *Coordinator) probeLoop(p *peer) {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		c.probe(p)
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe runs one health check against p and updates its state.
+func (c *Coordinator) probe(p *peer) {
+	timeout := c.cfg.HealthInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	h, err := c.cl.health(ctx, p.addr)
+	cancel()
+	p.probes.Add(1)
+
+	probed := err == nil // the health document decoded; its content is authoritative
+	ok := probed && h.OK
+	compatible := true
+	if probed && c.cfg.Signature != (Signature{}) && SignatureOf(h) != c.cfg.Signature {
+		compatible = false
+		ok = false
+		err = fmt.Errorf("cluster: %s is incompatible: peer %+v, coordinator %+v", p.addr, SignatureOf(h), c.cfg.Signature)
+	}
+
+	p.mu.Lock()
+	wasHealthy, wasProbed := p.healthy, p.probed
+	p.probed = true
+	p.healthy = ok
+	if probed {
+		p.compatible = compatible
+	}
+	switch {
+	case err != nil:
+		p.lastErr = err.Error()
+	case !h.OK:
+		p.lastErr = "peer draining"
+	default:
+		p.lastErr = ""
+	}
+	p.mu.Unlock()
+
+	if ok {
+		p.brk.success()
+	} else {
+		p.probeFails.Add(1)
+		p.brk.failure()
+	}
+	if !wasProbed || wasHealthy != ok {
+		state, _, _, _ := p.brk.snapshot()
+		c.logf("cluster: peer %s healthy=%v breaker=%s (%v)", p.addr, ok, state, err)
+	}
+}
+
+// cell is one (workload, spec) grid cell moving through assignment.
+type cell struct {
+	wl    workload.Workload
+	spec  experiments.Spec
+	key   string          // rendezvous hash input: workload | policy key | geometry
+	tried map[string]bool // peer addrs already charged with this cell
+}
+
+// dedupKey identifies a delivered cell: the manifest key the serve layer
+// sorts by.
+func (cl *cell) dedupKey() string { return cl.wl.Name + "\x00" + cl.spec.Label }
+
+// group is one sub-job: the cells one peer owns for one workload (a
+// worker request is a {workloads x policies} cross-product, so only
+// same-workload cells can share a dispatch).
+type group struct {
+	p      *peer
+	wl     workload.Workload
+	sample int // the parent plan's sampling shift, forwarded verbatim
+	cells  []*cell
+}
+
+// merger accumulates streamed cells with deduplication: retried sub-jobs
+// legitimately re-stream cells they already delivered (every engine
+// computes identical values, so dropping the duplicate is lossless), and a
+// confused peer streaming cells outside the plan is ignored rather than
+// corrupting the manifest.
+type merger struct {
+	mu       sync.Mutex
+	expected map[string]int // dedupKey -> cells wanted (duplicate specs allowed)
+	got      map[string]int
+	emit     func(experiments.GridCell)
+}
+
+func newMerger(cells []*cell, emit func(experiments.GridCell)) *merger {
+	m := &merger{expected: make(map[string]int), got: make(map[string]int), emit: emit}
+	for _, cl := range cells {
+		m.expected[cl.dedupKey()]++
+	}
+	return m
+}
+
+// deliver accepts one streamed cell if the plan still wants it, forwarding
+// it to the serve layer exactly once per wanted occurrence.
+func (m *merger) deliver(c experiments.GridCell, remote *atomic.Uint64, local *atomic.Uint64, isRemote bool) {
+	key := c.Workload + "\x00" + c.Policy
+	m.mu.Lock()
+	accept := m.got[key] < m.expected[key]
+	if accept {
+		m.got[key]++
+	}
+	m.mu.Unlock()
+	if !accept {
+		return
+	}
+	if isRemote {
+		remote.Add(1)
+	} else {
+		local.Add(1)
+	}
+	m.emit(c)
+}
+
+// satisfied reports whether every occurrence of the cell's key arrived.
+func (m *merger) satisfied(cl *cell) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.got[cl.dedupKey()] >= m.expected[cl.dedupKey()]
+}
+
+// missing counts undelivered cells.
+func (m *merger) missing() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k, want := range m.expected {
+		if m.got[k] < want {
+			n += want - m.got[k]
+		}
+	}
+	return n
+}
+
+// RunGrid implements serve.GridRunner: assign every cell to its rendezvous
+// owner among dispatchable peers, fan sub-jobs out concurrently, and — per
+// failed sub-job — reassign its cells down their rendezvous rankings until
+// they land or degrade to the local Lab. With no peers configured the
+// whole plan runs locally, which is the identical degradation path.
+func (c *Coordinator) RunGrid(ctx context.Context, local *experiments.Lab, plan serve.GridPlan, emit func(experiments.GridCell)) error {
+	cells := make([]*cell, 0, len(plan.Workloads)*len(plan.Specs))
+	for _, w := range plan.Workloads {
+		for _, sp := range plan.Specs {
+			cells = append(cells, &cell{
+				wl:    w,
+				spec:  sp,
+				key:   w.Name + "|" + sp.Key + "|" + c.cfg.Signature.Cache,
+				tried: make(map[string]bool),
+			})
+		}
+	}
+	m := newMerger(cells, emit)
+
+	pending := cells
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		groups, localCells := c.assign(pending, int(plan.Shift))
+
+		var mu sync.Mutex
+		var failed []*cell
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g group) {
+				defer wg.Done()
+				err := c.runSubJob(ctx, g, m)
+				if err != nil {
+					c.logf("cluster: sub-job (%s x %d cells) on %s failed: %v", g.wl.Name, len(g.cells), g.p.addr, err)
+				}
+				// Success still re-checks delivery: a peer that answered
+				// "done" but streamed fewer cells than asked (or garbage
+				// the merger refused) forfeits the undelivered ones.
+				for _, cl := range g.cells {
+					if !m.satisfied(cl) {
+						mu.Lock()
+						failed = append(failed, cl)
+						mu.Unlock()
+					}
+				}
+			}(g)
+		}
+
+		var localErr error
+		if len(localCells) > 0 {
+			localErr = c.runLocal(ctx, local, localCells, m)
+		}
+		wg.Wait()
+		if localErr != nil {
+			// The local Lab is the engine of last resort; its failure
+			// (cancellation included) fails the job.
+			return localErr
+		}
+		pending = failed
+	}
+	if n := m.missing(); n > 0 {
+		return fmt.Errorf("cluster: %d cells undelivered after exhausting peers and local fallback", n)
+	}
+	return nil
+}
+
+// assign routes every pending cell: the first peer in its rendezvous
+// ranking that has not already been charged with it, is not known
+// incompatible, and whose breaker admits traffic. Cells with no such peer
+// degrade to the local Lab. Chosen peers are charged immediately so a cell
+// never revisits a peer across failover rounds.
+func (c *Coordinator) assign(pending []*cell, sample int) ([]group, []*cell) {
+	byGroup := make(map[string]*group)
+	var local []*cell
+	var order []string // deterministic dispatch order for tests/logs
+	for _, cl := range pending {
+		ranking := rank(cl.key, c.peers)
+		var chosen *peer
+		for _, p := range ranking {
+			if cl.tried[p.addr] || !p.dispatchable() || !p.brk.allow() {
+				continue
+			}
+			chosen = p
+			break
+		}
+		if chosen == nil {
+			if len(c.peers) > 0 {
+				// The cell had an owner but no usable peer remains: routing
+				// it to the local Lab is the final failover hop.
+				c.failovers.Add(1)
+			}
+			local = append(local, cl)
+			continue
+		}
+		cl.tried[chosen.addr] = true
+		if len(ranking) > 0 && chosen != ranking[0] {
+			// The cell's rendezvous owner was skipped (tripped breaker,
+			// incompatible, or already failed it): that is a failover.
+			c.failovers.Add(1)
+		}
+		gk := chosen.addr + "\x00" + cl.wl.Name
+		g, ok := byGroup[gk]
+		if !ok {
+			g = &group{p: chosen, wl: cl.wl, sample: sample}
+			byGroup[gk] = g
+			order = append(order, gk)
+		}
+		g.cells = append(g.cells, cl)
+	}
+	groups := make([]group, 0, len(byGroup))
+	for _, gk := range order {
+		groups = append(groups, *byGroup[gk])
+	}
+	return groups, local
+}
+
+// runSubJob dispatches one group to its peer with per-attempt deadlines
+// and the configured retry policy, feeding the breaker with per-attempt
+// outcomes.
+func (c *Coordinator) runSubJob(ctx context.Context, g group, m *merger) error {
+	jr := serve.JobRequest{
+		Workloads:  []string{g.wl.Name},
+		Exact:      true,
+		Sample:     g.sample,
+		TimeoutSec: c.cfg.SubJobTimeout.Seconds(),
+	}
+	for _, cl := range g.cells {
+		if strings.HasPrefix(cl.spec.Key, "gippr-ipv|") {
+			// The IPV spec travels as the request's ipv field (there is no
+			// registry name for it); the worker rebuilds the identical
+			// spec from the canonical vector.
+			jr.IPV = strings.TrimPrefix(cl.spec.Key, "gippr-ipv|")
+			continue
+		}
+		jr.Policies = append(jr.Policies, cl.spec.Key)
+	}
+
+	pol := c.cfg.Retry
+	pol.AttemptTimeout = c.cfg.SubJobTimeout
+	pol.OnRetry = func(attempt int, err error, delay time.Duration) {
+		c.retries.Add(1)
+		c.logf("cluster: retrying sub-job on %s after attempt %d (%v), backoff %v", g.p.addr, attempt, err, delay)
+	}
+	return pol.Do(ctx, func(actx context.Context) error {
+		c.subJobsSent.Add(1)
+		g.p.subJobs.Add(1)
+		err := c.cl.run(actx, g.p.addr, jr, func(cell experiments.GridCell) {
+			m.deliver(cell, &c.remoteCells, &c.localCells, true)
+		})
+		if err != nil {
+			g.p.subJobFail.Add(1)
+			g.p.brk.failure()
+			g.p.setErr(err)
+			return err
+		}
+		g.p.brk.success()
+		return nil
+	})
+}
+
+// runLocal is the degradation floor: compute cells on the coordinator's
+// own Lab view, one Grid call per workload group (the same engine a
+// single-node daemon uses, so nothing distinguishes a degraded cluster
+// from no cluster at all).
+func (c *Coordinator) runLocal(ctx context.Context, local *experiments.Lab, cells []*cell, m *merger) error {
+	type wlGroup struct {
+		wl    workload.Workload
+		specs []experiments.Spec
+	}
+	byWl := make(map[string]*wlGroup)
+	var order []string
+	for _, cl := range cells {
+		g, ok := byWl[cl.wl.Name]
+		if !ok {
+			g = &wlGroup{wl: cl.wl}
+			byWl[cl.wl.Name] = g
+			order = append(order, cl.wl.Name)
+		}
+		g.specs = append(g.specs, cl.spec)
+	}
+	if len(cells) > 0 {
+		c.logf("cluster: running %d cells on the local lab", len(cells))
+	}
+	for _, name := range order {
+		g := byWl[name]
+		_, err := local.Grid(ctx, g.specs, []workload.Workload{g.wl}, func(cell experiments.GridCell) {
+			m.deliver(cell, &c.remoteCells, &c.localCells, false)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClusterSnapshot implements serve.ClusterReporter for /metrics.
+func (c *Coordinator) ClusterSnapshot() serve.ClusterSnapshot {
+	snap := serve.ClusterSnapshot{
+		SubJobsSent: c.subJobsSent.Load(),
+		Retries:     c.retries.Load(),
+		Failovers:   c.failovers.Load(),
+		LocalCells:  c.localCells.Load(),
+		RemoteCells: c.remoteCells.Load(),
+	}
+	for _, p := range c.peers {
+		state, fails, opens, closes := p.brk.snapshot()
+		p.mu.Lock()
+		ps := serve.ClusterPeer{
+			Addr:       p.addr,
+			Breaker:    state,
+			Healthy:    p.healthy,
+			Compatible: p.compatible,
+			ConsecFail: fails,
+			Probes:     p.probes.Load(),
+			ProbeFails: p.probeFails.Load(),
+			SubJobs:    p.subJobs.Load(),
+			SubJobFail: p.subJobFail.Load(),
+			LastError:  p.lastErr,
+		}
+		p.mu.Unlock()
+		snap.Peers = append(snap.Peers, ps)
+		snap.BreakerOpens += opens
+		snap.BreakerCloses += closes
+	}
+	return snap
+}

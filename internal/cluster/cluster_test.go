@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"gippr/internal/cluster/chaos"
+	"gippr/internal/experiments"
+	"gippr/internal/retry"
+	"gippr/internal/serve"
+)
+
+// testScale matches the serve package's test scale, so cluster manifests
+// can be compared against single-node ones cell for cell, bit for bit.
+var testScale = experiments.CustomScale(4_000, 1.0/3)
+
+// testIPV is the paper's example vector (ipv.Vector.String's docstring).
+const testIPV = "[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]"
+
+// newServe builds a serve.Server at the test scale with cleanup.
+func newServe(t *testing.T, role string) *serve.Server {
+	t.Helper()
+	s := serve.New(serve.Config{Scale: testScale, Workers: 2, QueueDepth: 8, LabWorkers: 2, Role: role})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// newWorker spins up one shard worker over loopback HTTP, optionally
+// wrapped in a chaos handler, and returns its host:port.
+func newWorker(t *testing.T, wrap func(http.Handler) http.Handler) string {
+	t.Helper()
+	h := http.Handler(newServe(t, "worker").Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// newCoordinator wires a coordinator serve.Server to its peers and serves
+// it over loopback HTTP. tweak may adjust the cluster config before New.
+func newCoordinator(t *testing.T, peers []string, tweak func(*Config)) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	s := newServe(t, "coordinator")
+	cfg := Config{
+		Peers:            peers,
+		Signature:        SignatureOf(s.Health()),
+		SubJobTimeout:    20 * time.Second,
+		HealthInterval:   25 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
+		Retry: retry.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    25 * time.Millisecond,
+		},
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	coord := New(cfg)
+	t.Cleanup(coord.Close)
+	s.SetRunner(coord)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return coord, ts
+}
+
+var idField = regexp.MustCompile(`(?m)^\s*"id": "[^"]*",?\n`)
+
+// runJob submits req, waits for it to finish, and returns the /result
+// manifest with the job id (the only legitimately varying byte) stripped.
+func runJob(t *testing.T, ts *httptest.Server, req serve.JobRequest) []byte {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st serve.JobStatus
+	decErr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decErr != nil {
+		t.Fatalf("submit: status %d, decode err %v", resp.StatusCode, decErr)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("poll decode: %v", err)
+		}
+		if st.State == serve.StateDone {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rr, err := http.Get(ts.URL + st.ResultURL)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", rr.StatusCode)
+	}
+	raw, err := io.ReadAll(rr.Body)
+	if err != nil {
+		t.Fatalf("read result: %v", err)
+	}
+	return idField.ReplaceAll(raw, nil)
+}
+
+// reference computes the single-node manifest the cluster must reproduce
+// byte for byte.
+func reference(t *testing.T, req serve.JobRequest) []byte {
+	t.Helper()
+	ts := httptest.NewServer(newServe(t, "single").Handler())
+	t.Cleanup(ts.Close)
+	return runJob(t, ts, req)
+}
+
+// deadAddr reserves a loopback port and releases it: connecting gets a
+// fast refusal, which is what a SIGKILLed worker looks like.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+var gridReq = serve.JobRequest{
+	Workloads: []string{"mcf_like", "libquantum_like"},
+	Policies:  []string{"lru", "plru"},
+}
+
+// TestClusterManifestBitIdentical is the tentpole acceptance criterion in
+// its happy-path form: a two-worker cluster's manifest (IPV cell included,
+// so the vector travels the wire) must be byte-identical to a single
+// node's, and every cell must have been computed remotely.
+func TestClusterManifestBitIdentical(t *testing.T) {
+	req := gridReq
+	req.IPV = testIPV
+	want := reference(t, req)
+
+	peers := []string{newWorker(t, nil), newWorker(t, nil)}
+	coord, ts := newCoordinator(t, peers, nil)
+	got := runJob(t, ts, req)
+	if string(got) != string(want) {
+		t.Fatalf("cluster manifest differs from single-node:\n got: %s\nwant: %s", got, want)
+	}
+
+	snap := coord.ClusterSnapshot()
+	if snap.RemoteCells != 6 || snap.LocalCells != 0 {
+		t.Fatalf("remote/local cells = %d/%d, want 6/0 (snapshot %+v)", snap.RemoteCells, snap.LocalCells, snap)
+	}
+
+	// The coordinator's /metrics must carry the cluster section.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var ms serve.MetricsSnapshot
+	err = json.NewDecoder(mr.Body).Decode(&ms)
+	mr.Body.Close()
+	if err != nil || ms.Cluster == nil {
+		t.Fatalf("metrics cluster section missing (err %v)", err)
+	}
+	if len(ms.Cluster.Peers) != 2 {
+		t.Fatalf("metrics reports %d peers, want 2", len(ms.Cluster.Peers))
+	}
+}
+
+// TestClusterNoPeersRunsLocal: an empty peer list is the single-node
+// deployment — everything runs on the local Lab through the same code
+// path full degradation uses.
+func TestClusterNoPeersRunsLocal(t *testing.T) {
+	want := reference(t, gridReq)
+	coord, ts := newCoordinator(t, nil, nil)
+	got := runJob(t, ts, gridReq)
+	if string(got) != string(want) {
+		t.Fatalf("no-peer cluster manifest differs from single-node:\n got: %s\nwant: %s", got, want)
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.LocalCells != 4 || snap.RemoteCells != 0 || snap.Failovers != 0 {
+		t.Fatalf("local/remote/failovers = %d/%d/%d, want 4/0/0", snap.LocalCells, snap.RemoteCells, snap.Failovers)
+	}
+}
+
+// TestClusterIncompatiblePeerNeverDispatched: a worker at a different
+// scale would merge wrong cells; the probe must mark it incompatible and
+// the coordinator must never send it a sub-job.
+func TestClusterIncompatiblePeerNeverDispatched(t *testing.T) {
+	odd := serve.New(serve.Config{Scale: experiments.CustomScale(2_000, 1.0/3), Workers: 1, QueueDepth: 2, Role: "worker"})
+	t.Cleanup(odd.Close)
+	ts := httptest.NewServer(odd.Handler())
+	t.Cleanup(ts.Close)
+
+	coord, cts := newCoordinator(t, []string{strings.TrimPrefix(ts.URL, "http://")}, nil)
+	waitSnapshot(t, coord, func(s serve.ClusterSnapshot) bool {
+		return len(s.Peers) == 1 && s.Peers[0].Probes > 0 && !s.Peers[0].Compatible
+	}, "peer marked incompatible")
+
+	want := reference(t, gridReq)
+	got := runJob(t, cts, gridReq)
+	if string(got) != string(want) {
+		t.Fatalf("manifest differs:\n got: %s\nwant: %s", got, want)
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.Peers[0].SubJobs != 0 {
+		t.Fatalf("incompatible peer received %d sub-jobs, want 0", snap.Peers[0].SubJobs)
+	}
+	if snap.LocalCells != 4 {
+		t.Fatalf("local cells = %d, want 4", snap.LocalCells)
+	}
+}
+
+// waitSnapshot polls the coordinator's snapshot until cond holds.
+func waitSnapshot(t *testing.T, c *Coordinator, cond func(serve.ClusterSnapshot) bool, what string) serve.ClusterSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := c.ClusterSnapshot()
+		if cond(s) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s (snapshot %+v)", what, s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosDeadPeerBreakerOpensAndJobDegrades is the kill -9 scenario:
+// the only peer is unreachable, so health probes trip its breaker without
+// any job traffic, and a submitted job completes on the local Lab with a
+// manifest identical to single-node — plus failovers on the books.
+func TestChaosDeadPeerBreakerOpensAndJobDegrades(t *testing.T) {
+	coord, ts := newCoordinator(t, []string{deadAddr(t)}, nil)
+	waitSnapshot(t, coord, func(s serve.ClusterSnapshot) bool {
+		return len(s.Peers) == 1 && s.Peers[0].Breaker == "open" && s.Peers[0].ProbeFails >= 3
+	}, "breaker to open on probe failures")
+
+	want := reference(t, gridReq)
+	got := runJob(t, ts, gridReq)
+	if string(got) != string(want) {
+		t.Fatalf("degraded manifest differs:\n got: %s\nwant: %s", got, want)
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.LocalCells != 4 || snap.RemoteCells != 0 {
+		t.Fatalf("local/remote = %d/%d, want 4/0", snap.LocalCells, snap.RemoteCells)
+	}
+	if snap.Failovers == 0 {
+		t.Fatal("no failovers recorded though every cell was rerouted off its owner")
+	}
+	if snap.BreakerOpens == 0 {
+		t.Fatal("no breaker opens recorded")
+	}
+	if snap.Peers[0].Healthy {
+		t.Fatal("dead peer reported healthy")
+	}
+}
+
+// TestChaosDroppedSubmitRetriesThenSucceeds: one torn connection on a
+// submit must cost one retry, not the job — all cells still computed
+// remotely, manifest untouched.
+func TestChaosDroppedSubmitRetriesThenSucceeds(t *testing.T) {
+	tr := chaos.NewTransport(nil, 1)
+	rule := tr.Rule(chaos.Rule{Method: http.MethodPost, PathSubstr: "/v1/jobs", DropConn: true, Times: 1})
+
+	peer := newWorker(t, nil)
+	coord, ts := newCoordinator(t, []string{peer}, func(c *Config) { c.Transport = tr })
+
+	want := reference(t, gridReq)
+	got := runJob(t, ts, gridReq)
+	if string(got) != string(want) {
+		t.Fatalf("manifest differs after injected submit drop:\n got: %s\nwant: %s", got, want)
+	}
+	if f := rule.Faults(); f != 1 {
+		t.Fatalf("rule faulted %d requests, want 1", f)
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.Retries == 0 {
+		t.Fatal("no retry recorded for the dropped submit")
+	}
+	if snap.RemoteCells != 4 || snap.LocalCells != 0 {
+		t.Fatalf("remote/local = %d/%d, want 4/0", snap.RemoteCells, snap.LocalCells)
+	}
+}
+
+// TestChaosFlakySubmitsRecover: a peer answering 503 to the first two
+// submits (a restart, a full queue) is retried through, never failed over.
+func TestChaosFlakySubmitsRecover(t *testing.T) {
+	tr := chaos.NewTransport(nil, 2)
+	rule := tr.Rule(chaos.Rule{Method: http.MethodPost, PathSubstr: "/v1/jobs", Status: http.StatusServiceUnavailable, Times: 2})
+
+	peer := newWorker(t, nil)
+	coord, ts := newCoordinator(t, []string{peer}, func(c *Config) {
+		c.Transport = tr
+		c.Retry.MaxAttempts = 4
+	})
+
+	want := reference(t, gridReq)
+	got := runJob(t, ts, gridReq)
+	if string(got) != string(want) {
+		t.Fatalf("manifest differs after injected 503s:\n got: %s\nwant: %s", got, want)
+	}
+	if f := rule.Faults(); f != 2 {
+		t.Fatalf("rule faulted %d requests, want 2", f)
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2", snap.Retries)
+	}
+	if snap.RemoteCells != 4 {
+		t.Fatalf("remote cells = %d, want 4", snap.RemoteCells)
+	}
+}
+
+// TestChaosTornStreamFallsBackLocal: every stream from the only peer is
+// torn mid-body (the worker keeps dying mid-answer), so after retries the
+// cells degrade to the local Lab — and any partial cells that did arrive
+// before the tears must not duplicate in the manifest.
+func TestChaosTornStreamFallsBackLocal(t *testing.T) {
+	tr := chaos.NewTransport(nil, 3)
+	rule := tr.Rule(chaos.Rule{Method: http.MethodGet, PathSubstr: "/stream", TearAfter: 200})
+
+	peer := newWorker(t, nil)
+	coord, ts := newCoordinator(t, []string{peer}, func(c *Config) {
+		c.Transport = tr
+		c.Retry.MaxAttempts = 2
+	})
+
+	want := reference(t, gridReq)
+	got := runJob(t, ts, gridReq)
+	if string(got) != string(want) {
+		t.Fatalf("manifest differs after torn streams:\n got: %s\nwant: %s", got, want)
+	}
+	if rule.Faults() == 0 {
+		t.Fatal("tear rule never fired")
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.LocalCells == 0 {
+		t.Fatal("no cells degraded to the local lab despite every stream tearing")
+	}
+	if snap.LocalCells+snap.RemoteCells != 4 {
+		t.Fatalf("local+remote = %d+%d, want exactly 4 accepted cells", snap.LocalCells, snap.RemoteCells)
+	}
+	if snap.Failovers == 0 {
+		t.Fatal("no failovers recorded")
+	}
+}
+
+// TestChaosSlowPeerDeadlinesOut: a peer that hangs (latency far past the
+// per-attempt deadline) must cost SubJobTimeout per attempt, then degrade
+// — graceful degradation under slowness, not just death.
+func TestChaosSlowPeerDeadlinesOut(t *testing.T) {
+	tr := chaos.NewTransport(nil, 4)
+	tr.Rule(chaos.Rule{Method: http.MethodGet, PathSubstr: "/stream", Latency: time.Minute})
+
+	peer := newWorker(t, nil)
+	coord, ts := newCoordinator(t, []string{peer}, func(c *Config) {
+		c.Transport = tr
+		c.SubJobTimeout = 300 * time.Millisecond
+		c.Retry.MaxAttempts = 2
+	})
+
+	want := reference(t, gridReq)
+	start := time.Now()
+	got := runJob(t, ts, gridReq)
+	if string(got) != string(want) {
+		t.Fatalf("manifest differs after slow peer:\n got: %s\nwant: %s", got, want)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("degradation took %v — per-attempt deadlines are not bounding slow peers", elapsed)
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.LocalCells != 4 {
+		t.Fatalf("local cells = %d, want 4 (slow peer should never complete a stream)", snap.LocalCells)
+	}
+}
+
+// TestChaosWorkerDiesMidJobFailsOverToPeer is the two-worker SIGKILL
+// scenario: one worker's streams are severed at the socket (the in-process
+// equivalent of kill -9 mid-job), and its cells must fail over to the
+// surviving worker — manifest identical, zero local fallback.
+func TestChaosWorkerDiesMidJobFailsOverToPeer(t *testing.T) {
+	req := serve.JobRequest{
+		Workloads: []string{"mcf_like", "libquantum_like"},
+		Policies:  []string{"lru", "random", "fifo", "nru", "plru", "lip"},
+	}
+	want := reference(t, req)
+
+	// w1 aborts every stream connection before writing a byte; w2 is clean.
+	var w1chaos *chaos.Handler
+	w1 := newWorker(t, func(h http.Handler) http.Handler {
+		w1chaos = chaos.NewHandler(h, 5)
+		w1chaos.Rule(chaos.Rule{Method: http.MethodGet, PathSubstr: "/stream", DropConn: true})
+		return w1chaos
+	})
+	w2 := newWorker(t, nil)
+	coord, ts := newCoordinator(t, []string{w1, w2}, func(c *Config) {
+		c.Retry.MaxAttempts = 2
+	})
+
+	// Rendezvous ownership is hash-of-port dependent; know what to expect.
+	owned := 0
+	for _, wl := range req.Workloads {
+		for _, pol := range req.Policies {
+			key := wl + "|" + pol + "|" + coord.cfg.Signature.Cache
+			if rank(key, coord.peers)[0].addr == w1 {
+				owned++
+			}
+		}
+	}
+
+	got := runJob(t, ts, req)
+	if string(got) != string(want) {
+		t.Fatalf("manifest differs after mid-job worker death:\n got: %s\nwant: %s", got, want)
+	}
+	snap := coord.ClusterSnapshot()
+	if snap.RemoteCells != 12 || snap.LocalCells != 0 {
+		t.Fatalf("remote/local = %d/%d, want 12/0 (the surviving peer covers everything)", snap.RemoteCells, snap.LocalCells)
+	}
+	if owned > 0 && snap.Failovers == 0 {
+		t.Fatalf("dead worker owned %d cells but no failovers were recorded", owned)
+	}
+	if owned > 0 && w1chaos != nil {
+		if snap.Peers[0].SubJobFail+snap.Peers[1].SubJobFail == 0 {
+			t.Fatal("no sub-job failures recorded against the dying worker")
+		}
+	}
+	t.Logf("dead worker owned %d/12 cells; failovers=%d retries=%d", owned, snap.Failovers, snap.Retries)
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import "hash/fnv"
+
+// Rendezvous (highest-random-weight) hashing decides which peer owns a
+// grid cell: every peer scores hash(peerAddr, cellKey), and the ranking by
+// descending score is the cell's failover order — the first entry is the
+// owner, the rest are the peers a cell falls over to when the owner is
+// down or tripped. The properties the cluster leans on:
+//
+//   - Stability: adding or removing one peer only remaps the cells that
+//     peer owned (or wins); everyone else's assignment is untouched, so a
+//     crash does not reshuffle the whole grid (and every peer's memoized
+//     Lab stays warm for the cells it keeps).
+//   - Agreement without coordination: any coordinator with the same peer
+//     list computes the same ownership — there is no assignment state to
+//     replicate or lose.
+//   - Determinism: FNV-1a is seedless and stable across processes and
+//     architectures, so tests and a restarted coordinator agree with the
+//     previous run.
+
+// score hashes one (peer, key) pair: 64-bit FNV-1a through a murmur3
+// avalanche finalizer. The finalizer matters — raw FNV-1a of short,
+// near-identical peer addresses ("127.0.0.1:4123x") is order-correlated
+// enough that one peer can win every key, and rendezvous hashing is only
+// balanced if the per-peer scores are independent.
+func score(peerAddr, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peerAddr)) //nolint:errcheck // fnv never fails
+	h.Write([]byte{0})        //nolint:errcheck
+	h.Write([]byte(key))      //nolint:errcheck
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rank orders peers by descending rendezvous score for key (ties broken by
+// address so the order is total). The input slice is not modified.
+func rank(key string, peers []*peer) []*peer {
+	out := make([]*peer, len(peers))
+	copy(out, peers)
+	// Insertion sort: peer counts are single digits, and avoiding a
+	// closure-allocating sort.Slice keeps assignment cheap per cell.
+	for i := 1; i < len(out); i++ {
+		p := out[i]
+		ps := score(p.addr, key)
+		j := i - 1
+		for j >= 0 {
+			qs := score(out[j].addr, key)
+			if qs > ps || (qs == ps && out[j].addr <= p.addr) {
+				break
+			}
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = p
+	}
+	return out
+}

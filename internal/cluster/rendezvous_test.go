@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkPeers(addrs ...string) []*peer {
+	out := make([]*peer, len(addrs))
+	for i, a := range addrs {
+		out[i] = &peer{addr: a}
+	}
+	return out
+}
+
+func addrsOf(ps []*peer) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.addr
+	}
+	return out
+}
+
+func TestRankDeterministicAndTotal(t *testing.T) {
+	peers := mkPeers("a:1", "b:2", "c:3", "d:4")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("wl%d|lru|c", i)
+		r1 := rank(key, peers)
+		r2 := rank(key, peers)
+		if len(r1) != len(peers) {
+			t.Fatalf("rank returned %d peers, want %d", len(r1), len(peers))
+		}
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatalf("rank(%q) not deterministic at position %d", key, j)
+			}
+		}
+		seen := make(map[string]bool)
+		for _, p := range r1 {
+			if seen[p.addr] {
+				t.Fatalf("rank(%q) repeats peer %s", key, p.addr)
+			}
+			seen[p.addr] = true
+		}
+		for j := 1; j < len(r1); j++ {
+			a, b := r1[j-1], r1[j]
+			if sa, sb := score(a.addr, key), score(b.addr, key); sa < sb || (sa == sb && a.addr > b.addr) {
+				t.Fatalf("rank(%q) out of order at %d: %s then %s", key, j, a.addr, b.addr)
+			}
+		}
+	}
+}
+
+// TestRankStabilityOnPeerLoss is the property failover leans on: removing
+// one peer must not move any cell whose owner survives — only the dead
+// peer's cells remap, each to its previous runner-up.
+func TestRankStabilityOnPeerLoss(t *testing.T) {
+	full := mkPeers("a:1", "b:2", "c:3", "d:4")
+	without := mkPeers("a:1", "b:2", "d:4") // c:3 removed
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		before := rank(key, full)
+		after := rank(key, without)
+		if before[0].addr != "c:3" {
+			kept++
+			if after[0].addr != before[0].addr {
+				t.Fatalf("key %q: owner moved %s -> %s though %s survived", key, before[0].addr, after[0].addr, before[0].addr)
+			}
+			continue
+		}
+		moved++
+		if want := before[1].addr; after[0].addr != want {
+			t.Fatalf("key %q: dead owner's cell went to %s, want runner-up %s", key, after[0].addr, want)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d (want both nonzero)", moved, kept)
+	}
+}
+
+// TestRankSpread sanity-checks that ownership is roughly balanced: with
+// 4 peers and 400 keys, no peer should own almost everything or nothing.
+func TestRankSpread(t *testing.T) {
+	peers := mkPeers("a:1", "b:2", "c:3", "d:4")
+	owned := make(map[string]int)
+	const n = 400
+	for i := 0; i < n; i++ {
+		owned[rank(fmt.Sprintf("key-%d", i), peers)[0].addr]++
+	}
+	for _, p := range peers {
+		if c := owned[p.addr]; c < n/10 || c > n/2 {
+			t.Fatalf("peer %s owns %d/%d keys — rendezvous spread is broken (%v)", p.addr, c, n, addrsOf(peers))
+		}
+	}
+}
+
+func TestRankEmptyAndSingle(t *testing.T) {
+	if r := rank("k", nil); len(r) != 0 {
+		t.Fatalf("rank over no peers returned %d entries", len(r))
+	}
+	one := mkPeers("a:1")
+	if r := rank("k", one); len(r) != 1 || r[0].addr != "a:1" {
+		t.Fatalf("rank over one peer = %v", addrsOf(r))
+	}
+}

@@ -1,0 +1,178 @@
+// Package retry is the cross-node robustness primitive underneath the
+// cluster layer: context-aware exponential backoff with full jitter and
+// per-attempt deadlines. Every hop a coordinator makes to a shard worker
+// goes through a Policy, so transient failures (a dropped connection, a
+// 5xx, a slow peer) are absorbed by bounded retries instead of surfacing
+// as job failures, and a hung peer is cut off by the attempt deadline
+// instead of stalling the whole grid.
+//
+// The backoff follows the "full jitter" scheme: the delay before attempt
+// i+1 is drawn uniformly from [0, min(MaxDelay, BaseDelay<<i)], which
+// decorrelates a thundering herd of retriers without giving up the
+// exponential ceiling. The draw is injectable (Policy.Jitter) so tests are
+// deterministic.
+//
+// Cancellation beats retrying everywhere: a Done parent context stops the
+// loop immediately — mid-backoff or between attempts — and an error marked
+// Permanent is returned at once, because retrying a 400 can only waste the
+// budget a real outage needs.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Default backoff shape, used when a Policy leaves the fields zero.
+const (
+	DefaultBaseDelay = 50 * time.Millisecond
+	DefaultMaxDelay  = 2 * time.Second
+)
+
+// Policy describes one retry discipline. The zero value is usable: a
+// single attempt with no per-attempt deadline (Do degenerates to calling
+// op once).
+type Policy struct {
+	// MaxAttempts is the total number of tries, first attempt included.
+	// Values below 1 mean 1 (no retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the first retry; the ceiling
+	// doubles each further attempt. 0 means DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling. 0 means DefaultMaxDelay.
+	MaxDelay time.Duration
+	// AttemptTimeout, when positive, bounds each individual attempt with
+	// its own deadline (derived from Do's context), so one hung call cannot
+	// consume the caller's whole budget.
+	AttemptTimeout time.Duration
+	// Jitter draws the actual sleep from [0, ceiling]. Nil uses a uniform
+	// draw from the shared math/rand/v2 generator; tests substitute a
+	// deterministic function.
+	Jitter func(ceiling time.Duration) time.Duration
+	// OnRetry, when non-nil, observes every scheduled retry: the attempt
+	// number that just failed (1-based), its error, and the chosen delay.
+	// The cluster layer counts retries here.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do returns it immediately instead of retrying —
+// the marker for failures where another attempt cannot change the outcome
+// (validation rejections, incompatible peers). A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Do runs op until it succeeds, the attempts are exhausted, ctx is done,
+// or op returns a Permanent error. Each attempt receives a context derived
+// from ctx (with AttemptTimeout applied when set); backoff sleeps are
+// interruptible by ctx. The returned error is nil on success, the
+// unwrapped permanent error, ctx's error when cancellation preempted the
+// first attempt, or the last attempt's error annotated with the attempt
+// count when the budget ran out.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = DefaultMaxDelay
+	}
+	jitter := p.Jitter
+	if jitter == nil {
+		jitter = fullJitter
+	}
+
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				return cerr
+			}
+			return err
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if attempt >= attempts {
+			if attempts == 1 {
+				return err
+			}
+			return fmt.Errorf("retry: %d attempts: %w", attempts, err)
+		}
+		if ctx.Err() != nil {
+			// The parent context ended (possibly the very thing that failed
+			// the attempt); retrying is pointless and sleeping is wrong.
+			return err
+		}
+		ceiling := backoffCeiling(base, maxd, attempt-1)
+		delay := jitter(ceiling)
+		if delay < 0 {
+			delay = 0
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			}
+		}
+	}
+}
+
+// backoffCeiling is min(maxd, base<<shift) with overflow protection.
+func backoffCeiling(base, maxd time.Duration, shift int) time.Duration {
+	if shift > 32 {
+		return maxd
+	}
+	c := base << shift
+	if c <= 0 || c > maxd {
+		return maxd
+	}
+	return c
+}
+
+// fullJitter draws uniformly from [0, ceiling].
+func fullJitter(ceiling time.Duration) time.Duration {
+	if ceiling <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(ceiling) + 1))
+}

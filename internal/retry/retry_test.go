@@ -1,0 +1,166 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// noJitter makes backoff deterministic and instant for tests that count
+// attempts rather than measure time.
+func noJitter(time.Duration) time.Duration { return 0 }
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	var retries []int
+	p := Policy{
+		MaxAttempts: 5,
+		Jitter:      noJitter,
+		OnRetry:     func(attempt int, _ error, _ time.Duration) { retries = append(retries, attempt) },
+	}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Errorf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	p := Policy{MaxAttempts: 3, Jitter: noJitter}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("exhausted error %v does not wrap the last attempt's error", err)
+	}
+}
+
+func TestDoPermanentShortCircuits(t *testing.T) {
+	calls := 0
+	bad := errors.New("bad request")
+	p := Policy{MaxAttempts: 5, Jitter: noJitter}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("peer said: %w", bad))
+	})
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (permanent must not retry)", calls)
+	}
+	if !errors.Is(err, bad) {
+		t.Errorf("permanent error %v lost its cause", err)
+	}
+	if IsPermanent(err) {
+		t.Error("Do should unwrap the Permanent marker before returning")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) must stay nil")
+	}
+	if !IsPermanent(Permanent(bad)) {
+		t.Error("IsPermanent(Permanent(err)) = false")
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	boom := errors.New("boom")
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; backoff sleep must be interruptible", elapsed)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the last attempt error", err)
+	}
+
+	// A context that is already done never runs op at all.
+	calls = 0
+	err = p.Do(ctx, func(context.Context) error { calls++; return nil })
+	if calls != 0 {
+		t.Errorf("op ran %d times under a dead context, want 0", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, AttemptTimeout: 10 * time.Millisecond, Jitter: noJitter}
+	attempts := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		attempts++
+		<-ctx.Done() // a hung peer: only the attempt deadline frees us
+		return ctx.Err()
+	})
+	if attempts != 2 {
+		t.Errorf("op ran %d times, want 2 (deadline per attempt, then retry)", attempts)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestBackoffCeiling(t *testing.T) {
+	cases := []struct {
+		shift int
+		want  time.Duration
+	}{
+		{0, 50 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{10, 2 * time.Second}, // clamped
+		{63, 2 * time.Second}, // overflow-safe
+	}
+	for _, c := range cases {
+		if got := backoffCeiling(50*time.Millisecond, 2*time.Second, c.shift); got != c.want {
+			t.Errorf("backoffCeiling(shift=%d) = %v, want %v", c.shift, got, c.want)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if d := fullJitter(time.Second); d < 0 || d > time.Second {
+			t.Fatalf("fullJitter out of range: %v", d)
+		}
+	}
+	if fullJitter(0) != 0 {
+		t.Error("fullJitter(0) != 0")
+	}
+}
+
+func TestZeroPolicyRunsOnce(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Policy{}.Do(context.Background(), func(context.Context) error { calls++; return boom })
+	if calls != 1 || !errors.Is(err, boom) {
+		t.Errorf("zero policy: calls=%d err=%v, want one attempt returning the raw error", calls, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -21,6 +22,10 @@ func StatusOf(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrPanic):
+		// Checked before ErrNotDone: a panicked job's result carries both
+		// sentinels, and a panic is a server fault, not a client conflict.
+		return http.StatusInternalServerError
 	case errors.Is(err, ErrNotDone):
 		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
@@ -76,12 +81,37 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeJobRequest parses a submission body with unknown fields rejected
+// (a typo must not silently no-op). Shared by the HTTP handler and the
+// submission fuzz target, so the fuzzer exercises exactly the production
+// decode path.
+func decodeJobRequest(r io.Reader) (JobRequest, error) {
 	var req JobRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		// Both %w verbs matter: ErrBadRequest drives the 400 mapping, and
+		// the original error keeps *http.MaxBytesError reachable for the
+		// handler's 413 branch.
+		return JobRequest{}, fmt.Errorf("%w: bad request body: %w", ErrBadRequest, err)
+	}
+	return req, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The body cap turns a multi-gigabyte submission into a 413 after at
+	// most MaxBodyBytes read, instead of an OOM; MaxBytesReader also closes
+	// the connection so the client stops sending.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := decodeJobRequest(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		s.writeError(w, err)
 		return
 	}
 	job, err := s.Submit(req)
@@ -181,12 +211,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
+	h := s.Health()
 	status := http.StatusOK
-	if draining {
+	if h.Draining {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]any{"ok": !draining, "draining": draining})
+	writeJSON(w, status, h)
 }

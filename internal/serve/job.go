@@ -55,6 +55,11 @@ type JobRequest struct {
 	// TimeoutSec caps the job's wall-clock run time. 0 uses the server
 	// default; values above the server maximum are clamped to it.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Exact disables the default-policy fallback: an empty Policies list
+	// then means "no registry policies" (the IPV spec alone, when set)
+	// instead of the gippr-sim default set. The cluster coordinator uses
+	// this to dispatch sub-jobs that carry exactly the cells a peer owns.
+	Exact bool `json:"exact,omitempty"`
 }
 
 // defaultPolicies mirrors gippr-sim's -policies default.

@@ -23,6 +23,7 @@ type Metrics struct {
 	done          atomic.Uint64
 	failed        atomic.Uint64
 	cancelled     atomic.Uint64
+	panicked      atomic.Uint64
 	inflight      atomic.Int64
 
 	cells    atomic.Uint64
@@ -62,10 +63,13 @@ type MetricsSnapshot struct {
 	JobsDone      uint64  `json:"jobs_done"`
 	JobsFailed    uint64  `json:"jobs_failed"`
 	JobsCancelled uint64  `json:"jobs_cancelled"`
-	Rejected429   uint64  `json:"rejected_queue_full"`
-	RejectedDrain uint64  `json:"rejected_draining"`
-	CellsDone     uint64  `json:"cells_done"`
-	LLCAccesses   uint64  `json:"llc_accesses"`
+	// JobsPanicked counts grid bodies that panicked (each also counts as
+	// failed); the daemon survives every one of them.
+	JobsPanicked  uint64 `json:"jobs_panicked"`
+	Rejected429   uint64 `json:"rejected_queue_full"`
+	RejectedDrain uint64 `json:"rejected_draining"`
+	CellsDone     uint64 `json:"cells_done"`
+	LLCAccesses   uint64 `json:"llc_accesses"`
 	// Store* expose the persistent result store (all zero when the daemon
 	// runs without -store): jobs served from disk vs sent to the grid,
 	// entries deleted for failing verification, and the store's footprint.
@@ -82,6 +86,50 @@ type MetricsSnapshot struct {
 	// job start to each of that policy's cells becoming available
 	// (time-to-result as a client streaming NDJSON would see it).
 	PolicyLatencyUS map[string]telemetry.HistogramSnapshot `json:"policy_latency_us"`
+	// Cluster reports the coordinator's peer, breaker, and failover state;
+	// absent when no cluster runner is installed.
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+}
+
+// ClusterPeer is one shard worker as the coordinator sees it.
+type ClusterPeer struct {
+	Addr string `json:"addr"`
+	// Breaker is the circuit state gating dispatch to this peer: "closed"
+	// (healthy traffic), "open" (tripped; no dispatch until the cooldown
+	// elapses), or "half-open" (probing after a cooldown).
+	Breaker string `json:"breaker"`
+	// Healthy reports the last active health probe's outcome; Compatible
+	// whether the peer's scale and cache geometry match the coordinator's
+	// (an incompatible peer is never dispatched to — its cells would not
+	// merge bit-identically).
+	Healthy    bool   `json:"healthy"`
+	Compatible bool   `json:"compatible"`
+	ConsecFail int    `json:"consecutive_failures"`
+	Probes     uint64 `json:"health_probes"`
+	ProbeFails uint64 `json:"health_probe_failures"`
+	SubJobs    uint64 `json:"sub_jobs"`
+	SubJobFail uint64 `json:"sub_job_failures"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// ClusterSnapshot is the /metrics "cluster" section: the robustness
+// counters the chaos suite and the smoke test assert on.
+type ClusterSnapshot struct {
+	Peers []ClusterPeer `json:"peers"`
+	// SubJobsSent counts dispatch attempts (retries included); Retries the
+	// re-attempts alone.
+	SubJobsSent uint64 `json:"sub_jobs_sent"`
+	Retries     uint64 `json:"sub_job_retries"`
+	// Failovers counts cells rerouted away from their rendezvous owner —
+	// because it was tripped at assignment or failed during dispatch.
+	// LocalCells counts cells that degraded all the way to the
+	// coordinator's own in-process Lab; RemoteCells those served by peers.
+	Failovers   uint64 `json:"failovers"`
+	LocalCells  uint64 `json:"local_fallback_cells"`
+	RemoteCells uint64 `json:"remote_cells"`
+	// Breaker transition counters, summed over peers.
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerCloses uint64 `json:"breaker_closes"`
 }
 
 // Snapshot renders the current metrics.
@@ -97,6 +145,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		JobsDone:        m.done.Load(),
 		JobsFailed:      m.failed.Load(),
 		JobsCancelled:   m.cancelled.Load(),
+		JobsPanicked:    m.panicked.Load(),
 		Rejected429:     m.rejectedFull.Load(),
 		RejectedDrain:   m.rejectedDrain.Load(),
 		CellsDone:       m.cells.Load(),
@@ -119,5 +168,12 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		snap.PolicyLatencyUS[name] = h.Snapshot()
 	}
 	m.mu.Unlock()
+	s.mu.Lock()
+	runner := s.cfg.Runner
+	s.mu.Unlock()
+	if cr, ok := runner.(ClusterReporter); ok {
+		cs := cr.ClusterSnapshot()
+		snap.Cluster = &cs
+	}
 	return snap
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -32,6 +33,7 @@ import (
 
 	"gippr/internal/experiments"
 	"gippr/internal/ipv"
+	"gippr/internal/parallel"
 	"gippr/internal/resultstore"
 	"gippr/internal/runctx"
 	"gippr/internal/telemetry"
@@ -53,7 +55,17 @@ var (
 	// ErrBadRequest rejects a malformed request field (a negative or
 	// non-finite timeout, for example) at submission time (HTTP 400).
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrPanic marks a job whose grid body panicked. The job fails — the
+	// daemon does not — with the worker stack captured in the job error,
+	// and the result endpoint reports 500 (a server bug, not client fault).
+	ErrPanic = errors.New("serve: job panicked")
 )
+
+// maxNameList bounds the workload and policy lists a single request may
+// carry. The full suite is 26 workloads and the registry under 20 policies,
+// so the cap only rejects hostile or corrupted requests before resolve
+// loops over them.
+const maxNameList = 1024
 
 // Config sizes the daemon.
 type Config struct {
@@ -82,6 +94,48 @@ type Config struct {
 	// zero grid recompute), and every freshly computed result is persisted
 	// on completion. Nil keeps today's in-memory-only behavior.
 	Store *resultstore.Store
+	// MaxBodyBytes caps a job-submission request body; oversized bodies
+	// get HTTP 413. Values <= 0 mean the 1 MiB default.
+	MaxBodyBytes int64
+	// Runner, when non-nil, replaces the in-process grid engine for job
+	// execution — the cluster coordinator implements it to fan cells out
+	// across shard workers. Nil (or SetRunner(nil)) runs every job on the
+	// server's own Lab. See GridRunner.
+	Runner GridRunner
+	// Role labels this daemon in /healthz: "single" (default),
+	// "coordinator", or "worker". ShardOf optionally names the cluster a
+	// worker belongs to. Both are informational.
+	Role    string
+	ShardOf string
+}
+
+// GridPlan is a job's resolved, immutable execution plan as handed to a
+// GridRunner: the concrete specs and workloads (the cell cross-product),
+// the sampling shift selecting the Lab view, and the canonicalized IPV (""
+// when the request had none) for rebuilding the IPV spec on a remote peer.
+type GridPlan struct {
+	Specs     []experiments.Spec
+	Workloads []workload.Workload
+	Shift     uint
+	IPVCanon  string
+}
+
+// GridRunner executes one job's grid. local is the server's own Lab view
+// for the plan's sampling shift — the engine a distributed runner degrades
+// to, so a fully-degraded cluster and a single-node daemon are the same
+// code path. emit must be called exactly once per settled cell and is safe
+// for concurrent use; the server routes it into the job record, so NDJSON
+// streaming, /result rendering, late-connect replay, and the result store
+// are untouched by how cells were computed.
+type GridRunner interface {
+	RunGrid(ctx context.Context, local *experiments.Lab, plan GridPlan, emit func(experiments.GridCell)) error
+}
+
+// ClusterReporter is implemented by runners (the cluster coordinator) that
+// expose per-peer health, breaker, and failover state; /metrics embeds the
+// snapshot when the installed Runner provides one.
+type ClusterReporter interface {
+	ClusterSnapshot() ClusterSnapshot
 }
 
 // Server is the job daemon: a bounded queue, a worker pool, and the shared
@@ -129,6 +183,12 @@ func New(cfg Config) *Server {
 	if cfg.Scale.PhaseRecords == 0 {
 		cfg.Scale = experiments.ScaleFromEnv()
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Role == "" {
+		cfg.Role = "single"
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -175,6 +235,10 @@ func (s *Server) labFor(shift uint) *experiments.Lab {
 // failure wraps one of the typed sentinels, so the HTTP layer can map it to
 // 400 with errors.Is.
 func (s *Server) resolve(req JobRequest) (*Job, error) {
+	if len(req.Workloads) > maxNameList || len(req.Policies) > maxNameList {
+		return nil, fmt.Errorf("%w: request lists %d workloads and %d policies (max %d each)",
+			ErrBadRequest, len(req.Workloads), len(req.Policies), maxNameList)
+	}
 	var wls []workload.Workload
 	names := req.Workloads
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
@@ -190,7 +254,7 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 	}
 
 	polNames := req.Policies
-	if len(polNames) == 0 {
+	if len(polNames) == 0 && !req.Exact {
 		polNames = defaultPolicies
 	}
 	var specs []experiments.Spec
@@ -211,6 +275,12 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 		// fingerprint, so "0,1,2" and "[ 0 1 2 ]" collide to one store key.
 		ipvCanon = v.String()
 		specs = append(specs, experiments.SpecForIPV("GIPPR*", v))
+	}
+	if len(specs) == 0 {
+		// Only reachable with Exact set: an exact request must name at
+		// least one policy (or carry an IPV) — there is no default to fall
+		// back to.
+		return nil, fmt.Errorf("%w: exact request names no policies", ErrBadRequest)
 	}
 
 	shift, err := s.base.Cfg.CheckSampleShift(req.Sample)
@@ -341,12 +411,17 @@ func (s *Server) run(job *Job) {
 		return
 	}
 
-	err := s.runGrid(ctx, s.labFor(job.shift), job)
+	err := s.execute(ctx, job)
 	switch {
 	case err == nil:
+		// Persist before the done transition becomes observable: a client
+		// that polls the job to done and immediately inspects the store (or
+		// a drain that returns once in-flight jobs settle) must find the
+		// entry on disk, never a window where the job is done but the
+		// write-behind is still racing.
+		s.persist(job, fp)
 		if job.finish(StateDone, nil) {
 			s.metrics.done.Add(1)
-			s.persist(job, fp)
 		}
 	case runctx.Cancelled(err):
 		if job.finish(StateCancelled, err) {
@@ -357,6 +432,48 @@ func (s *Server) run(job *Job) {
 			s.metrics.failed.Add(1)
 		}
 	}
+}
+
+// execute runs one job's grid through the installed Runner (cluster
+// coordinator) or, without one, the in-process engine. It is the panic
+// boundary of the worker pool: a panicking grid run — a policy bug, a bad
+// vector deep in the replay kernel — fails only this job, with the panic
+// value and goroutine stack captured in the job error (following the
+// parallel.Panic convention, whose worker stack is preserved when the
+// panic crossed the fan-out), never the daemon.
+func (s *Server) execute(ctx context.Context, job *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panicked.Add(1)
+			if p, ok := r.(*parallel.Panic); ok {
+				err = fmt.Errorf("%w: %v\n\nworker goroutine stack:\n%s", ErrPanic, p.Value, p.Stack)
+				return
+			}
+			err = fmt.Errorf("%w: %v\n\ngoroutine stack:\n%s", ErrPanic, r, debug.Stack())
+		}
+	}()
+	s.mu.Lock()
+	runner := s.cfg.Runner
+	s.mu.Unlock()
+	if runner != nil {
+		start := time.Now()
+		plan := GridPlan{Specs: job.specs, Workloads: job.wls, Shift: job.shift, IPVCanon: job.ipvCanon}
+		return runner.RunGrid(ctx, s.labFor(job.shift), plan, func(c experiments.GridCell) {
+			job.appendCell(c)
+			s.metrics.cellDone(c, time.Since(start))
+			s.prog.Add(1)
+		})
+	}
+	return s.runGrid(ctx, s.labFor(job.shift), job)
+}
+
+// SetRunner installs (or, with nil, removes) the distributed grid engine.
+// Call it during wiring, before the server receives traffic; jobs already
+// running keep the engine they started with.
+func (s *Server) SetRunner(r GridRunner) {
+	s.mu.Lock()
+	s.cfg.Runner = r
+	s.mu.Unlock()
 }
 
 // serveFromStore attempts the read-through path: on a verified store hit
@@ -382,18 +499,16 @@ func (s *Server) serveFromStore(job *Job, fp string) bool {
 	return true
 }
 
-// persist is the write-behind path: render the completed job's manifest
-// and store it under its fingerprint. Best-effort — a full disk must not
-// fail the job the client already watched succeed; the entry simply stays
-// cold and the next identical request recomputes.
+// persist is the write-behind path: render the job's settled manifest and
+// store it under its fingerprint, strictly before the caller publishes the
+// done state. Best-effort — a full disk must not fail a job that computed
+// correctly; the entry simply stays cold and the next identical request
+// recomputes.
 func (s *Server) persist(job *Job, fp string) {
 	if s.store == nil {
 		return
 	}
-	res, err := s.Result(job)
-	if err != nil {
-		return
-	}
+	res := s.manifest(job)
 	// The stored document is content-addressed and job-independent; the
 	// per-request random job id would otherwise be the one field keeping
 	// two identical results from being byte-identical.
@@ -444,6 +559,24 @@ func (s *Server) runGridReal(ctx context.Context, lab *experiments.Lab, job *Job
 func (s *Server) Result(job *Job) (*Result, error) {
 	job.mu.Lock()
 	state, err := job.state, job.err
+	job.mu.Unlock()
+	if state != StateDone {
+		if err != nil {
+			// Both sentinels stay in the chain: a panicked job's result
+			// reads as a server fault (500 via ErrPanic), any other
+			// non-done state as a 409.
+			return nil, fmt.Errorf("%w: state %s: %w", ErrNotDone, state, err)
+		}
+		return nil, fmt.Errorf("%w: state %s", ErrNotDone, state)
+	}
+	return s.manifest(job), nil
+}
+
+// manifest renders a job's result document from its current cells without
+// the done-state gate, so the write-behind persist can run strictly before
+// the done transition is published.
+func (s *Server) manifest(job *Job) *Result {
+	job.mu.Lock()
 	cells := append([]experiments.GridCell(nil), job.cells...)
 	job.mu.Unlock()
 	rank := make(map[string]int, len(job.wls)*len(job.specs))
@@ -455,12 +588,6 @@ func (s *Server) Result(job *Job) (*Result, error) {
 	sort.Slice(cells, func(a, b int) bool {
 		return rank[cells[a].Workload+"\x00"+cells[a].Policy] < rank[cells[b].Workload+"\x00"+cells[b].Policy]
 	})
-	if state != StateDone {
-		if err != nil {
-			return nil, fmt.Errorf("%w: state %s: %v", ErrNotDone, state, err)
-		}
-		return nil, fmt.Errorf("%w: state %s", ErrNotDone, state)
-	}
 	lab := s.labFor(job.shift)
 	geom := telemetry.CacheGeometry{
 		Name: lab.Cfg.Name, SizeBytes: lab.Cfg.SizeBytes, Ways: lab.Cfg.Ways,
@@ -477,7 +604,7 @@ func (s *Server) Result(job *Job) (*Result, error) {
 		Records:     s.cfg.Scale.PhaseRecords,
 		WarmFrac:    s.cfg.Scale.WarmFrac,
 		Cells:       cells,
-	}, nil
+	}
 }
 
 // Result is the GET /v1/jobs/{id}/result document.
@@ -518,3 +645,35 @@ func (s *Server) Drain(ctx context.Context) error {
 // Close force-cancels every in-flight job through the base context. It is
 // the escalation path after a Drain deadline, and safe to call at any time.
 func (s *Server) Close() { s.baseCancel() }
+
+// Health is the GET /healthz document. Beyond liveness it carries the
+// daemon's result-determining configuration — scale and cache geometry —
+// so a cluster coordinator can refuse to shard cells onto a peer whose
+// results would not merge bit-identically with its own.
+type Health struct {
+	OK       bool    `json:"ok"`
+	Draining bool    `json:"draining"`
+	Role     string  `json:"role"`
+	ShardOf  string  `json:"shard_of,omitempty"`
+	Records  int     `json:"records_per_phase"`
+	WarmFrac float64 `json:"warm_frac"`
+	Cache    string  `json:"cache"`
+}
+
+// Health renders the daemon's current health document.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	cfg := s.base.Cfg
+	return Health{
+		OK:       !draining,
+		Draining: draining,
+		Role:     s.cfg.Role,
+		ShardOf:  s.cfg.ShardOf,
+		Records:  s.cfg.Scale.PhaseRecords,
+		WarmFrac: s.cfg.Scale.WarmFrac,
+		Cache: fmt.Sprintf("%s;size=%d;ways=%d;block=%d;sets=%d",
+			cfg.Name, cfg.SizeBytes, cfg.Ways, cfg.BlockBytes, cfg.Sets()),
+	}
+}
