@@ -29,7 +29,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale: smoke, default or full (overrides GIPPR_SCALE)")
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint,sampling")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint,sampling,lattice")
 	workers := flag.Int("workers", 0, "worker goroutines for the evaluation grid (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the current section finishes and the rest are skipped (exit code 3)")
 	telemetryPath := flag.String("telemetry", "", "write an event-level JSON run manifest over the headline policy roster to this file")
@@ -131,6 +131,17 @@ func main() {
 	})
 	section("sampling", func() {
 		fmt.Print(experiments.Sampling(lab, experiments.SpecLRU, 1, 2, 3).Format())
+	})
+	section("lattice", func() {
+		// The geometry-lattice section: every LRU (sets, ways) point around
+		// the LLC under study plus tree-PLRU at the LLC's own shape, all
+		// from one stream walk per workload phase.
+		s, err := lab.LatticeReport(ctx, experiments.DefaultLatticeSpec(lab.Cfg), lab.Suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gippr-report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(s)
 	})
 
 	if *telemetryPath != "" && ctx.Err() == nil {

@@ -8,18 +8,92 @@ import (
 	"path/filepath"
 	"strconv"
 	"testing"
+
+	"gippr/internal/stackdist"
 )
 
 // updateGolden rewrites testdata/golden_mpki.json from the current
 // simulator output:
 //
-//	go test ./internal/experiments -run TestGoldenMPKI -update
+//	go test ./internal/experiments -run TestGolden -update
 //
+// Each golden test owns one section of the file ("grid" for the policy
+// roster, "lattice" for the one-pass sweep) and rewrites only its own, so a
+// partial -update run never discards the other section's fingerprints.
 // Review the diff before committing — any change means the simulation is no
 // longer bit-compatible with the checked-in fingerprints.
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_mpki.json with current MPKI values")
 
 const goldenPath = "testdata/golden_mpki.json"
+
+// goldenFile is the fingerprint document: grid is workload -> policy key ->
+// MPKI for the roster policies at the paper LLC; lattice is workload ->
+// lattice point label -> MPKI for the one-pass geometry sweep.
+type goldenFile struct {
+	Grid    map[string]map[string]string `json:"grid"`
+	Lattice map[string]map[string]string `json:"lattice"`
+}
+
+// loadGoldenFile reads the checked-in fingerprint document; missing files
+// come back empty so an -update run can populate from scratch.
+func loadGoldenFile(t *testing.T) *goldenFile {
+	t.Helper()
+	var g goldenFile
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		if os.IsNotExist(err) && *updateGolden {
+			return &g
+		}
+		t.Fatalf("reading golden fingerprints (regenerate with -update): %v", err)
+	}
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return &g
+}
+
+// saveGoldenFile writes the fingerprint document back. Callers mutate only
+// their own section of a freshly loaded file, preserving the rest.
+func saveGoldenFile(t *testing.T, g *goldenFile) {
+	t.Helper()
+	raw, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// compareGoldenSection reports every mismatch between a computed section and
+// its checked-in counterpart, in both directions.
+func compareGoldenSection(t *testing.T, section string, got, want map[string]map[string]string) {
+	t.Helper()
+	if want == nil {
+		t.Fatalf("golden file has no %q section (regenerate with -update)", section)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden %s section covers %d workloads, simulator produced %d (regenerate with -update?)",
+			section, len(want), len(got))
+	}
+	for wl, row := range got {
+		wantRow, ok := want[wl]
+		if !ok {
+			t.Errorf("%s: workload %s missing from golden file (regenerate with -update?)", section, wl)
+			continue
+		}
+		for key, v := range row {
+			if wv, ok := wantRow[key]; !ok {
+				t.Errorf("%s: %s/%s missing from golden file (regenerate with -update?)", section, wl, key)
+			} else if v != wv {
+				t.Errorf("%s: %s/%s: MPKI %s, golden %s", section, wl, key, v, wv)
+			}
+		}
+	}
+}
 
 // goldenSpecs is the fingerprinted roster: the headline baselines, the
 // strongest prior work, and the GIPPR family — the same roster the
@@ -35,18 +109,15 @@ func goldenSpecs() []Spec {
 // float64 bit pattern, so two runs match iff their doubles are identical.
 func goldenKey(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
 
-// loadGolden reads the checked-in workload -> policy -> MPKI fingerprints.
+// loadGolden reads the grid section's workload -> policy -> MPKI
+// fingerprints.
 func loadGolden(t *testing.T) map[string]map[string]string {
 	t.Helper()
-	raw, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("reading golden fingerprints (regenerate with -update): %v", err)
+	g := loadGoldenFile(t)
+	if g.Grid == nil {
+		t.Fatalf("golden file has no grid section (regenerate with -update)")
 	}
-	var g map[string]map[string]string
-	if err := json.Unmarshal(raw, &g); err != nil {
-		t.Fatalf("parsing %s: %v", goldenPath, err)
-	}
-	return g
+	return g.Grid
 }
 
 // TestGoldenMPKI pins the smoke-scale LLC MPKI of every roster policy on
@@ -69,38 +140,60 @@ func TestGoldenMPKI(t *testing.T) {
 	}
 
 	if *updateGolden {
-		raw, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("rewrote %s: %d workloads x %d policies", goldenPath, len(got), len(specs))
+		g := loadGoldenFile(t)
+		g.Grid = got
+		saveGoldenFile(t, g)
+		t.Logf("rewrote %s grid section: %d workloads x %d policies", goldenPath, len(got), len(specs))
 		return
 	}
 
-	want := loadGolden(t)
-	if len(want) != len(got) {
-		t.Errorf("golden file covers %d workloads, simulator produced %d (regenerate with -update?)", len(want), len(got))
+	compareGoldenSection(t, "grid", got, loadGolden(t))
+}
+
+// goldenLatticeSpec is the fingerprinted one-pass lattice: the paper LLC's
+// set count and its half, every associativity up to the LLC's, tree-PLRU at
+// the LLC's own shape. Small enough to keep the golden file reviewable,
+// wide enough to cover both engine paths (exact stacks and grouped PLRU).
+func goldenLatticeSpec() LatticeSpec {
+	return LatticeSpec{
+		MinSets: 2048,
+		MaxSets: 4096,
+		MaxWays: 16,
+		PLRU:    []stackdist.Geometry{{Sets: 4096, Ways: 16}},
 	}
-	for wl, row := range got {
-		wantRow, ok := want[wl]
-		if !ok {
-			t.Errorf("workload %s missing from golden file (regenerate with -update?)", wl)
-			continue
+}
+
+// TestGoldenLattice pins the one-pass sweep's smoke-scale MPKI per lattice
+// point to checked-in fingerprints, exactly, over a fixed workload subset —
+// the lattice counterpart of TestGoldenMPKI. It shares the -update flow but
+// rewrites only the lattice section.
+func TestGoldenLattice(t *testing.T) {
+	lab := NewLab(Smoke).SetWorkers(1)
+	spec := goldenLatticeSpec()
+	labels := spec.Labels()
+
+	got := map[string]map[string]string{}
+	for _, w := range lab.Suite()[:6] {
+		cells, err := lab.OnePassSweep(spec, w)
+		if err != nil {
+			t.Fatal(err)
 		}
-		for key, v := range row {
-			if wv, ok := wantRow[key]; !ok {
-				t.Errorf("%s/%s missing from golden file (regenerate with -update?)", wl, key)
-			} else if v != wv {
-				t.Errorf("%s/%s: MPKI %s, golden %s", wl, key, v, wv)
-			}
+		row := map[string]string{}
+		for i, label := range labels {
+			row[label] = goldenKey(cells[i].MPKI)
 		}
+		got[w.Name] = row
 	}
+
+	if *updateGolden {
+		g := loadGoldenFile(t)
+		g.Lattice = got
+		saveGoldenFile(t, g)
+		t.Logf("rewrote %s lattice section: %d workloads x %d points", goldenPath, len(got), len(labels))
+		return
+	}
+
+	compareGoldenSection(t, "lattice", got, loadGoldenFile(t).Lattice)
 }
 
 // TestGoldenMPKIWorkersAndTelemetryInvariant re-derives the fingerprinted

@@ -113,11 +113,12 @@ type Lab struct {
 	ctx context.Context
 
 	suite   []workload.Workload
-	streams *streamTable       // workload -> one LLC stream per phase
-	results map[string]*flight // key: policyKey|workload|phase
-	optimal map[string]*flight // key: workload|phase
+	streams *streamTable            // workload -> one LLC stream per phase
+	results map[string]*flight      // key: policyKey|workload|phase
+	optimal map[string]*flight      // key: workload|phase
+	sweeps  map[string]*sweepFlight // key: latticeKey|workload|phase
 
-	mu sync.Mutex // guards the two result maps' entries, not their computation
+	mu sync.Mutex // guards the result maps' entries, not their computation
 
 	factorOnce sync.Once // lazily caches Cfg.SampleFactor()
 	factor     float64
@@ -135,6 +136,7 @@ func NewLab(s Scale) *Lab {
 		streams: newStreamTable(),
 		results: make(map[string]*flight),
 		optimal: make(map[string]*flight),
+		sweeps:  make(map[string]*sweepFlight),
 	}
 }
 
@@ -155,6 +157,7 @@ func (l *Lab) WithSampling(shift uint) *Lab {
 		streams: l.streams,
 		results: make(map[string]*flight),
 		optimal: make(map[string]*flight),
+		sweeps:  make(map[string]*sweepFlight),
 	}
 	n.Cfg.SampleShift = shift
 	return n

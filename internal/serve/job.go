@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gippr/internal/experiments"
+	"gippr/internal/stackdist"
 	"gippr/internal/workload"
 )
 
@@ -60,6 +61,24 @@ type JobRequest struct {
 	// instead of the gippr-sim default set. The cluster coordinator uses
 	// this to dispatch sub-jobs that carry exactly the cells a peer owns.
 	Exact bool `json:"exact,omitempty"`
+	// Sweep switches the job to the one-pass all-geometry engine: instead
+	// of a {workloads x policies} grid, the job scores the full LRU lattice
+	// (plus the listed tree-PLRU geometries) in one stream walk per
+	// workload. Sweep jobs take no policies, IPV, or sampling — geometry
+	// and policy shape are the sweep spec itself.
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+}
+
+// SweepRequest is the one-pass sweep spec carried by a job submission: the
+// LRU lattice bounds (power-of-two set counts in [min_sets, max_sets]
+// crossed with associativities 1..max_ways) and the tree-PLRU geometries to
+// co-simulate. Invalid shapes — including ways beyond a PseudoLRU set's
+// capacity — are rejected at submission with HTTP 400, never mid-replay.
+type SweepRequest struct {
+	MinSets int                  `json:"min_sets"`
+	MaxSets int                  `json:"max_sets"`
+	MaxWays int                  `json:"max_ways"`
+	PLRU    []stackdist.Geometry `json:"plru,omitempty"`
 }
 
 // defaultPolicies mirrors gippr-sim's -policies default.
@@ -77,7 +96,8 @@ type Job struct {
 	wls      []workload.Workload
 	shift    uint
 	timeout  time.Duration
-	ipvCanon string // canonical form of Req.IPV (ipv.Parse -> String), "" if unset
+	ipvCanon string                   // canonical form of Req.IPV (ipv.Parse -> String), "" if unset
+	sweep    *experiments.LatticeSpec // non-nil switches the job to the one-pass engine
 
 	mu       sync.Mutex
 	state    State
@@ -190,21 +210,44 @@ func (j *Job) snapshotFrom(i int) ([]experiments.GridCell, <-chan struct{}, Stat
 	return out, j.updated, j.state
 }
 
+// cellLabels returns the per-workload cell labels in the deterministic
+// manifest order: spec labels for grid jobs, lattice point labels for
+// sweep jobs.
+func (j *Job) cellLabels() []string {
+	if j.sweep != nil {
+		return j.sweep.Labels()
+	}
+	out := make([]string, len(j.specs))
+	for i, s := range j.specs {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// cellsTotal returns the number of cells the job will produce.
+func (j *Job) cellsTotal() int {
+	if j.sweep != nil {
+		return len(j.wls) * j.sweep.Points()
+	}
+	return len(j.wls) * len(j.specs)
+}
+
 // JobStatus is the GET /v1/jobs/{id} JSON view.
 type JobStatus struct {
-	ID         string     `json:"id"`
-	State      State      `json:"state"`
-	Created    time.Time  `json:"created"`
-	Started    *time.Time `json:"started,omitempty"`
-	Finished   *time.Time `json:"finished,omitempty"`
-	CellsDone  int        `json:"cells_done"`
-	CellsTotal int        `json:"cells_total"`
-	Error      string     `json:"error,omitempty"`
-	Sample     int        `json:"sample,omitempty"`
-	Workloads  []string   `json:"workloads"`
-	Policies   []string   `json:"policies"`
-	ResultURL  string     `json:"result_url,omitempty"`
-	StreamURL  string     `json:"stream_url"`
+	ID         string                   `json:"id"`
+	State      State                    `json:"state"`
+	Created    time.Time                `json:"created"`
+	Started    *time.Time               `json:"started,omitempty"`
+	Finished   *time.Time               `json:"finished,omitempty"`
+	CellsDone  int                      `json:"cells_done"`
+	CellsTotal int                      `json:"cells_total"`
+	Error      string                   `json:"error,omitempty"`
+	Sample     int                      `json:"sample,omitempty"`
+	Workloads  []string                 `json:"workloads"`
+	Policies   []string                 `json:"policies"`
+	Sweep      *experiments.LatticeSpec `json:"sweep,omitempty"`
+	ResultURL  string                   `json:"result_url,omitempty"`
+	StreamURL  string                   `json:"stream_url"`
 }
 
 // Status renders the job's current status view.
@@ -216,8 +259,9 @@ func (j *Job) Status() JobStatus {
 		State:      j.state,
 		Created:    j.created,
 		CellsDone:  len(j.cells),
-		CellsTotal: len(j.wls) * len(j.specs),
+		CellsTotal: j.cellsTotal(),
 		Sample:     int(j.shift),
+		Sweep:      j.sweep,
 		StreamURL:  "/v1/jobs/" + j.ID + "/stream",
 	}
 	for _, w := range j.wls {

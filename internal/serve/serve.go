@@ -36,6 +36,7 @@ import (
 	"gippr/internal/parallel"
 	"gippr/internal/resultstore"
 	"gippr/internal/runctx"
+	"gippr/internal/stackdist"
 	"gippr/internal/telemetry"
 	"gippr/internal/workload"
 )
@@ -253,34 +254,59 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 		}
 	}
 
-	polNames := req.Policies
-	if len(polNames) == 0 && !req.Exact {
-		polNames = defaultPolicies
-	}
+	var sweep *experiments.LatticeSpec
 	var specs []experiments.Spec
-	for _, n := range polNames {
-		sp, err := experiments.SpecFromRegistry(strings.TrimSpace(n))
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, sp)
-	}
 	var ipvCanon string
-	if req.IPV != "" {
-		v, err := ipv.Parse(req.IPV)
-		if err != nil {
+	if req.Sweep != nil {
+		// One-pass sweep jobs are a different engine: the lattice spec IS
+		// the policy set, and the engine is exact-by-construction at full
+		// fidelity, so policy/IPV/sampling fields cannot compose with it.
+		if len(req.Policies) > 0 || req.IPV != "" || req.Exact {
+			return nil, fmt.Errorf("%w: a sweep job takes no policies, ipv, or exact flag", ErrBadRequest)
+		}
+		if req.Sample != 0 {
+			return nil, fmt.Errorf("%w: the one-pass sweep runs at full fidelity; sample must be 0", ErrBadRequest)
+		}
+		sp := experiments.LatticeSpec{
+			MinSets: req.Sweep.MinSets,
+			MaxSets: req.Sweep.MaxSets,
+			MaxWays: req.Sweep.MaxWays,
+			PLRU:    append([]stackdist.Geometry(nil), req.Sweep.PLRU...),
+		}
+		// Geometry validation happens here, at submission, wrapping
+		// cache.ErrBadGeometry -> HTTP 400 — not at replay time.
+		if err := sp.Validate(s.base.Cfg.BlockBytes); err != nil {
 			return nil, err
 		}
-		// The canonical form (not the raw request string) feeds the result
-		// fingerprint, so "0,1,2" and "[ 0 1 2 ]" collide to one store key.
-		ipvCanon = v.String()
-		specs = append(specs, experiments.SpecForIPV("GIPPR*", v))
-	}
-	if len(specs) == 0 {
-		// Only reachable with Exact set: an exact request must name at
-		// least one policy (or carry an IPV) — there is no default to fall
-		// back to.
-		return nil, fmt.Errorf("%w: exact request names no policies", ErrBadRequest)
+		sweep = &sp
+	} else {
+		polNames := req.Policies
+		if len(polNames) == 0 && !req.Exact {
+			polNames = defaultPolicies
+		}
+		for _, n := range polNames {
+			sp, err := experiments.SpecFromRegistry(strings.TrimSpace(n))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, sp)
+		}
+		if req.IPV != "" {
+			v, err := ipv.Parse(req.IPV)
+			if err != nil {
+				return nil, err
+			}
+			// The canonical form (not the raw request string) feeds the result
+			// fingerprint, so "0,1,2" and "[ 0 1 2 ]" collide to one store key.
+			ipvCanon = v.String()
+			specs = append(specs, experiments.SpecForIPV("GIPPR*", v))
+		}
+		if len(specs) == 0 {
+			// Only reachable with Exact set: an exact request must name at
+			// least one policy (or carry an IPV) — there is no default to fall
+			// back to.
+			return nil, fmt.Errorf("%w: exact request names no policies", ErrBadRequest)
+		}
 	}
 
 	shift, err := s.base.Cfg.CheckSampleShift(req.Sample)
@@ -310,6 +336,7 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 		shift:    shift,
 		timeout:  timeout,
 		ipvCanon: ipvCanon,
+		sweep:    sweep,
 		state:    StateQueued,
 		created:  time.Now(),
 		updated:  make(chan struct{}),
@@ -452,6 +479,19 @@ func (s *Server) execute(ctx context.Context, job *Job) (err error) {
 			err = fmt.Errorf("%w: %v\n\ngoroutine stack:\n%s", ErrPanic, r, debug.Stack())
 		}
 	}()
+	if job.sweep != nil {
+		// Sweep jobs always run on the local one-pass engine, cluster or
+		// not: the whole lattice is one cheap stream walk per workload, so
+		// sharding cells across peers would cost more in dispatch than the
+		// compute it saves.
+		start := time.Now()
+		_, err := s.labFor(job.shift).SweepGrid(ctx, *job.sweep, job.wls, func(c experiments.GridCell) {
+			job.appendCell(c)
+			s.metrics.cellDone(c, time.Since(start))
+			s.prog.Add(1)
+		})
+		return err
+	}
 	s.mu.Lock()
 	runner := s.cfg.Runner
 	s.mu.Unlock()
@@ -533,10 +573,17 @@ func (s *Server) fingerprint(job *Job) string {
 	for i, sp := range job.specs {
 		pols[i] = sp.Label
 	}
-	return fmt.Sprintf("gippr-serve|v2|records=%d|warm=%.6f|cache=%s;size=%d;ways=%d;block=%d;sets=%d|sample=%d|workloads=%s|policies=%s|ipv=%s",
+	fp := fmt.Sprintf("gippr-serve|v2|records=%d|warm=%.6f|cache=%s;size=%d;ways=%d;block=%d;sets=%d|sample=%d|workloads=%s|policies=%s|ipv=%s",
 		s.cfg.Scale.PhaseRecords, s.cfg.Scale.WarmFrac,
 		cfg.Name, cfg.SizeBytes, cfg.Ways, cfg.BlockBytes, cfg.Sets(),
 		job.shift, strings.Join(wls, ","), strings.Join(pols, ","), job.ipvCanon)
+	if job.sweep != nil {
+		// Appended only for sweep jobs so every pre-existing grid
+		// fingerprint — and the store entries addressed by them — is
+		// untouched.
+		fp += "|sweep=" + job.sweep.Key()
+	}
+	return fp
 }
 
 // runGridReal is the production job body: the shared-Lab grid engine with
@@ -579,10 +626,11 @@ func (s *Server) manifest(job *Job) *Result {
 	job.mu.Lock()
 	cells := append([]experiments.GridCell(nil), job.cells...)
 	job.mu.Unlock()
-	rank := make(map[string]int, len(job.wls)*len(job.specs))
+	labels := job.cellLabels()
+	rank := make(map[string]int, len(job.wls)*len(labels))
 	for wi, w := range job.wls {
-		for si, sp := range job.specs {
-			rank[w.Name+"\x00"+sp.Label] = wi*len(job.specs) + si
+		for li, label := range labels {
+			rank[w.Name+"\x00"+label] = wi*len(labels) + li
 		}
 	}
 	sort.Slice(cells, func(a, b int) bool {
@@ -603,18 +651,23 @@ func (s *Server) manifest(job *Job) *Result {
 		Cache:       geom,
 		Records:     s.cfg.Scale.PhaseRecords,
 		WarmFrac:    s.cfg.Scale.WarmFrac,
+		Sweep:       job.sweep,
 		Cells:       cells,
 	}
 }
 
-// Result is the GET /v1/jobs/{id}/result document.
+// Result is the GET /v1/jobs/{id}/result document. Sweep, present only on
+// one-pass sweep jobs, is the geometry-lattice section: it names the
+// lattice the cells cover, and the cells themselves carry lattice point
+// labels ("lru@4096x16") in place of policy names.
 type Result struct {
-	ID          string                  `json:"id"`
-	Fingerprint string                  `json:"fingerprint"`
-	Cache       telemetry.CacheGeometry `json:"cache"`
-	Records     int                     `json:"records_per_phase"`
-	WarmFrac    float64                 `json:"warm_frac"`
-	Cells       []experiments.GridCell  `json:"cells"`
+	ID          string                   `json:"id"`
+	Fingerprint string                   `json:"fingerprint"`
+	Cache       telemetry.CacheGeometry  `json:"cache"`
+	Records     int                      `json:"records_per_phase"`
+	WarmFrac    float64                  `json:"warm_frac"`
+	Sweep       *experiments.LatticeSpec `json:"sweep,omitempty"`
+	Cells       []experiments.GridCell   `json:"cells"`
 }
 
 // Drain performs the SIGTERM shutdown contract: stop intake (submissions

@@ -3,6 +3,9 @@
 # contract with the real binary: start on an ephemeral port, submit a grid
 # over HTTP, stream NDJSON cells, fetch the manifest, check /metrics and
 # /healthz, then SIGTERM and require a graceful drain with exit code 0.
+# The first phase also submits a one-pass sweep job and requires its lattice
+# point at the daemon's own geometry to carry the exact MPKI string the grid
+# engine produced — the two engines must agree bit for bit over HTTP too.
 # A second phase proves the persistent result store: restart the daemon
 # with the same -store directory, resubmit the identical job, and require
 # a store hit in /metrics plus a byte-identical manifest (modulo the
@@ -78,13 +81,38 @@ grep -q 'size=' <<<"$result" || { echo "fingerprint missing cache geometry" >&2;
 rcells=$(grep -c '"workload"' <<<"$result")
 [[ "$rcells" -eq 4 ]] || { echo "manifest has $rcells cells, want 4" >&2; exit 1; }
 
-echo "== validation is typed (400 on unknown policy)"
+echo "== one-pass sweep job matches the grid engine"
+grid_mpki=$(tr -d '\n ' <<<"$result" | sed -n 's/.*"workload":"mcf_like","policy":"LRU","mpki":\([^,]*\),.*/\1/p')
+[[ -n "$grid_mpki" ]] || { echo "could not extract the grid lru MPKI from: $result" >&2; exit 1; }
+sweep_body='{"workloads": ["mcf_like"],
+             "sweep": {"min_sets": 4096, "max_sets": 4096, "max_ways": 16,
+                       "plru": [{"sets": 4096, "ways": 16}]}}'
+sjob=$(curl -sf "http://$addr/v1/jobs" -d "$sweep_body")
+sid=$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' <<<"$sjob" | head -1)
+[[ -n "$sid" ]] || { echo "sweep submit returned no job id: $sjob" >&2; exit 1; }
+curl -sfN "http://$addr/v1/jobs/$sid/stream" >/dev/null # blocks until terminal
+sresult=$(curl -sf "http://$addr/v1/jobs/$sid/result")
+scells=$(grep -c '"workload"' <<<"$sresult")
+[[ "$scells" -eq 17 ]] || { echo "sweep manifest has $scells cells, want 17 (16 lru + 1 plru)" >&2; exit 1; }
+grep -q '"sweep"' <<<"$sresult" || { echo "sweep manifest missing the lattice section" >&2; exit 1; }
+sweep_mpki=$(tr -d '\n ' <<<"$sresult" | sed -n 's/.*"workload":"mcf_like","policy":"lru@4096x16","mpki":\([^,]*\),.*/\1/p')
+[[ -n "$sweep_mpki" ]] || { echo "sweep manifest has no lru@4096x16 cell: $sresult" >&2; exit 1; }
+if [[ "$grid_mpki" != "$sweep_mpki" ]]; then
+    echo "one-pass lru@4096x16 MPKI $sweep_mpki != grid engine lru MPKI $grid_mpki" >&2
+    exit 1
+fi
+echo "   lru@4096x16 MPKI $sweep_mpki identical to the grid engine's"
+
+echo "== validation is typed (400 on unknown policy / impossible sweep)"
 code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/jobs" -d '{"policies": ["nope"]}')
 [[ "$code" == 400 ]] || { echo "unknown policy returned $code, want 400" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/jobs" \
+    -d '{"sweep": {"min_sets": 4096, "max_sets": 4096, "max_ways": 16, "plru": [{"sets": 4096, "ways": 200}]}}')
+[[ "$code" == 400 ]] || { echo "impossible tree-PLRU sweep returned $code, want 400" >&2; exit 1; }
 
 echo "== metrics"
 metrics=$(curl -sf "http://$addr/metrics")
-grep -q '"jobs_done": 1' <<<"$metrics" || { echo "metrics missing completed job: $metrics" >&2; exit 1; }
+grep -q '"jobs_done": 2' <<<"$metrics" || { echo "metrics missing completed jobs: $metrics" >&2; exit 1; }
 
 echo "== SIGTERM drains and exits 0"
 kill -TERM "$serve_pid"

@@ -7,6 +7,7 @@ import (
 	"gippr/internal/ipv"
 	"gippr/internal/parallel"
 	"gippr/internal/policy"
+	"gippr/internal/stackdist"
 	"gippr/internal/telemetry"
 	"gippr/internal/workload"
 )
@@ -136,6 +137,42 @@ func (s *Session) Replay(stream []Record, pol Policy, warm int) ReplayStats {
 // at the Session's geometry and returns its miss statistics.
 func (s *Session) Optimal(stream []Record, warm int) ReplayStats {
 	return policy.Optimal(stream, s.cfg, warm)
+}
+
+// SweepOptions configures a one-pass all-geometry sweep (see Session.Sweep).
+type SweepOptions = stackdist.Options
+
+// SweepGeometry names one (sets, ways) cache shape for the sweep's
+// tree-PLRU list.
+type SweepGeometry = stackdist.Geometry
+
+// SweepResult is a one-pass sweep's outcome: exact hit/miss/MPKI for every
+// lattice point and tree-PLRU geometry, in lattice order.
+type SweepResult = stackdist.Sweep
+
+// Sweep scores the whole cache design space in one walk of the stream: the
+// exact Mattson stack-distance engine covers every LRU geometry in the
+// lattice (each power-of-two set count in [MinSets, MaxSets] crossed with
+// associativities 1..MaxWays), and each opts.PLRU tree-PLRU geometry is
+// co-simulated in the same pass. Zero-valued geometry fields default to the
+// Session's own: BlockBytes, MaxWays and the set-count bounds come from the
+// configured LLC. Impossible sweeps (non-power-of-two shapes, tree-PLRU
+// ways beyond a PseudoLRU set's capacity) fail up front wrapping
+// ErrBadGeometry — never mid-replay.
+func (s *Session) Sweep(stream []Record, opts SweepOptions) (*SweepResult, error) {
+	if opts.BlockBytes == 0 {
+		opts.BlockBytes = s.cfg.BlockBytes
+	}
+	if opts.MinSets == 0 {
+		opts.MinSets = s.cfg.Sets()
+	}
+	if opts.MaxSets == 0 {
+		opts.MaxSets = s.cfg.Sets()
+	}
+	if opts.MaxWays == 0 {
+		opts.MaxWays = s.cfg.Ways
+	}
+	return stackdist.Run(stream, opts)
 }
 
 // EvolveEnv builds a GIPPR fitness environment over LLC-filtered streams at

@@ -141,6 +141,46 @@ func TestSessionHierarchyAndEvolveEnv(t *testing.T) {
 	}
 }
 
+// Session.Sweep fills zero-valued geometry fields from the Session's own
+// LLC, its LRU lattice point at that geometry agrees exactly with a plain
+// true-LRU replay, and impossible sweeps fail up front with the typed
+// sentinel.
+func TestSessionSweep(t *testing.T) {
+	stream := sessionStream(20_000)
+	s, err := New(LLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 5_000
+	sw, err := s.Sweep(stream, SweepOptions{Warm: warm})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	cfg := s.Config()
+	if sw.BlockBytes != cfg.BlockBytes {
+		t.Errorf("sweep block size %d, want the session's %d", sw.BlockBytes, cfg.BlockBytes)
+	}
+	// Defaults: the session's own set count crossed with ways 1..cfg.Ways.
+	if want := cfg.Ways; len(sw.Results) != want {
+		t.Fatalf("sweep produced %d results, want %d", len(sw.Results), want)
+	}
+	res, ok := sw.Find("lru", cfg.Sets(), cfg.Ways)
+	if !ok {
+		t.Fatalf("sweep has no lru result at the session geometry %dx%d", cfg.Sets(), cfg.Ways)
+	}
+	rs := s.Replay(stream, NewLRU(cfg.Sets(), cfg.Ways), warm)
+	if res.Hits != rs.Hits || res.Misses != rs.Misses || res.Accesses != rs.Accesses {
+		t.Errorf("one-pass lru cell %+v disagrees with direct replay %+v", res, rs)
+	}
+
+	if _, err := s.Sweep(stream, SweepOptions{MinSets: 96, MaxSets: 128, MaxWays: 4}); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("non-power-of-two sweep: err = %v, want ErrBadGeometry", err)
+	}
+	if _, err := s.Sweep(stream, SweepOptions{PLRU: []SweepGeometry{{Sets: cfg.Sets(), Ways: 3}}}); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("bad tree-PLRU geometry: err = %v, want ErrBadGeometry", err)
+	}
+}
+
 // The deprecated wrappers must keep working verbatim.
 func TestDeprecatedWrappersStillWork(t *testing.T) {
 	//lint:ignore SA1019 the wrapper's behaviour is the contract under test
