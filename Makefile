@@ -31,12 +31,14 @@ bench:
 
 # Coverage gate: short-mode statement coverage must stay at or above the
 # floor measured when the gate was introduced (75.6% total). The one-pass
-# stack-distance engine carries its own per-package floor on top — it is the
-# exactness anchor of the sweep path, so its differential battery must keep
-# covering it. Raise the floors when coverage durably improves; never lower
-# them to make a PR pass.
+# stack-distance engine and the batched replay kernel carry their own
+# per-package floors on top — they are the exactness anchors of the sweep
+# and replay paths, so their differential batteries must keep covering them.
+# Raise the floors when coverage durably improves; never lower them to make
+# a PR pass.
 COVER_MIN ?= 75.0
 STACKDIST_COVER_MIN ?= 85.0
+BATCHREPLAY_COVER_MIN ?= 85.0
 COVERPROFILE ?= cover.out
 cover: vet
 	$(GO) test -short -count=1 -coverprofile=$(COVERPROFILE) ./...
@@ -49,6 +51,10 @@ cover: vet
 	awk -v t=$$sd -v min=$(STACKDIST_COVER_MIN) 'BEGIN { \
 		if (t+0 < min+0) { printf "internal/stackdist coverage %.1f%% is below the %.1f%% gate\n", t, min; exit 1 } \
 		printf "internal/stackdist coverage %.1f%% meets the %.1f%% gate\n", t, min }'
+	@br=$$($(GO) test -short -count=1 -cover ./internal/batchreplay | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%/) { gsub("%","",$$i); print $$i } }'); \
+	awk -v t=$$br -v min=$(BATCHREPLAY_COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "internal/batchreplay coverage %.1f%% is below the %.1f%% gate\n", t, min; exit 1 } \
+		printf "internal/batchreplay coverage %.1f%% meets the %.1f%% gate\n", t, min }'
 
 # End-to-end daemon smoke: build gippr-serve, drive the v1 job API with
 # curl against an ephemeral port, and require SIGTERM to drain with exit 0.
@@ -75,13 +81,15 @@ staticcheck:
 	fi
 
 # Fuzz smoke: a few seconds per target over the external-input boundaries
-# (binary trace reader, IPV parser) and the single-pass multi-model replay
-# kernel. Long campaigns run these by hand with a bigger -fuzztime.
+# (binary trace reader, IPV parser), the single-pass multi-model replay
+# kernel, and the batched branch-free replay kernel's scalar equivalence.
+# Long campaigns run these by hand with a bigger -fuzztime.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzParseVector -fuzztime=$(FUZZTIME) ./internal/ipv
 	$(GO) test -run=^$$ -fuzz=FuzzMultiRunConsistency -fuzztime=$(FUZZTIME) ./internal/cpu
+	$(GO) test -run=^$$ -fuzz=FuzzBatchedReplayConsistency -fuzztime=$(FUZZTIME) ./internal/batchreplay
 	$(GO) test -run=^$$ -fuzz=FuzzSubmitRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzOnePassConsistency -fuzztime=$(FUZZTIME) ./internal/stackdist
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"gippr/internal/batchreplay"
 	"gippr/internal/cache"
 	"gippr/internal/cpu"
 	"gippr/internal/experiments"
@@ -475,17 +476,20 @@ func benchPolicy(b *testing.B, mk func(sets, ways int) cache.Policy) {
 	b.SetBytes(int64(len(stream)))
 }
 
-// BenchmarkReplayStream measures the telemetry tax on the simulator's hot
-// loop. The cache and policy are constructed outside the timed region so the
-// loop body is pure Access traffic: with the sink disabled the only cost is
-// a handful of nil checks and the benchmark must report 0 allocs/op; with a
-// sink attached every hit, miss, eviction, fill and IPV move is recorded
-// into fixed-size counters and histograms — still allocation-free, and the
-// time delta is the full event-recording overhead.
+// BenchmarkReplayStream measures the simulator's hot loop on both engines.
+// The scalar pair pins the telemetry tax: the cache and policy are built
+// outside the timed region so the loop body is pure Access traffic — with
+// the sink disabled the only cost is a handful of nil checks, with a sink
+// attached every hit, miss, eviction, fill and IPV move is recorded into
+// fixed-size counters and histograms. The batched pair drives the same
+// stream through the branch-free kernel (internal/batchreplay) that
+// ReplayStream dispatches Packable policies onto; its speedup over the
+// scalar engine is the whole point of the kernel (EXPERIMENTS.md records
+// the measured ratio). All four variants must report 0 allocs/op.
 func BenchmarkReplayStream(b *testing.B) {
 	cfg := cache.L3Config
 	stream := microStream(100_000)
-	run := func(b *testing.B, sink *telemetry.Sink) {
+	runScalar := func(b *testing.B, sink *telemetry.Sink) {
 		c := cache.New(cfg, policy.NewGIPPR(cfg.Sets(), cfg.Ways, ipv.PaperWIGIPPR))
 		if sink != nil {
 			c.SetTelemetry(sink)
@@ -499,8 +503,32 @@ func BenchmarkReplayStream(b *testing.B) {
 			}
 		}
 	}
-	b.Run("telemetry=off", func(b *testing.B) { run(b, nil) })
-	b.Run("telemetry=on", func(b *testing.B) { run(b, &telemetry.Sink{}) })
+	runBatched := func(b *testing.B, sink *telemetry.Sink) {
+		pr, ok := cache.NewPackedReplay(cfg, policy.NewGIPPR(cfg.Sets(), cfg.Ways, ipv.PaperWIGIPPR))
+		if !ok {
+			b.Fatal("GIPPR did not dispatch to the batched kernel")
+		}
+		if sink != nil {
+			pr.K.SetTelemetry(sink)
+		}
+		var hits batchreplay.HitBits
+		b.ReportAllocs()
+		b.SetBytes(int64(len(stream)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < len(stream); off += batchreplay.BlockSize {
+				end := off + batchreplay.BlockSize
+				if end > len(stream) {
+					end = len(stream)
+				}
+				pr.K.AccessBlock(stream[off:end], &hits)
+			}
+		}
+	}
+	b.Run("scalar/telemetry=off", func(b *testing.B) { runScalar(b, nil) })
+	b.Run("scalar/telemetry=on", func(b *testing.B) { runScalar(b, &telemetry.Sink{}) })
+	b.Run("batched/telemetry=off", func(b *testing.B) { runBatched(b, nil) })
+	b.Run("batched/telemetry=on", func(b *testing.B) { runBatched(b, &telemetry.Sink{}) })
 }
 
 func BenchmarkPolicyLRU(b *testing.B) {

@@ -1,0 +1,347 @@
+package batchreplay_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gippr/internal/batchreplay"
+	"gippr/internal/cache"
+	"gippr/internal/ipv"
+	"gippr/internal/policy"
+	"gippr/internal/telemetry"
+	"gippr/internal/trace"
+	"gippr/internal/xrand"
+)
+
+// scalarOnly hides a policy's PackedIPV method so replays through it always
+// take the scalar Cache.Access path — the reference side of every
+// kernel-vs-scalar comparison in this package. Interface embedding keeps
+// only cache.Policy's method set; SetTelemetry is re-exposed explicitly so
+// instrumented comparisons still reach the wrapped policy.
+type scalarOnly struct{ cache.Policy }
+
+func (s scalarOnly) SetTelemetry(t *telemetry.Sink) {
+	if ins, ok := s.Policy.(cache.Instrumented); ok {
+		ins.SetTelemetry(t)
+	}
+}
+
+// makeStream generates a seeded synthetic LLC stream: addresses drawn from a
+// footprint of roughly spread x the cache's block capacity (so the replay
+// sees hits, cold fills, evictions and writebacks), ~1/4 writes, small gaps.
+func makeStream(n int, cfg cache.Config, spread float64, seed uint64) []trace.Record {
+	rng := xrand.New(seed)
+	blocks := uint64(float64(cfg.Sets()*cfg.Ways)*spread) + 1
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		b := rng.Uint64() % blocks
+		recs[i] = trace.Record{
+			Addr:  b * uint64(cfg.BlockBytes),
+			PC:    rng.Uint64(),
+			Gap:   uint32(rng.Intn(8)) + 1,
+			Write: rng.Intn(4) == 0,
+		}
+	}
+	return recs
+}
+
+// runScalar replicates ReplayStreamTel's loop with a direct Cache so the
+// comparison side exposes the full Stats struct (ReplayStats drops
+// evictions/writes/writebacks/skipped) — the kernel must match every
+// counter, not just the hit/miss triple.
+func runScalar(stream []trace.Record, cfg cache.Config, pol cache.Policy, warm int, tel *telemetry.Sink) cache.Stats {
+	c := cache.New(cfg, pol)
+	if tel != nil {
+		c.SetTelemetry(tel)
+	}
+	if warm > len(stream) {
+		warm = len(stream)
+	}
+	for _, r := range stream[:warm] {
+		c.Access(r)
+	}
+	c.ResetStats()
+	for _, r := range stream[warm:] {
+		c.Access(r)
+	}
+	return c.Stats
+}
+
+// statsOf converts for field-by-field comparison.
+func statsOf(s cache.Stats) batchreplay.Stats {
+	return batchreplay.Stats{
+		Accesses: s.Accesses, Hits: s.Hits, Misses: s.Misses,
+		Evictions: s.Evictions, Writes: s.Writes, Writebacks: s.Writebacks,
+		Skipped: s.Skipped,
+	}
+}
+
+// kernelConfigs is the geometry grid the equivalence tests sweep: every
+// supported associativity, set counts from the degenerate single set up,
+// and a sampled variant.
+func kernelConfigs() []cache.Config {
+	var cfgs []cache.Config
+	for _, ways := range []int{2, 4, 8, 16, 32, 64} {
+		for _, sets := range []int{1, 4, 16} {
+			cfgs = append(cfgs, cache.Config{
+				Name:      fmt.Sprintf("k%dx%d", sets, ways),
+				SizeBytes: sets * ways * 64, Ways: ways, BlockBytes: 64, HitLatency: 30,
+			})
+		}
+	}
+	cfgs = append(cfgs, cache.Config{
+		Name:      "sampled",
+		SizeBytes: 64 * 16 * 64, Ways: 16, BlockBytes: 64, HitLatency: 30, SampleShift: 2,
+	})
+	return cfgs
+}
+
+// vectorsFor returns the IPVs each geometry is checked under: PLRU's
+// all-zero vector, LIP's insert-at-LRU, the paper's mid-climb example, and
+// two seeded random vectors.
+func vectorsFor(ways int, rng *xrand.RNG) []ipv.Vector {
+	vecs := []ipv.Vector{ipv.LRU(ways), ipv.LIP(ways), ipv.MidClimb(ways)}
+	for i := 0; i < 2; i++ {
+		v := ipv.New(ways)
+		for j := range v {
+			v[j] = rng.Intn(ways)
+		}
+		vecs = append(vecs, v)
+	}
+	return vecs
+}
+
+// TestKernelMatchesScalarAcrossGeometries is the kernel's differential
+// battery: for every geometry x vector x warm fraction, a kernel replay
+// (via the dispatching ReplayStreamTel) and a forced-scalar replay of the
+// same stream must agree on every stat counter, produce DeepEqual telemetry
+// sinks (which pins the exact event sequence — the sink's access clock
+// makes reordering visible), and leave the two policy objects' trees in
+// identical states.
+func TestKernelMatchesScalarAcrossGeometries(t *testing.T) {
+	n := 20_000
+	if testing.Short() {
+		n = 4_000
+	}
+	rng := xrand.New(0xBA7C4)
+	for _, cfg := range kernelConfigs() {
+		for vi, vec := range vectorsFor(cfg.Ways, rng) {
+			for _, warm := range []int{0, n / 3} {
+				fast := policy.NewGIPPR(cfg.Sets(), cfg.Ways, vec)
+				slow := policy.NewGIPPR(cfg.Sets(), cfg.Ways, vec)
+				stream := makeStream(n, cfg, 2.5, 0xF00D+uint64(vi))
+
+				var fastSink, slowSink telemetry.Sink
+				pr, ok := cache.NewPackedReplay(cfg, fast)
+				if !ok {
+					t.Fatalf("%s vec %d: fast path did not engage", cfg.Name, vi)
+				}
+				pr.K.SetTelemetry(&fastSink)
+				fastRes := pr.K.Replay(stream, warm)
+				pr.Finish()
+
+				slowStats := runScalar(stream, cfg, scalarOnly{slow}, warm, &slowSink)
+
+				if fastRes.Stats != statsOf(slowStats) {
+					t.Errorf("%s vec %d warm %d: kernel stats %+v != scalar %+v",
+						cfg.Name, vi, warm, fastRes.Stats, slowStats)
+				}
+				if !reflect.DeepEqual(&fastSink, &slowSink) {
+					t.Errorf("%s vec %d warm %d: telemetry sinks diverge", cfg.Name, vi, warm)
+				}
+				for set := 0; set < cfg.Sets(); set++ {
+					if fb, sb := fast.Tree(uint32(set)).Bits(), slow.Tree(uint32(set)).Bits(); fb != sb {
+						t.Fatalf("%s vec %d warm %d: set %d tree state %#x != scalar %#x",
+							cfg.Name, vi, warm, set, fb, sb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDispatchedReplayStreamMatchesScalar checks the public entry point:
+// cache.ReplayStreamTel with a packable policy (kernel path) against the
+// same call with the policy wrapped scalarOnly, for PLRU and GIPPR.
+func TestDispatchedReplayStreamMatchesScalar(t *testing.T) {
+	cfg := cache.Config{Name: "d", SizeBytes: 32 * 16 * 64, Ways: 16, BlockBytes: 64, HitLatency: 30}
+	stream := makeStream(30_000, cfg, 3, 0xD15)
+	warm := len(stream) / 4
+	makers := map[string]func() cache.Policy{
+		"plru":  func() cache.Policy { return policy.NewPLRU(cfg.Sets(), cfg.Ways) },
+		"gippr": func() cache.Policy { return policy.NewGIPPR(cfg.Sets(), cfg.Ways, ipv.MidClimb(cfg.Ways)) },
+	}
+	for name, mk := range makers {
+		var fastSink, slowSink telemetry.Sink
+		fast := cache.ReplayStreamTel(stream, cfg, mk(), warm, &fastSink)
+		slow := cache.ReplayStreamTel(stream, cfg, scalarOnly{mk()}, warm, &slowSink)
+		if fast != slow {
+			t.Errorf("%s: dispatched %+v != scalar %+v", name, fast, slow)
+		}
+		if !reflect.DeepEqual(&fastSink, &slowSink) {
+			t.Errorf("%s: telemetry sinks diverge", name)
+		}
+	}
+}
+
+// TestKernelSeedsFromPolicyState replays through a policy whose trees were
+// mutated before the replay: the kernel must pick the state up (and write
+// its final state back), matching the scalar path bit for bit. This is the
+// reuse case the seed/write-back contract exists for.
+func TestKernelSeedsFromPolicyState(t *testing.T) {
+	cfg := cache.Config{Name: "s", SizeBytes: 8 * 8 * 64, Ways: 8, BlockBytes: 64, HitLatency: 30}
+	rng := xrand.New(0x5EED)
+	fast := policy.NewPLRU(cfg.Sets(), cfg.Ways)
+	slow := policy.NewPLRU(cfg.Sets(), cfg.Ways)
+	for set := 0; set < cfg.Sets(); set++ {
+		raw := rng.Uint64()
+		fast.Tree(uint32(set)).SetBits(raw)
+		slow.Tree(uint32(set)).SetBits(raw)
+	}
+	stream := makeStream(5_000, cfg, 2, 0x5EED2)
+	fastRes := cache.ReplayStream(stream, cfg, fast, 100)
+	slowRes := cache.ReplayStream(stream, cfg, scalarOnly{slow}, 100)
+	if fastRes != slowRes {
+		t.Fatalf("seeded replay: kernel %+v != scalar %+v", fastRes, slowRes)
+	}
+	for set := 0; set < cfg.Sets(); set++ {
+		if fb, sb := fast.Tree(uint32(set)).Bits(), slow.Tree(uint32(set)).Bits(); fb != sb {
+			t.Fatalf("set %d final tree state %#x != scalar %#x", set, fb, sb)
+		}
+	}
+}
+
+// TestDispatchFallsBackForNonPackable pins who takes which path: dueling
+// DGIPPR and the true-LRU stack policy must not engage the kernel, while
+// PLRU/GIPPR must.
+func TestDispatchFallsBackForNonPackable(t *testing.T) {
+	cfg := cache.Config{Name: "f", SizeBytes: 16 * 16 * 64, Ways: 16, BlockBytes: 64, HitLatency: 30}
+	sets, ways := cfg.Sets(), cfg.Ways
+	vecs := [2]ipv.Vector{ipv.LRU(ways), ipv.LIP(ways)}
+	for name, want := range map[string]bool{"plru": true, "gippr": true, "lru": false, "dgippr2": false} {
+		var pol cache.Policy
+		switch name {
+		case "plru":
+			pol = policy.NewPLRU(sets, ways)
+		case "gippr":
+			pol = policy.NewGIPPR(sets, ways, ipv.LIP(ways))
+		case "lru":
+			pol = policy.NewTrueLRU(sets, ways)
+		case "dgippr2":
+			pol = policy.NewDGIPPR2(sets, ways, vecs)
+		}
+		if _, ok := cache.NewPackedReplay(cfg, pol); ok != want {
+			t.Errorf("%s: kernel engaged = %v, want %v", name, ok, want)
+		}
+	}
+	// A packable policy whose vector does not match the geometry must fall
+	// back rather than model the wrong shape.
+	if _, ok := cache.NewPackedReplay(cfg, policy.NewGIPPR(sets, 8, ipv.LRU(8))); ok {
+		t.Error("mismatched-associativity policy engaged the kernel")
+	}
+}
+
+// TestNewValidation pins the constructor's panic surface.
+func TestNewValidation(t *testing.T) {
+	vec := make([]int, 5)
+	cases := map[string]func(){
+		"zero sets":        func() { batchreplay.New(0, 4, 6, nil, vec) },
+		"non-pow2 ways":    func() { batchreplay.New(4, 3, 6, nil, make([]int, 4)) },
+		"oversized ways":   func() { batchreplay.New(4, 128, 6, nil, make([]int, 129)) },
+		"sampled mismatch": func() { batchreplay.New(4, 4, 6, make([]bool, 3), vec) },
+		"short vector":     func() { batchreplay.New(4, 4, 6, nil, make([]int, 4)) },
+		"entry range":      func() { batchreplay.New(4, 4, 6, nil, []int{0, 0, 4, 0, 0}) },
+		"negative entry":   func() { batchreplay.New(4, 4, 6, nil, []int{0, -1, 0, 0, 0}) },
+		"oversized block": func() {
+			k := batchreplay.New(4, 4, 6, nil, vec)
+			k.AccessBlock(make([]trace.Record, batchreplay.BlockSize+1), &batchreplay.HitBits{})
+		},
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	for ways, want := range map[int]bool{2: true, 16: true, 64: true, 1: false, 3: false, 128: false, 0: false} {
+		if got := batchreplay.Supported(ways); got != want {
+			t.Errorf("Supported(%d) = %v, want %v", ways, got, want)
+		}
+	}
+}
+
+// TestHitBits covers the bitmap accessor across word boundaries.
+func TestHitBits(t *testing.T) {
+	var h batchreplay.HitBits
+	for _, i := range []int{0, 1, 63, 64, 130, batchreplay.BlockSize - 1} {
+		if h.Bit(i) {
+			t.Fatalf("bit %d set in zero bitmap", i)
+		}
+		h[i>>6] |= 1 << (i & 63)
+		if !h.Bit(i) {
+			t.Fatalf("bit %d not visible after set", i)
+		}
+	}
+}
+
+// TestAccessBlockZeroAllocs is the steady-state allocation gate from the
+// issue: once constructed (and telemetry attached), block processing must
+// not allocate — with or without a sink.
+func TestAccessBlockZeroAllocs(t *testing.T) {
+	cfg := cache.Config{Name: "a", SizeBytes: 16 * 16 * 64, Ways: 16, BlockBytes: 64, HitLatency: 30}
+	stream := makeStream(batchreplay.BlockSize, cfg, 2, 0xA110C)
+	for _, withTel := range []bool{false, true} {
+		pr, ok := cache.NewPackedReplay(cfg, policy.NewPLRU(cfg.Sets(), cfg.Ways))
+		if !ok {
+			t.Fatal("fast path did not engage")
+		}
+		if withTel {
+			pr.K.SetTelemetry(&telemetry.Sink{})
+		}
+		var hits batchreplay.HitBits
+		pr.K.AccessBlock(stream, &hits) // settle one block before measuring
+		allocs := testing.AllocsPerRun(100, func() {
+			pr.K.AccessBlock(stream, &hits)
+		})
+		if allocs != 0 {
+			t.Errorf("telemetry=%v: AccessBlock allocates %v per block, want 0", withTel, allocs)
+		}
+	}
+}
+
+// TestReplayWarmBeyondStream mirrors cache.ReplayStream's clamp: warming
+// past the end measures nothing and must not panic.
+func TestReplayWarmBeyondStream(t *testing.T) {
+	cfg := cache.Config{Name: "w", SizeBytes: 4 * 4 * 64, Ways: 4, BlockBytes: 64, HitLatency: 30}
+	pr, _ := cache.NewPackedReplay(cfg, policy.NewPLRU(cfg.Sets(), cfg.Ways))
+	res := pr.K.Replay(makeStream(10, cfg, 2, 1), 100)
+	if res.Accesses != 0 || res.Instructions != 0 {
+		t.Fatalf("over-warm replay measured %+v", res)
+	}
+}
+
+// TestSampledKernelSkips checks the sampling path end to end: a sampled
+// geometry must skip out-of-sample sets identically to the scalar model,
+// with Skipped accounted and in-sample counters matching.
+func TestSampledKernelSkips(t *testing.T) {
+	cfg := cache.Config{Name: "sp", SizeBytes: 64 * 16 * 64, Ways: 16, BlockBytes: 64,
+		HitLatency: 30, SampleShift: 2}
+	stream := makeStream(20_000, cfg, 2, 0x5A)
+	pr, ok := cache.NewPackedReplay(cfg, policy.NewPLRU(cfg.Sets(), cfg.Ways))
+	if !ok {
+		t.Fatal("fast path did not engage")
+	}
+	res := pr.K.Replay(stream, 500)
+	slow := runScalar(stream, cfg, scalarOnly{policy.NewPLRU(cfg.Sets(), cfg.Ways)}, 500, nil)
+	if res.Stats != statsOf(slow) {
+		t.Fatalf("sampled kernel stats %+v != scalar %+v", res.Stats, slow)
+	}
+	if res.Skipped == 0 {
+		t.Fatal("sampling skipped nothing; test is vacuous")
+	}
+}

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"math/bits"
+
+	"gippr/internal/batchreplay"
+	"gippr/internal/plrutree"
+)
+
+// treeExposer is the accessor the tree-PLRU policy family provides for its
+// per-set trees (policy.PLRU and policy.GIPPR both have it). The batched
+// fast path uses it to seed the kernel's packed state words from the policy
+// and to write the final state back, so a kernel replay is equivalent to the
+// scalar path even for callers that reuse a policy object across replays —
+// the policy sees exactly the tree mutations Cache.Access would have caused.
+type treeExposer interface {
+	Tree(set uint32) *plrutree.Tree
+}
+
+// PackedReplay is an engaged batched fast path for one (geometry, policy)
+// pair: the kernel plus the bookkeeping needed to keep the policy object's
+// own state coherent. Obtain one with NewPackedReplay; call Finish after the
+// last access to write replacement state back to the policy.
+type PackedReplay struct {
+	K    *batchreplay.Kernel
+	pol  treeExposer
+	sets int
+}
+
+// NewPackedReplay builds a batchreplay kernel modeling cfg under pol. It
+// engages only when the policy opts in via batchreplay.Packable (and is not
+// also a Bypasser — bypass decisions are outside the kernel's model), the
+// vector matches the geometry, and the associativity is in the packed-tree
+// domain; ok=false means the caller must take the scalar path. The paths
+// are interchangeable: Stats, telemetry events and final policy state are
+// bit-identical either way.
+func NewPackedReplay(cfg Config, pol Policy) (*PackedReplay, bool) {
+	pk, ok := pol.(batchreplay.Packable)
+	if !ok {
+		return nil, false
+	}
+	if _, bypass := pol.(Bypasser); bypass {
+		return nil, false
+	}
+	vec, ok := pk.PackedIPV()
+	if !ok {
+		return nil, false
+	}
+	te, ok := pol.(treeExposer)
+	if !ok || !batchreplay.Supported(cfg.Ways) || len(vec) != cfg.Ways+1 {
+		return nil, false
+	}
+	sets := cfg.Sets()
+	var sampled []bool
+	if cfg.SampleShift > 0 {
+		sampled = make([]bool, sets)
+		for set := 0; set < sets; set++ {
+			sampled[set] = cfg.InSample(uint32(set))
+		}
+	}
+	blockShift := uint(bits.TrailingZeros(uint(cfg.BlockBytes)))
+	k := batchreplay.New(sets, cfg.Ways, blockShift, sampled, vec)
+	for set := 0; set < sets; set++ {
+		k.SetPLRUBits(set, te.Tree(uint32(set)).Bits())
+	}
+	return &PackedReplay{K: k, pol: te, sets: sets}, true
+}
+
+// Finish writes the kernel's final tree-PLRU state back into the policy,
+// leaving the policy object exactly as a scalar replay would have.
+func (p *PackedReplay) Finish() {
+	for set := 0; set < p.sets; set++ {
+		p.pol.Tree(uint32(set)).SetBits(p.K.PLRUBits(set))
+	}
+}

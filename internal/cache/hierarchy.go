@@ -181,7 +181,27 @@ func ReplayStream(stream []trace.Record, cfg Config, pol Policy, warm int) Repla
 // so the sink describes exactly the measurement window. A nil sink makes it
 // identical to ReplayStream: the hot loop pays only the per-event nil
 // checks inside Cache.Access.
+//
+// When the policy opts into the batched fast path (batchreplay.Packable —
+// PLRU and single-vector GIPPR do), the replay runs through the packed
+// branch-free kernel instead of Cache.Access. The two paths are
+// bit-identical in every observable: stats, telemetry event sequence and
+// final policy state (FuzzBatchedReplayConsistency and the golden-MPKI
+// suite pin this), so the dispatch needs no call-site opt-in.
 func ReplayStreamTel(stream []trace.Record, cfg Config, pol Policy, warm int, tel *telemetry.Sink) ReplayStats {
+	if pr, ok := NewPackedReplay(cfg, pol); ok {
+		if tel != nil {
+			pr.K.SetTelemetry(tel)
+		}
+		r := pr.K.Replay(stream, warm)
+		pr.Finish()
+		return ReplayStats{
+			Accesses:     r.Accesses,
+			Hits:         r.Hits,
+			Misses:       r.Misses,
+			Instructions: r.Instructions,
+		}
+	}
 	c := New(cfg, pol)
 	if tel != nil {
 		c.SetTelemetry(tel)

@@ -1,9 +1,12 @@
 package cpu
 
 import (
+	"reflect"
 	"testing"
 
 	"gippr/internal/cache"
+	"gippr/internal/ipv"
+	"gippr/internal/policy"
 	"gippr/internal/telemetry"
 	"gippr/internal/trace"
 )
@@ -157,6 +160,93 @@ func TestMultiWindowReplayEdgeCases(t *testing.T) {
 			}()
 			bad()
 		}()
+	}
+}
+
+// scalarEngine hides a policy's PackedIPV method so newReplayModel routes it
+// down the scalar Cache path — the reference side of the packed-vs-scalar
+// comparison. SetTelemetry is re-exposed so instrumented runs still reach
+// the wrapped policy.
+type scalarEngine struct{ cache.Policy }
+
+func (s scalarEngine) SetTelemetry(t *telemetry.Sink) {
+	if ins, ok := s.Policy.(cache.Instrumented); ok {
+		ins.SetTelemetry(t)
+	}
+}
+
+// TestMultiWindowReplayPackedMatchesScalar mixes batched-kernel models and
+// scalar models in one MultiWindowReplay call: each Packable policy (PLRU,
+// GIPPR) runs once through the kernel and once wrapped in scalarEngine, plus
+// one policy with no packed form at all. Every kernel model must agree with
+// its scalar twin — timing results and full telemetry sinks — and with a
+// standalone WindowReplayTel of the same pair.
+func TestMultiWindowReplayPackedMatchesScalar(t *testing.T) {
+	cfg := cache.Config{Name: "r", SizeBytes: 32 * 8 * 64, Ways: 8, BlockBytes: 64, HitLatency: 30}
+	const warm = 1500
+	// A random stream over ~1.5x the cache's footprint mixes hits, evictions
+	// and writebacks — unlike makeStream's pure scan, it makes PLRU and LIP
+	// genuinely diverge, so the cross-policy sanity check below has teeth.
+	stream := make([]trace.Record, 12000)
+	s := uint64(0x9E3779B97F4A7C15)
+	blocks := uint64(cfg.Sets()*cfg.Ways) * 3 / 2
+	for i := range stream {
+		s = s*6364136223846793005 + 1442695040888963407
+		stream[i] = trace.Record{
+			Addr:  s >> 33 % blocks * 64,
+			Gap:   uint32(s>>60)%8 + 1,
+			Write: s>>32&3 == 0,
+		}
+	}
+	vec := ipv.LIP(cfg.Ways)
+
+	makers := []func() cache.Policy{
+		func() cache.Policy { return policy.NewPLRU(cfg.Sets(), cfg.Ways) },
+		func() cache.Policy { return policy.NewGIPPR(cfg.Sets(), cfg.Ways, vec) },
+		func() cache.Policy { return &replayLRU{ways: cfg.Ways, stamps: make([]uint64, cfg.Sets()*cfg.Ways)} },
+	}
+	// Sanity-check the routing itself: the first two makers must engage the
+	// kernel, and the scalarEngine wrapper must defeat it.
+	for i, mk := range makers {
+		_, packed := cache.NewPackedReplay(cfg, mk())
+		if want := i < 2; packed != want {
+			t.Fatalf("maker %d: packed dispatch = %v, want %v", i, packed, want)
+		}
+		if _, packed := cache.NewPackedReplay(cfg, scalarEngine{mk()}); packed {
+			t.Fatalf("maker %d: scalarEngine wrapper still dispatched to the kernel", i)
+		}
+	}
+
+	// One call with kernel and scalar twins interleaved.
+	pols := make([]cache.Policy, 0, 2*len(makers))
+	models := make([]*WindowModel, 0, 2*len(makers))
+	sinks := make([]*telemetry.Sink, 0, 2*len(makers))
+	for _, mk := range makers {
+		pols = append(pols, mk(), scalarEngine{mk()})
+		models = append(models, DefaultWindowModel(), DefaultWindowModel())
+		sinks = append(sinks, &telemetry.Sink{}, &telemetry.Sink{})
+	}
+	multi := MultiWindowReplay(stream, cfg, pols, warm, models, sinks)
+
+	for i, mk := range makers {
+		kernel, scalar := multi[2*i], multi[2*i+1]
+		if kernel != scalar {
+			t.Errorf("maker %d: kernel %+v != scalar twin %+v", i, kernel, scalar)
+		}
+		if !reflect.DeepEqual(sinks[2*i], sinks[2*i+1]) {
+			t.Errorf("maker %d: kernel sink diverged from scalar twin's", i)
+		}
+		sink := &telemetry.Sink{}
+		single := WindowReplayTel(stream, cfg, mk(), warm, DefaultWindowModel(), sink)
+		if kernel != single {
+			t.Errorf("maker %d: multi %+v != standalone %+v", i, kernel, single)
+		}
+		if !reflect.DeepEqual(sinks[2*i], sink) {
+			t.Errorf("maker %d: multi sink diverged from standalone sink", i)
+		}
+	}
+	if multi[0].Misses == multi[2].Misses {
+		t.Fatal("PLRU and GIPPR agreed exactly; stream too easy to distinguish models")
 	}
 }
 

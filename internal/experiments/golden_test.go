@@ -101,7 +101,7 @@ func compareGoldenSection(t *testing.T, section string, got, want map[string]map
 func goldenSpecs() []Spec {
 	return []Spec{
 		SpecLRU, SpecPLRU, SpecDRRIP, SpecPDP,
-		SpecSHiP, SpecWIGIPPR, SpecWI2DGIPPR, SpecWI4DGIPPR,
+		SpecSHiP, SpecMSLRU, SpecWIGIPPR, SpecWI2DGIPPR, SpecWI4DGIPPR,
 	}
 }
 

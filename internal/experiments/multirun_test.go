@@ -19,7 +19,7 @@ func registeredSpecs() []Spec {
 	return []Spec{
 		SpecLRU, SpecPLRU, SpecRandom, SpecFIFO, SpecNRU,
 		SpecLIP, SpecBIP, SpecDIP,
-		SpecSRRIP, SpecBRRIP, SpecDRRIP, SpecPDP, SpecSHiP,
+		SpecSRRIP, SpecBRRIP, SpecDRRIP, SpecPDP, SpecSHiP, SpecMSLRU,
 		SpecGIPLR,
 		SpecWIGIPPR, SpecWI2DGIPPR, SpecWI4DGIPPR,
 		SpecWNGIPPR, SpecWN2DGIPPR, SpecWN4DGIPPR,
@@ -46,24 +46,29 @@ func requireSettled(t *testing.T, l *Lab, specs []Spec) {
 
 // TestGoldenMPKIMultiRun pins the single-pass engine to the same checked-in
 // fingerprints as TestGoldenMPKI: the multi-model kernel must reproduce the
-// per-spec engine's MPKIs bit-identically, not merely approximately.
+// per-spec engine's MPKIs bit-identically, not merely approximately — at one
+// worker and at eight, so neither scheduling nor the batched replay kernel
+// (which carries the Packable roster policies, see internal/batchreplay) can
+// perturb a fingerprint.
 func TestGoldenMPKIMultiRun(t *testing.T) {
 	want := loadGolden(t)
-	lab := NewLab(Smoke).SetWorkers(8)
 	specs := goldenSpecs()
 	if testing.Short() {
 		specs = specs[:3]
 	}
-	lab.PrefetchMulti(specs, false)
-	requireSettled(t, lab, specs)
-	for _, w := range lab.Suite() {
-		for _, s := range specs {
-			wv := want[w.Name][s.Key]
-			if wv == "" {
-				t.Fatalf("no golden value for %s/%s", w.Name, s.Key)
-			}
-			if gv := goldenKey(lab.MPKI(s, w)); gv != wv {
-				t.Errorf("%s/%s: single-pass MPKI %s, golden %s", w.Name, s.Key, gv, wv)
+	for _, workers := range []int{1, 8} {
+		lab := NewLab(Smoke).SetWorkers(workers)
+		lab.PrefetchMulti(specs, false)
+		requireSettled(t, lab, specs)
+		for _, w := range lab.Suite() {
+			for _, s := range specs {
+				wv := want[w.Name][s.Key]
+				if wv == "" {
+					t.Fatalf("no golden value for %s/%s", w.Name, s.Key)
+				}
+				if gv := goldenKey(lab.MPKI(s, w)); gv != wv {
+					t.Errorf("workers=%d %s/%s: single-pass MPKI %s, golden %s", workers, w.Name, s.Key, gv, wv)
+				}
 			}
 		}
 	}

@@ -71,6 +71,11 @@ var (
 	SpecSHiP = Spec{Key: "ship", Label: "SHiP", New: func(_ string, s, w int) cache.Policy {
 		return policy.NewSHiP(s, w)
 	}}
+	SpecMSLRU = Spec{Key: "mslru", Label: "MSLRU", New: func(_ string, s, w int) cache.Policy {
+		p := policy.NewMSLRU(s, w, policy.DefaultMSLRUStep(w))
+		p.SetName("MSLRU")
+		return p
+	}}
 )
 
 // SpecGIPLR is the Figure 4 policy: the evolved IPV over true LRU.

@@ -66,6 +66,29 @@ func MidClimb(k int) Vector {
 	return v
 }
 
+// MultiStep returns the multi-step LRU vector for a k-way cache, the IPV
+// form of Inoue's multi-step promotion (arXiv:2112.09981): the recency stack
+// is divided into step equal segments of k/step positions, a re-referenced
+// block climbs to the top of its own segment — or, from a segment top, to
+// the top of the segment above — and incoming blocks insert at MRU. A block
+// at the LRU position thus reaches MRU after exactly step re-references
+// (step-1 in the fully incremental step == k case, where the LRU position is
+// already a segment top). step must divide k.
+// The family interpolates between classic LRU (step == 1, one segment, every
+// hit promotes straight to MRU) and fully incremental promotion (step == k,
+// every hit climbs a single position).
+func MultiStep(k, step int) Vector {
+	v := New(k)
+	if step < 1 || step > k || k%step != 0 {
+		panic(fmt.Sprintf("ipv: multi-step count %d must divide associativity %d", step, k))
+	}
+	seg := k / step
+	for i := 1; i < k; i++ {
+		v[i] = (i - 1) / seg * seg
+	}
+	return v
+}
+
 // K returns the associativity this vector is for.
 func (v Vector) K() int { return len(v) - 1 }
 

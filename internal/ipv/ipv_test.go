@@ -57,6 +57,96 @@ func TestMidClimb(t *testing.T) {
 	}
 }
 
+func TestMultiStep(t *testing.T) {
+	// step == 1: one segment, classic LRU.
+	if v := MultiStep(8, 1); !v.IsLRU() {
+		t.Fatalf("MultiStep(8, 1) = %v, not LRU", v)
+	}
+	// step == k: fully incremental, every hit climbs one position.
+	v := MultiStep(8, 8)
+	for i := 1; i < 8; i++ {
+		if v.Promotion(i) != i-1 {
+			t.Fatalf("MultiStep(8, 8) promotion[%d] = %d, want %d", i, v.Promotion(i), i-1)
+		}
+	}
+	// The worked 8-way/4-step example: segments {0,1} {2,3} {4,5} {6,7}.
+	if got, want := MultiStep(8, 4).String(), "[ 0 0 0 2 2 4 4 6 0 ]"; got != want {
+		t.Fatalf("MultiStep(8, 4) = %s, want %s", got, want)
+	}
+	for _, k := range []int{2, 4, 8, 16, 32, 64} {
+		for step := 1; step <= k; step++ {
+			if k%step != 0 {
+				continue
+			}
+			v := MultiStep(k, step)
+			if err := v.Validate(); err != nil {
+				t.Fatalf("MultiStep(%d, %d): %v", k, step, err)
+			}
+			if v.Insertion() != 0 {
+				t.Fatalf("MultiStep(%d, %d) insertion = %d", k, step, v.Insertion())
+			}
+			if !v.ReachesMRU() {
+				t.Fatalf("MultiStep(%d, %d) cannot reach MRU", k, step)
+			}
+			// A block at the LRU position reaches MRU in exactly step hits —
+			// one fewer in the fully incremental step == k case, where the
+			// LRU position is already a segment top.
+			want := step
+			if k == step {
+				want = step - 1
+			}
+			hops, pos := 0, k-1
+			for pos > 0 {
+				pos = v.Promotion(pos)
+				hops++
+			}
+			if hops != want {
+				t.Fatalf("MultiStep(%d, %d): LRU block took %d hops to MRU, want %d", k, step, hops, want)
+			}
+		}
+	}
+}
+
+// TestMultiStepMonotone pins the ordering that makes step a fidelity knob:
+// coarser stepping never promotes a block to a lower (better) position than
+// finer stepping, i.e. V_m(i) <= V_m'(i) whenever m divides m'.
+func TestMultiStepMonotone(t *testing.T) {
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		for m := 1; m <= k; m++ {
+			if k%m != 0 {
+				continue
+			}
+			for mp := m; mp <= k; mp += m {
+				if k%mp != 0 || mp%m != 0 {
+					continue
+				}
+				lo, hi := MultiStep(k, m), MultiStep(k, mp)
+				for i := 0; i < k; i++ {
+					if lo.Promotion(i) > hi.Promotion(i) {
+						t.Fatalf("k=%d: MultiStep(%d)[%d]=%d > MultiStep(%d)[%d]=%d",
+							k, m, i, lo.Promotion(i), mp, i, hi.Promotion(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultiStepPanics(t *testing.T) {
+	for _, tc := range []struct{ k, step int }{
+		{8, 0}, {8, -1}, {8, 3}, {8, 9}, {8, 5}, {16, 6}, {6, 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MultiStep(%d, %d) did not panic", tc.k, tc.step)
+				}
+			}()
+			MultiStep(tc.k, tc.step)
+		}()
+	}
+}
+
 func TestValidate(t *testing.T) {
 	if err := (Vector{0, 0, 0}).Validate(); err != nil {
 		t.Fatalf("valid 2-way vector rejected: %v", err)

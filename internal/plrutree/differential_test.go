@@ -125,12 +125,24 @@ func (p *pnode) wayAt(x int) int {
 // LLC uses 16 ways but the primitives must hold for all of them.
 var diffGeometries = []int{2, 4, 8, 16, 32, 64}
 
-// checkAgree compares every observable of the two implementations after
-// access i of the differential run and fails with the diverging index.
-func checkAgree(t *testing.T, k int, i int, op string, tr *Tree, ref *pnode) {
+// checkAgree compares every observable of the three implementations — the
+// production Tree, the pointer-based reference, and the packed-word
+// operations applied to word — after access i of the differential run and
+// fails with the diverging index. word is the packed-state shadow the caller
+// maintains with ops; it must equal the Tree's raw bits exactly, so the
+// packed path proves bit-identity, not just observational equivalence.
+func checkAgree(t *testing.T, k int, i int, op string, tr *Tree, ref *pnode, ops *Packed, word uint64) {
 	t.Helper()
+	if word != tr.Bits() {
+		t.Fatalf("k=%d access %d (%s): packed word %#x != tree bits %#x",
+			k, i, op, word, tr.Bits())
+	}
 	if got, want := tr.Victim(), ref.victim(); got != want {
 		t.Fatalf("k=%d access %d (%s): Victim() = %d, reference tree says %d\nbits: %s",
+			k, i, op, got, want, tr.String())
+	}
+	if got, want := ops.Victim(word), ref.victim(); got != want {
+		t.Fatalf("k=%d access %d (%s): packed Victim = %d, reference tree says %d\nbits: %s",
 			k, i, op, got, want, tr.String())
 	}
 	seen := make([]bool, k)
@@ -139,6 +151,10 @@ func checkAgree(t *testing.T, k int, i int, op string, tr *Tree, ref *pnode) {
 		if got != want {
 			t.Fatalf("k=%d access %d (%s): Position(%d) = %d, reference tree says %d\nbits: %s",
 				k, i, op, w, got, want, tr.String())
+		}
+		if pg := ops.Position(word, w); pg != want {
+			t.Fatalf("k=%d access %d (%s): packed Position(%d) = %d, reference tree says %d\nbits: %s",
+				k, i, op, w, pg, want, tr.String())
 		}
 		if got < 0 || got >= k || seen[got] {
 			t.Fatalf("k=%d access %d (%s): positions are not a permutation (way %d -> %d)\nbits: %s",
@@ -172,7 +188,9 @@ func TestDifferentialRandomSequence(t *testing.T) {
 			rng := xrand.New(0xD1FF + uint64(k))
 			tr := New(k)
 			ref := buildPtr(0, k)
-			checkAgree(t, k, -1, "init", &tr, ref)
+			ops := NewPacked(k)
+			var word uint64
+			checkAgree(t, k, -1, "init", &tr, ref, ops, word)
 			for i := 0; i < accesses; i++ {
 				var op string
 				switch rng.Intn(4) {
@@ -181,24 +199,28 @@ func TestDifferentialRandomSequence(t *testing.T) {
 					op = "promote"
 					tr.Promote(w)
 					ref.promote(w)
+					word = ops.Promote(word, w)
 				case 1: // miss-style: evict the victim, insert at a random position
 					v := tr.Victim()
 					x := rng.Intn(k)
 					op = "victim+setpos"
 					tr.SetPosition(v, x)
 					ref.setPosition(v, x)
+					word = ops.Set(word, v, x)
 				case 2: // IPV-style: move a random way to a random position
 					w, x := rng.Intn(k), rng.Intn(k)
 					op = "setpos"
 					tr.SetPosition(w, x)
 					ref.setPosition(w, x)
+					word = ops.Set(word, w, x)
 				case 3: // promote the current PMRU block (idempotence probe)
 					w := tr.WayAt(0)
 					op = "repromote"
 					tr.Promote(w)
 					ref.promote(w)
+					word = ops.Promote(word, w)
 				}
-				checkAgree(t, k, i, op, &tr, ref)
+				checkAgree(t, k, i, op, &tr, ref, ops, word)
 			}
 		})
 	}
@@ -217,21 +239,26 @@ func TestDifferentialAdversarialBits(t *testing.T) {
 		t.Run(sizeName(k), func(t *testing.T) {
 			t.Parallel()
 			rng := xrand.New(0xBEEF + uint64(k))
+			ops := NewPacked(k)
 			for round := 0; round < rounds; round++ {
 				raw := rng.Uint64()
 				tr := New(k)
 				tr.SetBits(raw)
 				ref := buildPtr(0, k)
 				loadBits(ref, &tr)
-				checkAgree(t, k, round, "setbits", &tr, ref)
+				word := tr.Bits()
+				checkAgree(t, k, round, "setbits", &tr, ref, ops, word)
 				// A few follow-up operations from the adversarial state.
 				for i := 0; i < 8; i++ {
 					w, x := rng.Intn(k), rng.Intn(k)
 					tr.SetPosition(w, x)
 					ref.setPosition(w, x)
-					tr.Promote(tr.Victim())
+					word = ops.Set(word, w, x)
+					v := tr.Victim()
+					tr.Promote(v)
 					ref.promote(ref.victim())
-					checkAgree(t, k, round*8+i, "adversarial-followup", &tr, ref)
+					word = ops.Promote(word, v)
+					checkAgree(t, k, round*8+i, "adversarial-followup", &tr, ref, ops, word)
 				}
 			}
 		})

@@ -1,0 +1,100 @@
+package plrutree
+
+// Packed evaluates the four tree-PLRU primitives directly on a raw plru
+// bitmask (the uint64 Tree.Bits representation) without per-node walks that
+// branch on child direction. It exists for the batched replay kernel
+// (package batchreplay), which keeps one uint64 of replacement state per set
+// and needs Victim/SetPosition to be a handful of shifts, masks and table
+// lookups.
+//
+// The construction leans on a structural fact of the implicit-heap layout:
+// the set of internal nodes on way w's leaf-to-root path depends only on
+// (k, w), not on the current state. SetPosition(w, x) always rewrites
+// exactly those log2(k) bits to a value determined by (w, x) alone — see
+// Tree.SetPosition, whose stores never read the old state. So a Packed
+// precomputes, per way, the path mask, and per (way, position), the path
+// bits, making set_index a single  word&^mask | vals  expression. The
+// tables are filled by running the scalar Tree on a scratch instance, so
+// Packed agrees with Tree by construction rather than by re-derivation;
+// the differential battery in differential_test.go then checks that
+// agreement against the independent pointer-based reference as well.
+//
+// A Packed is immutable after construction and safe for concurrent use; the
+// state word itself is owned by the caller.
+type Packed struct {
+	k    uint32
+	logk uint32
+	// mask[w] has a 1 for every internal node on way w's leaf-to-root path.
+	mask []uint64
+	// vals[w*k+x] is the value of those path bits that places way w at
+	// position x (all other bits zero).
+	vals []uint64
+}
+
+// NewPacked builds the packed-operation tables for a k-way set. k must be a
+// power of two in 2..MaxWays (the same constraint as New, which performs the
+// validation).
+func NewPacked(k int) *Packed {
+	t := New(k)
+	p := &Packed{
+		k:    t.k,
+		logk: t.logk,
+		mask: make([]uint64, k),
+		vals: make([]uint64, k*k),
+	}
+	for w := 0; w < k; w++ {
+		var m uint64
+		for n := uint32(k) + uint32(w); n > 1; n >>= 1 {
+			m |= 1 << (n >> 1)
+		}
+		p.mask[w] = m
+		for x := 0; x < k; x++ {
+			t.SetBits(0)
+			t.SetPosition(w, x)
+			p.vals[w*k+x] = t.Bits()
+		}
+	}
+	return p
+}
+
+// K returns the associativity the tables were built for.
+func (p *Packed) K() int { return int(p.k) }
+
+// Set returns word with way w's path bits rewritten so w occupies position
+// x — set_index (Tree.SetPosition) as one mask-and-or. The caller must keep
+// 0 <= w < k and 0 <= x < k; out-of-range arguments index past the tables
+// and panic on the slice bounds.
+func (p *Packed) Set(word uint64, w, x int) uint64 {
+	return word&^p.mask[w] | p.vals[w*int(p.k)+x]
+}
+
+// Promote returns word with way w made the PMRU block — promote (Figure 6)
+// is set_index to position 0.
+func (p *Packed) Promote(word uint64, w int) uint64 {
+	return word&^p.mask[w] | p.vals[w*int(p.k)]
+}
+
+// Victim returns the PseudoLRU way of word — find_plru (Figure 5) as a
+// branch-free root-to-leaf walk: each step shifts the node index up and ors
+// in the node's plru bit.
+func (p *Packed) Victim(word uint64) int {
+	n := uint64(1)
+	for i := uint32(0); i < p.logk; i++ {
+		n = n<<1 | (word>>n)&1
+	}
+	return int(n) - int(p.k)
+}
+
+// Position returns way w's recency-stack position in word — find_index
+// (Figure 7) with the left-child complement folded into an xor instead of a
+// branch: a left child (even node index) reads its parent bit inverted.
+func (p *Packed) Position(word uint64, w int) int {
+	n := p.k + uint32(w)
+	x := uint32(0)
+	for i := uint32(0); i < p.logk; i++ {
+		parent := n >> 1
+		x |= (uint32(word>>parent) ^ ^n) & 1 << i
+		n = parent
+	}
+	return int(x)
+}

@@ -1,0 +1,97 @@
+package plrutree
+
+import (
+	"testing"
+
+	"gippr/internal/xrand"
+)
+
+// TestNewPackedRejectsBadAssociativity mirrors New's validation: the packed
+// tables share the same k domain.
+func TestNewPackedRejectsBadAssociativity(t *testing.T) {
+	for _, k := range []int{-4, 0, 1, 3, 6, 65, 128} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPacked(%d) did not panic", k)
+				}
+			}()
+			NewPacked(k)
+		}()
+	}
+}
+
+// TestPackedMatchesTreeExhaustive checks Set/Promote/Victim/Position against
+// Tree over every reachable raw state word for the small geometries, and
+// every (way, position) pair. 2^(k-1) states x k ways x k positions stays
+// cheap through k=8 and covers the full state space, not just states
+// reachable from zero.
+func TestPackedMatchesTreeExhaustive(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		p := NewPacked(k)
+		if p.K() != k {
+			t.Fatalf("k=%d: K() = %d", k, p.K())
+		}
+		tr := New(k)
+		states := uint64(1) << (k - 1) // bits 1..k-1
+		for s := uint64(0); s < states; s++ {
+			word := s << 1
+			tr.SetBits(word)
+			if got, want := p.Victim(word), tr.Victim(); got != want {
+				t.Fatalf("k=%d word=%#x: Victim = %d, Tree says %d", k, word, got, want)
+			}
+			for w := 0; w < k; w++ {
+				tr.SetBits(word)
+				if got, want := p.Position(word, w), tr.Position(w); got != want {
+					t.Fatalf("k=%d word=%#x: Position(%d) = %d, Tree says %d", k, word, w, got, want)
+				}
+				for x := 0; x < k; x++ {
+					tr.SetBits(word)
+					tr.SetPosition(w, x)
+					if got, want := p.Set(word, w, x), tr.Bits(); got != want {
+						t.Fatalf("k=%d word=%#x: Set(%d,%d) = %#x, Tree says %#x", k, word, w, x, got, want)
+					}
+				}
+				tr.SetBits(word)
+				tr.Promote(w)
+				if got, want := p.Promote(word, w), tr.Bits(); got != want {
+					t.Fatalf("k=%d word=%#x: Promote(%d) = %#x, Tree says %#x", k, word, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedMatchesTreeRandom samples the larger geometries: random raw
+// states, all ways, random positions. The long mixed-operation sequences
+// live in the differential battery (differential_test.go); this pins the
+// per-primitive equivalence in isolation.
+func TestPackedMatchesTreeRandom(t *testing.T) {
+	rounds := 2_000
+	if testing.Short() {
+		rounds = 200
+	}
+	for _, k := range diffGeometries {
+		p := NewPacked(k)
+		tr := New(k)
+		rng := xrand.New(0x9ACCED ^ uint64(k))
+		for i := 0; i < rounds; i++ {
+			word := rng.Uint64()
+			tr.SetBits(word)
+			word = tr.Bits() // masked to the legal bit range
+			if got, want := p.Victim(word), tr.Victim(); got != want {
+				t.Fatalf("k=%d word=%#x: Victim = %d, Tree says %d", k, word, got, want)
+			}
+			for w := 0; w < k; w++ {
+				if got, want := p.Position(word, w), tr.Position(w); got != want {
+					t.Fatalf("k=%d word=%#x: Position(%d) = %d, Tree says %d", k, word, w, got, want)
+				}
+			}
+			w, x := rng.Intn(k), rng.Intn(k)
+			tr.SetPosition(w, x)
+			if got, want := p.Set(word, w, x), tr.Bits(); got != want {
+				t.Fatalf("k=%d word=%#x: Set(%d,%d) = %#x, Tree says %#x", k, word, w, x, got, want)
+			}
+		}
+	}
+}

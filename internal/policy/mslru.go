@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gippr/internal/cache"
+	"gippr/internal/ipv"
+	"gippr/internal/telemetry"
+	"gippr/internal/trace"
+)
+
+// laneLSB and laneMSB broadcast a byte-lane's low and high bit across a
+// uint64, the two masks every SWAR byte trick below is built from.
+const (
+	laneLSB = 0x0101010101010101
+	laneMSB = 0x8080808080808080
+)
+
+// MSLRU is multi-step LRU (Inoue, arXiv:2112.09981) as a standalone policy:
+// exact per-set recency positions, but hits climb the stack one segment at a
+// time instead of jumping to MRU — behaviourally identical to
+// NewGIPLR(sets, ways, ipv.MultiStep(ways, step)), which the differential
+// tests pin. With step == 1 it degenerates to classic true LRU.
+//
+// The implementation is the point: instead of recency.Stack's paired
+// way<->position arrays it keeps one 7-bit recency counter per way, packed
+// eight to a uint64, and performs every stack rotation with branch-free SWAR
+// arithmetic — a per-lane compare builds the "positions between from and to"
+// mask and a single add or subtract shifts them all at once. That is the
+// same packed-word discipline as plrutree.Packed and the batchreplay kernel
+// (DESIGN.md §14), applied to exact recency instead of the tree
+// approximation.
+type MSLRU struct {
+	nop
+	name  string
+	vec   ipv.Vector
+	step  int
+	ways  int
+	words int      // uint64 words per set: (ways+7)/8
+	lanes []uint64 // [set*words .. set*words+words): 8 positions per word
+	tel   *telemetry.Sink
+}
+
+// NewMSLRU returns a multi-step LRU policy with the given promotion step
+// count, which must divide the associativity; the associativity must be at
+// most 64 (the packed-lane domain, matching plrutree.MaxWays).
+func NewMSLRU(sets, ways, step int) *MSLRU {
+	validateGeometry(sets, ways)
+	if ways > 64 {
+		panic(fmt.Sprintf("policy: MSLRU associativity %d exceeds 64", ways))
+	}
+	if step < 1 || step > ways || ways%step != 0 {
+		panic(fmt.Sprintf("policy: MSLRU step %d must divide associativity %d", step, ways))
+	}
+	words := (ways + 7) / 8
+	p := &MSLRU{
+		name:  fmt.Sprintf("%d-MSLRU", step),
+		vec:   ipv.MultiStep(ways, step),
+		step:  step,
+		ways:  ways,
+		words: words,
+		lanes: make([]uint64, sets*words),
+	}
+	// Initial recency order is way order — the same convention as
+	// recency.New — with unused tail lanes parked at 0x7F, above every
+	// reachable position, so no compare mask ever selects them.
+	for set := 0; set < sets; set++ {
+		for lane := 0; lane < 8*words; lane++ {
+			pos := uint64(lane)
+			if lane >= ways {
+				pos = 0x7F
+			}
+			p.lanes[set*words+lane>>3] |= pos << ((lane & 7) * 8)
+		}
+	}
+	return p
+}
+
+// DefaultMSLRUStep is the registry's step choice for an associativity: 4
+// when it divides the associativity (the sweet spot in the multi-step LRU
+// paper's sweep), else 2, else exact LRU.
+func DefaultMSLRUStep(ways int) int {
+	switch {
+	case ways%4 == 0:
+		return 4
+	case ways%2 == 0:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Name implements cache.Policy.
+func (p *MSLRU) Name() string { return p.name }
+
+// SetName overrides the default "<step>-MSLRU" display name.
+func (p *MSLRU) SetName(n string) { p.name = n }
+
+// Step returns the promotion step count.
+func (p *MSLRU) Step() int { return p.step }
+
+// Vector returns the equivalent insertion/promotion vector,
+// ipv.MultiStep(ways, step).
+func (p *MSLRU) Vector() ipv.Vector { return p.vec.Clone() }
+
+// SetTelemetry implements cache.Instrumented.
+func (p *MSLRU) SetTelemetry(s *telemetry.Sink) { p.tel = s }
+
+// laneLT returns a per-lane x < y indicator in each lane's high bit. Valid
+// for lane values up to 0x7F, which setting the high bits of x guarantees
+// borrow-free subtraction per lane.
+func laneLT(x, y uint64) uint64 {
+	return ^((x | laneMSB) - y) & laneMSB
+}
+
+// Position returns way's current recency position in set (0 = MRU).
+func (p *MSLRU) Position(set uint32, way int) int {
+	return int(p.lanes[int(set)*p.words+way>>3] >> ((way & 7) * 8) & 0x7F)
+}
+
+// moveTo rotates way from its current position to target, shifting every
+// position strictly between by one — recency.Stack.MoveTo on packed lanes.
+// Each word is one compare-mask-and-add: promoted rotations increment the
+// lanes in [target, from), demoted ones decrement the lanes in (from,
+// target]. Parked 0x7F lanes sit above both bounds, so neither mask ever
+// touches them.
+func (p *MSLRU) moveTo(set uint32, way, target int) {
+	from := p.Position(set, way)
+	if from == target {
+		return
+	}
+	base := int(set) * p.words
+	bFrom := uint64(from) * laneLSB
+	bTo := uint64(target) * laneLSB
+	for j := 0; j < p.words; j++ {
+		x := p.lanes[base+j]
+		if target < from {
+			x += (laneLT(x, bFrom) & (laneMSB &^ laneLT(x, bTo))) >> 7
+		} else {
+			x -= (laneLT(bFrom, x) & (laneMSB &^ laneLT(bTo, x))) >> 7
+		}
+		p.lanes[base+j] = x
+	}
+	shift := uint(way&7) * 8
+	w := base + way>>3
+	p.lanes[w] = p.lanes[w]&^(0x7F<<shift) | uint64(target)<<shift
+}
+
+// OnHit implements cache.Policy: promote per the multi-step vector.
+func (p *MSLRU) OnHit(set uint32, way int, _ trace.Record) {
+	from := p.Position(set, way)
+	to := p.vec.Promotion(from)
+	if p.tel != nil {
+		p.tel.Promote(from, to)
+	}
+	p.moveTo(set, way, to)
+}
+
+// Victim implements cache.Policy: the block in the LRU position, found with
+// a SWAR zero-byte scan. XORing the broadcast LRU position turns the
+// matching lane into 0x00; the classic (z-0x01..)&^z&0x80.. detector is
+// exact here because every lane is at most 0x7F. Exactly one lane matches —
+// positions are a permutation — and parked 0x7F lanes never do.
+func (p *MSLRU) Victim(set uint32, _ trace.Record) int {
+	base := int(set) * p.words
+	lru := uint64(p.ways-1) * laneLSB
+	for j := 0; j < p.words; j++ {
+		z := p.lanes[base+j] ^ lru
+		if m := (z - laneLSB) &^ z & laneMSB; m != 0 {
+			return j*8 + bits.TrailingZeros64(m)>>3
+		}
+	}
+	panic("policy: MSLRU positions are not a permutation")
+}
+
+// OnFill implements cache.Policy: move the incoming block to the insertion
+// position (MRU for every multi-step vector). During cold start the cache
+// may fill an invalid way; the move applies from whatever position that way
+// held, exactly as GIPLR's stack fill does.
+func (p *MSLRU) OnFill(set uint32, way int, _ trace.Record) {
+	if p.tel != nil {
+		p.tel.Insert(p.vec.Insertion())
+	}
+	p.moveTo(set, way, p.vec.Insertion())
+}
+
+// OverheadBits implements Overheader: exact recency costs k*log2(k) bits per
+// set like true LRU; the step count is a wired constant, not state.
+func (p *MSLRU) OverheadBits() (float64, int) {
+	return float64(p.ways * log2ceil(p.ways)), 0
+}
+
+var (
+	_ cache.Policy       = (*MSLRU)(nil)
+	_ Overheader         = (*MSLRU)(nil)
+	_ cache.Instrumented = (*MSLRU)(nil)
+)

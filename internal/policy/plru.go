@@ -58,8 +58,15 @@ func (p *PLRU) OnFill(set uint32, way int, _ trace.Record) {
 // Victim implements cache.Policy.
 func (p *PLRU) Victim(set uint32, _ trace.Record) int { return p.trees[set].Victim() }
 
-// Tree exposes one set's tree (for tests).
+// Tree exposes one set's tree (for tests and the batched replay kernel's
+// state seeding/write-back).
 func (p *PLRU) Tree(set uint32) *plrutree.Tree { return &p.trees[set] }
+
+// PackedIPV implements batchreplay.Packable: plain PseudoLRU is IPV over
+// tree-PLRU with the all-zero vector (hits and fills promote to position 0,
+// victim is the tree-PLRU block), so replays may run through the batched
+// branch-free kernel.
+func (p *PLRU) PackedIPV() ([]int, bool) { return make([]int, p.ways+1), true }
 
 // OverheadBits implements Overheader: k-1 bits per set.
 func (p *PLRU) OverheadBits() (float64, int) { return float64(p.ways - 1), 0 }
@@ -134,8 +141,15 @@ func (p *GIPPR) OnFill(set uint32, way int, _ trace.Record) {
 // Victim implements cache.Policy: the PLRU block (position k-1).
 func (p *GIPPR) Victim(set uint32, _ trace.Record) int { return p.trees[set].Victim() }
 
-// Tree exposes one set's tree (for tests).
+// Tree exposes one set's tree (for tests and the batched replay kernel's
+// state seeding/write-back).
 func (p *GIPPR) Tree(set uint32) *plrutree.Tree { return &p.trees[set] }
+
+// PackedIPV implements batchreplay.Packable: GIPPR is by definition IPV
+// over tree-PLRU with no further state, so replays may run through the
+// batched branch-free kernel. (The dueling DGIPPR variants do not implement
+// this — their per-miss PSEL updates are outside the kernel's model.)
+func (p *GIPPR) PackedIPV() ([]int, bool) { return append([]int(nil), p.vec...), true }
 
 // OverheadBits implements Overheader: k-1 bits per set, same as PseudoLRU.
 func (p *GIPPR) OverheadBits() (float64, int) { return float64(p.ways - 1), 0 }
@@ -350,8 +364,8 @@ var (
 	_ cache.Instrumented = (*GIPPR)(nil)
 	_ cache.Instrumented = (*DGIPPR2)(nil)
 	_ cache.Instrumented = (*DGIPPR4)(nil)
-	_ Overheader   = (*PLRU)(nil)
-	_ Overheader   = (*GIPPR)(nil)
-	_ Overheader   = (*DGIPPR2)(nil)
-	_ Overheader   = (*DGIPPR4)(nil)
+	_ Overheader         = (*PLRU)(nil)
+	_ Overheader         = (*GIPPR)(nil)
+	_ Overheader         = (*DGIPPR2)(nil)
+	_ Overheader         = (*DGIPPR4)(nil)
 )

@@ -33,6 +33,11 @@ func Registry() map[string]Factory {
 		"drrip":  {Name: "DRRIP", New: func(s, w int) cache.Policy { return NewDRRIP(s, w) }},
 		"pdp":    {Name: "PDP", New: func(s, w int) cache.Policy { return NewPDP(s, w) }},
 		"ship":   {Name: "SHiP", New: func(s, w int) cache.Policy { return NewSHiP(s, w) }},
+		"mslru": {Name: "MSLRU", New: func(s, w int) cache.Policy {
+			p := NewMSLRU(s, w, DefaultMSLRUStep(w))
+			p.SetName("MSLRU")
+			return p
+		}},
 		"giplr": {Name: "GIPLR", New: func(s, w int) cache.Policy {
 			return NewGIPLR(s, w, paperVectorFor(w, ipv.PaperGIPLR))
 		}},
