@@ -31,14 +31,15 @@ bench:
 
 # Coverage gate: short-mode statement coverage must stay at or above the
 # floor measured when the gate was introduced (75.6% total). The one-pass
-# stack-distance engine and the batched replay kernel carry their own
-# per-package floors on top — they are the exactness anchors of the sweep
-# and replay paths, so their differential batteries must keep covering them.
-# Raise the floors when coverage durably improves; never lower them to make
-# a PR pass.
+# stack-distance engine, the batched replay kernel, and the policy-diff
+# explain engine carry their own per-package floors on top — they are the
+# exactness anchors of the sweep, replay, and why-report paths, so their
+# differential batteries must keep covering them. Raise the floors when
+# coverage durably improves; never lower them to make a PR pass.
 COVER_MIN ?= 75.0
 STACKDIST_COVER_MIN ?= 85.0
 BATCHREPLAY_COVER_MIN ?= 85.0
+EXPLAIN_COVER_MIN ?= 85.0
 COVERPROFILE ?= cover.out
 cover: vet
 	$(GO) test -short -count=1 -coverprofile=$(COVERPROFILE) ./...
@@ -55,6 +56,10 @@ cover: vet
 	awk -v t=$$br -v min=$(BATCHREPLAY_COVER_MIN) 'BEGIN { \
 		if (t+0 < min+0) { printf "internal/batchreplay coverage %.1f%% is below the %.1f%% gate\n", t, min; exit 1 } \
 		printf "internal/batchreplay coverage %.1f%% meets the %.1f%% gate\n", t, min }'
+	@ex=$$($(GO) test -short -count=1 -cover ./internal/explain | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%/) { gsub("%","",$$i); print $$i } }'); \
+	awk -v t=$$ex -v min=$(EXPLAIN_COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "internal/explain coverage %.1f%% is below the %.1f%% gate\n", t, min; exit 1 } \
+		printf "internal/explain coverage %.1f%% meets the %.1f%% gate\n", t, min }'
 
 # End-to-end daemon smoke: build gippr-serve, drive the v1 job API with
 # curl against an ephemeral port, and require SIGTERM to drain with exit 0.
@@ -92,6 +97,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzBatchedReplayConsistency -fuzztime=$(FUZZTIME) ./internal/batchreplay
 	$(GO) test -run=^$$ -fuzz=FuzzSubmitRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzOnePassConsistency -fuzztime=$(FUZZTIME) ./internal/stackdist
+	$(GO) test -run=^$$ -fuzz=FuzzExplainDecomposition -fuzztime=$(FUZZTIME) ./internal/explain
 
 # Fault-injection suite under the race detector: torn streams, dropped
 # connections, dead/slow/flaky peers, breaker transitions — every scenario

@@ -4,19 +4,26 @@
 // Usage:
 //
 //	gippr-report [-scale smoke|default|full] [-only fig1,fig4,...] [-workers N]
-//	             [-deadline dur] [-telemetry manifest.json] [-debug-addr host:port]
+//	             [-diff polA,polB] [-deadline dur] [-telemetry manifest.json]
+//	             [-debug-addr host:port]
 //
 // The scale flag overrides the GIPPR_SCALE environment variable. With no
-// -only flag, all figures are produced in paper order. With -telemetry, an
-// event-level JSON run manifest over the headline policy roster is written
-// after the sections; with -debug-addr, live progress gauges are served as
-// expvar at /debug/vars alongside the pprof suite. SIGINT/SIGTERM or
-// -deadline stop the report at the next section boundary: the section in
-// flight finishes and prints (sections are all-or-nothing), later sections
-// are skipped, and the exit code is 3.
+// -only flag, all sections are produced in paper order; -only takes names
+// from the report section registry, and an unknown name is a usage error
+// (exit code 2), never a silent skip. The diff section explains the second
+// -diff policy relative to the first (default lru,gippr) with one
+// explanation JSON line per workload — the same versioned document
+// gippr-serve's /v1/explain streams. With -telemetry, an event-level JSON
+// run manifest over the headline policy roster is written after the
+// sections; with -debug-addr, live progress gauges are served as expvar at
+// /debug/vars alongside the pprof suite. SIGINT/SIGTERM or -deadline stop
+// the report at the next section boundary: the section in flight finishes
+// and prints (sections are all-or-nothing), later sections are skipped,
+// and the exit code is 3.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +31,14 @@ import (
 	"time"
 
 	"gippr/internal/experiments"
+	"gippr/internal/report"
 	"gippr/internal/runctx"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "", "experiment scale: smoke, default or full (overrides GIPPR_SCALE)")
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,fig10,fig11,fig12,fig13,overhead,vectors,streams,interpret,characterize,multicore,assoc,rripv,bypass,simpoint,sampling,lattice")
+	only := flag.String("only", "", "comma-separated subset of: "+report.List())
+	diffPair := flag.String("diff", "lru,gippr", "policy pair for the diff section: baseline,contender (registry names)")
 	workers := flag.Int("workers", 0, "worker goroutines for the evaluation grid (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget; on expiry the current section finishes and the rest are skipped (exit code 3)")
 	telemetryPath := flag.String("telemetry", "", "write an event-level JSON run manifest over the headline policy roster to this file")
@@ -50,13 +59,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, f := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(f)] = true
+	want, err := report.Parse(*only)
+	if err != nil {
+		// Typed registry lookup: a misspelled section is a usage error the
+		// user must see, not a silently empty report.
+		fmt.Fprintf(os.Stderr, "gippr-report: %v\n", err)
+		os.Exit(runctx.ExitUsage)
+	}
+
+	pair := strings.Split(*diffPair, ",")
+	if len(pair) != 2 {
+		fmt.Fprintf(os.Stderr, "gippr-report: -diff wants two comma-separated policy names, got %q\n", *diffPair)
+		os.Exit(runctx.ExitUsage)
+	}
+	diffA, errA := experiments.SpecFromRegistry(strings.TrimSpace(pair[0]))
+	diffB, errB := experiments.SpecFromRegistry(strings.TrimSpace(pair[1]))
+	for _, err := range []error{errA, errB} {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gippr-report: -diff: %v\n", err)
+			os.Exit(runctx.ExitUsage)
 		}
 	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
 	ctx, stop := runctx.Setup(*deadline)
 	defer stop()
@@ -77,11 +100,11 @@ func main() {
 	fmt.Printf("gippr-report: scale=%s (%d records/phase, warm %.0f%%, %d workers)\n\n",
 		scale.Name, scale.PhaseRecords, 100*scale.WarmFrac, lab.Workers)
 
-	section := func(name string, f func()) {
-		if !sel(name) || ctx.Err() != nil {
+	section := func(name report.Section, f func()) {
+		if !report.Selected(want, name) || ctx.Err() != nil {
 			return
 		}
-		prog.SetPhase(name)
+		prog.SetPhase(string(name))
 		start := time.Now()
 		f()
 		prog.Add(1)
@@ -142,6 +165,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(s)
+	})
+	section("diff", func() {
+		// The why section: one explanation per workload of diffB relative to
+		// diffA, as compact JSON lines — the same versioned documents
+		// /v1/explain streams, prose included (see DESIGN.md section 15).
+		fmt.Printf("Diff: %s vs %s (why %s differs, per workload)\n", diffA.Label, diffB.Label, diffB.Label)
+		expls, err := lab.DiffAll(ctx, diffA, diffB, lab.Suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gippr-report: %v\n", err)
+			os.Exit(runctx.ExitFailure)
+		}
+		for _, e := range expls {
+			raw, err := json.Marshal(e)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gippr-report: %v\n", err)
+				os.Exit(runctx.ExitFailure)
+			}
+			fmt.Printf("%s\n", raw)
+		}
 	})
 
 	if *telemetryPath != "" && ctx.Err() == nil {

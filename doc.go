@@ -26,6 +26,23 @@
 //	h := sess.Hierarchy(pol)                      // LRU L1/L2, pol at the LLC
 //	level := h.Access(gippr.Record{Gap: 1, Addr: 0xdeadbeef})
 //
+// Every replay-style entry point (Session.Replay, Session.Optimal,
+// Session.Sweep, Session.Explain) shares one warm-up contract: a warm
+// argument (or Warm option field) names the number of leading stream
+// records that only populate cache state — they count toward no statistic,
+// no telemetry event, and no MPKI figure. Measurement covers exactly the
+// remaining records, a warm beyond the stream's length clamps to it, and
+// warm 0 measures the whole stream. Zero-valued options likewise default
+// to the Session's own configuration: Sweep geometry fields fall back to
+// the configured LLC, and ExplainOptions' zero value measures the whole
+// stream under the Session's fidelity.
+//
+// Beyond replaying, Session.Explain answers *why* two policies differ: an
+// Explanation decomposes the miss delta exactly across reuse-interval
+// buckets and cites the insertion/promotion divergence behind it — the
+// same versioned document gippr-report's diff section prints and
+// gippr-serve's /v1/explain serves.
+//
 // Pre-Session constructors (DefaultHierarchy, NewEvolveEnv) remain as thin
 // deprecated wrappers; new code should go through a Session.
 //

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"gippr/internal/cache"
+	"gippr/internal/cpu"
+	"gippr/internal/explain"
+	"gippr/internal/parallel"
+	"gippr/internal/stats"
+	"gippr/internal/telemetry"
+	"gippr/internal/workload"
+)
+
+// telCapture is the memoized instrumented run of one (policy, workload):
+// per-phase terminal counts with their reuse histograms, the merged
+// event-level report, and the weighted MPKI computed with the exact same
+// expression as Lab.MPKI — the kernel's per-model equivalence guarantee
+// makes the instrumented counts bit-identical to the memoized terminal
+// ones, so this MPKI matches the golden path bit for bit.
+type telCapture struct {
+	phases []explain.PhaseStats
+	merged telemetry.Report
+	mpki   float64
+}
+
+// telFlight is the singleflight slot of one capture; same protocol as
+// flight (see its comment for the ready/once contract).
+type telFlight struct {
+	once  sync.Once
+	ready atomic.Bool
+	cap   telCapture
+}
+
+func (f *telFlight) set(c telCapture) {
+	f.cap = c
+	f.ready.Store(true)
+}
+
+// diffFlight memoizes one settled explanation.
+type diffFlight struct {
+	once sync.Once
+	expl *explain.Explanation
+	err  error
+}
+
+// claimTel returns the capture slot for key, creating it if absent.
+func (l *Lab) claimTel(key string) *telFlight {
+	l.mu.Lock()
+	f, ok := l.tels[key]
+	if !ok {
+		f = &telFlight{}
+		l.tels[key] = f
+	}
+	l.mu.Unlock()
+	return f
+}
+
+// claimDiff returns the explanation slot for key, creating it if absent.
+func (l *Lab) claimDiff(key string) *diffFlight {
+	l.mu.Lock()
+	f, ok := l.diffs[key]
+	if !ok {
+		f = &diffFlight{}
+		l.diffs[key] = f
+	}
+	l.mu.Unlock()
+	return f
+}
+
+func telKey(spec Spec, w workload.Workload) string { return spec.Key + "|" + w.Name }
+
+// captureTel settles the instrumented captures of every given spec on one
+// workload with a single pass per phase: specs whose capture is already
+// settled are skipped, the rest replay together via cpu.MultiWindowReplay
+// with a private sink each. Like multiPhaseRun, each computed value is
+// bit-identical to a standalone instrumented replay, so concurrent
+// captures of overlapping spec sets agree on every value.
+func (l *Lab) captureTel(specs []Spec, w workload.Workload) {
+	type slot struct {
+		f    *telFlight
+		spec Spec
+	}
+	var todo []slot
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if seen[s.Key] {
+			continue
+		}
+		seen[s.Key] = true
+		f := l.claimTel(telKey(s, w))
+		if !f.ready.Load() {
+			todo = append(todo, slot{f: f, spec: s})
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	caps := make([]telCapture, len(todo))
+	merged := make([]*telemetry.Sink, len(todo))
+	vals := make([][]float64, len(todo))
+	for i := range todo {
+		merged[i] = &telemetry.Sink{}
+		vals[i] = make([]float64, len(w.Phases))
+	}
+	wts := make([]float64, len(w.Phases))
+	for pi, ph := range w.Phases {
+		st := l.Streams(w)[pi]
+		pols := make([]cache.Policy, len(todo))
+		models := make([]*cpu.WindowModel, len(todo))
+		sinks := make([]*telemetry.Sink, len(todo))
+		for i, s := range todo {
+			pols[i] = s.spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
+			models[i] = cpu.DefaultWindowModel()
+			sinks[i] = &telemetry.Sink{}
+		}
+		results := cpu.MultiWindowReplay(st.Records, l.Cfg, pols, l.warm(len(st.Records)), models, sinks)
+		wts[pi] = ph.Weight
+		for i := range todo {
+			caps[i].phases = append(caps[i].phases, explain.PhaseStats{
+				Weight:       ph.Weight,
+				Misses:       results[i].Misses,
+				Hits:         results[i].Hits,
+				Accesses:     results[i].Accesses,
+				Instructions: results[i].Instructions,
+				HitReuse:     sinks[i].HitReuse.Snapshot(),
+			})
+			merged[i].Merge(sinks[i])
+			vals[i][pi] = l.phaseMPKI(results[i].Misses, results[i].Instructions)
+		}
+	}
+	for i, s := range todo {
+		caps[i].merged = merged[i].Report()
+		caps[i].mpki = stats.WeightedMean(vals[i], wts)
+		c := caps[i]
+		s.f.once.Do(func() { s.f.set(c) })
+	}
+}
+
+// telOf returns the memoized capture of one (spec, workload), computing it
+// alone if no batch capture settled it first.
+func (l *Lab) telOf(spec Spec, w workload.Workload) telCapture {
+	f := l.claimTel(telKey(spec, w))
+	f.once.Do(func() {
+		merged := &telemetry.Sink{}
+		vals := make([]float64, len(w.Phases))
+		wts := make([]float64, len(w.Phases))
+		var c telCapture
+		for pi, ph := range w.Phases {
+			st := l.Streams(w)[pi]
+			pol := spec.New(w.Name, l.Cfg.Sets(), l.Cfg.Ways)
+			var sink telemetry.Sink
+			res := cpu.WindowReplayTel(st.Records, l.Cfg, pol, l.warm(len(st.Records)),
+				cpu.DefaultWindowModel(), &sink)
+			c.phases = append(c.phases, explain.PhaseStats{
+				Weight:       ph.Weight,
+				Misses:       res.Misses,
+				Hits:         res.Hits,
+				Accesses:     res.Accesses,
+				Instructions: res.Instructions,
+				HitReuse:     sink.HitReuse.Snapshot(),
+			})
+			merged.Merge(&sink)
+			vals[pi] = l.phaseMPKI(res.Misses, res.Instructions)
+			wts[pi] = ph.Weight
+		}
+		c.merged = merged.Report()
+		c.mpki = stats.WeightedMean(vals, wts)
+		f.set(c)
+	})
+	return f.cap
+}
+
+// side assembles one explain input from a settled capture.
+func (l *Lab) side(spec Spec, c telCapture) explain.Side {
+	s := explain.Side{
+		Policy:    spec.Label,
+		MPKI:      c.mpki,
+		Telemetry: c.merged,
+		Phases:    c.phases,
+	}
+	for _, p := range c.phases {
+		s.Misses += p.Misses
+		s.Hits += p.Hits
+		s.Accesses += p.Accesses
+		s.Instructions += p.Instructions
+	}
+	if l.Cfg.SampleShift != 0 {
+		s.MPKIScale = l.sampleFactor()
+	}
+	return s
+}
+
+// Diff explains spec b relative to spec a on one workload: both sides are
+// captured from a single instrumented pass over the workload's streams
+// (one cpu.MultiWindowReplay per phase), then decomposed by
+// explain.Diff. Results are memoized per (a, b, workload) and captures
+// are shared across diffs — Diff(A, B, w) then Diff(A, C, w) replays A
+// once. The headline MPKIs equal Lab.MPKI bit for bit.
+func (l *Lab) Diff(a, b Spec, w workload.Workload) (*explain.Explanation, error) {
+	f := l.claimDiff(a.Key + "|" + b.Key + "|" + w.Name)
+	f.once.Do(func() {
+		l.captureTel([]Spec{a, b}, w)
+		sa := l.side(a, l.telOf(a, w))
+		sb := l.side(b, l.telOf(b, w))
+		f.expl, f.err = explain.Diff(w.Name, sa, sb)
+	})
+	return f.expl, f.err
+}
+
+// DiffAll explains b relative to a on every given workload, fanning the
+// per-workload captures across the lab's workers. On cancellation the
+// slice holds the explanations settled so far (nil for the rest) and
+// ctx's error; otherwise the first per-workload failure is returned with
+// every non-failed entry populated.
+func (l *Lab) DiffAll(ctx context.Context, a, b Spec, wls []workload.Workload) ([]*explain.Explanation, error) {
+	out := make([]*explain.Explanation, len(wls))
+	errs := make([]error, len(wls))
+	err := parallel.ForCtx(ctx, l.Workers, len(wls), func(i int) {
+		out[i], errs[i] = l.Diff(a, b, wls[i])
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			out[i] = nil
+			return out, e
+		}
+	}
+	return out, nil
+}

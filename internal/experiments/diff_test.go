@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"gippr/internal/explain"
+)
+
+const goldenExplainPath = "testdata/golden_explain.json"
+
+// TestDiffDecompositionIdentity is the differential battery behind the
+// explain engine: for every pair of roster policies, on every covered
+// workload, at 1 and at 8 workers, the explanation's per-bucket hit deltas
+// must sum to the replay's exact miss delta (in integers, bit for bit) and
+// the headline MPKIs must equal the golden-path Lab.MPKI values bit for
+// bit. The 1- and 8-worker explanations must also agree byte for byte once
+// rendered — worker scheduling must not perturb a single field.
+func TestDiffDecompositionIdentity(t *testing.T) {
+	specs := goldenSpecs()
+	wls := NewLab(Smoke).Suite()
+	if testing.Short() {
+		specs = specs[:4]
+		wls = wls[:3]
+	} else {
+		wls = wls[:6]
+	}
+
+	type cell struct{ a, b, w string }
+	rendered := map[int]map[cell][]byte{}
+	for _, workers := range []int{1, 8} {
+		lab := NewLab(Smoke).SetWorkers(workers)
+		rendered[workers] = map[cell][]byte{}
+		for _, w := range wls {
+			for i := 0; i < len(specs); i++ {
+				for j := i + 1; j < len(specs); j++ {
+					a, b := specs[i], specs[j]
+					e, err := lab.Diff(a, b, w)
+					if err != nil {
+						t.Fatalf("Diff(%s, %s, %s): %v", a.Key, b.Key, w.Name, err)
+					}
+					var sum int64
+					for _, bkt := range e.Reuse {
+						sum += bkt.SavedMisses
+					}
+					if sum != e.MissesSaved {
+						t.Fatalf("%s vs %s on %s: bucket deltas sum to %d, want %d",
+							a.Key, b.Key, w.Name, sum, e.MissesSaved)
+					}
+					if got, want := goldenKey(e.MPKIA), goldenKey(lab.MPKI(a, w)); got != want {
+						t.Fatalf("%s on %s: explain MPKI %s, golden path %s", a.Key, w.Name, got, want)
+					}
+					if got, want := goldenKey(e.MPKIB), goldenKey(lab.MPKI(b, w)); got != want {
+						t.Fatalf("%s on %s: explain MPKI %s, golden path %s", b.Key, w.Name, got, want)
+					}
+					if e.MPKISaved != e.MPKIA-e.MPKIB {
+						t.Fatalf("%s vs %s on %s: MPKISaved %v != %v - %v",
+							a.Key, b.Key, w.Name, e.MPKISaved, e.MPKIA, e.MPKIB)
+					}
+					raw, err := json.Marshal(e)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rendered[workers][cell{a.Key, b.Key, w.Name}] = raw
+				}
+			}
+		}
+	}
+	for c, one := range rendered[1] {
+		if eight, ok := rendered[8][c]; !ok || !bytes.Equal(one, eight) {
+			t.Fatalf("%s vs %s on %s: 1-worker and 8-worker explanations differ", c.a, c.b, c.w)
+		}
+	}
+}
+
+// TestDiffMemoization checks that the capture and diff memos behave:
+// repeated diffs return the identical explanation, and the reversed pair
+// negates the headline deltas exactly (both directions read the same
+// captures).
+func TestDiffMemoization(t *testing.T) {
+	lab := NewLab(Smoke).SetWorkers(2)
+	w := lab.Suite()[0]
+	a, b := SpecLRU, SpecWIGIPPR
+	e1, err := lab.Diff(a, b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := lab.Diff(a, b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("repeated Diff did not return the memoized explanation")
+	}
+	rev, err := lab.Diff(b, a, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.MissesSaved != -e1.MissesSaved || rev.MPKISaved != -(e1.MPKISaved) {
+		t.Fatalf("reversed diff: saved %d/%v, want %d/%v",
+			rev.MissesSaved, rev.MPKISaved, -e1.MissesSaved, -e1.MPKISaved)
+	}
+}
+
+// TestDiffAll checks the fan-out wrapper: per-workload explanations in
+// suite order, matching the memoized per-workload diffs.
+func TestDiffAll(t *testing.T) {
+	lab := NewLab(Smoke).SetWorkers(4)
+	wls := lab.Suite()[:4]
+	out, err := lab.DiffAll(context.Background(), SpecLRU, SpecWIGIPPR, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(wls) {
+		t.Fatalf("got %d explanations, want %d", len(out), len(wls))
+	}
+	for i, w := range wls {
+		if out[i] == nil || out[i].Workload != w.Name {
+			t.Fatalf("entry %d: got %+v, want workload %s", i, out[i], w.Name)
+		}
+		single, err := lab.Diff(SpecLRU, SpecWIGIPPR, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != single {
+			t.Fatalf("entry %d is not the memoized explanation", i)
+		}
+	}
+}
+
+// TestGoldenExplain pins one full explanation — LRU vs WI-4-DGIPPR on the
+// first suite workload — to a checked-in fixture, byte for byte. Like the
+// MPKI golden file, any intentional simulator or schema change regenerates
+// it with -update; review the diff before committing.
+func TestGoldenExplain(t *testing.T) {
+	lab := NewLab(Smoke).SetWorkers(1)
+	e, err := lab.Diff(SpecLRU, SpecWI4DGIPPR, lab.Suite()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != explain.Version {
+		t.Fatalf("explanation version %d, want %d", e.Version, explain.Version)
+	}
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	if *updateGolden {
+		if err := os.WriteFile(goldenExplainPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenExplainPath)
+		return
+	}
+	want, err := os.ReadFile(goldenExplainPath)
+	if err != nil {
+		t.Fatalf("reading golden explanation (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("explanation diverged from %s (regenerate with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			goldenExplainPath, raw, want)
+	}
+}

@@ -117,6 +117,8 @@ type Lab struct {
 	results map[string]*flight      // key: policyKey|workload|phase
 	optimal map[string]*flight      // key: workload|phase
 	sweeps  map[string]*sweepFlight // key: latticeKey|workload|phase
+	tels    map[string]*telFlight   // key: policyKey|workload
+	diffs   map[string]*diffFlight  // key: policyKeyA|policyKeyB|workload
 
 	mu sync.Mutex // guards the result maps' entries, not their computation
 
@@ -137,6 +139,8 @@ func NewLab(s Scale) *Lab {
 		results: make(map[string]*flight),
 		optimal: make(map[string]*flight),
 		sweeps:  make(map[string]*sweepFlight),
+		tels:    make(map[string]*telFlight),
+		diffs:   make(map[string]*diffFlight),
 	}
 }
 
@@ -158,6 +162,8 @@ func (l *Lab) WithSampling(shift uint) *Lab {
 		results: make(map[string]*flight),
 		optimal: make(map[string]*flight),
 		sweeps:  make(map[string]*sweepFlight),
+		tels:    make(map[string]*telFlight),
+		diffs:   make(map[string]*diffFlight),
 	}
 	n.Cfg.SampleShift = shift
 	return n

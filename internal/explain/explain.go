@@ -1,0 +1,431 @@
+// Package explain is the policy-diff "why" engine: it turns the event-level
+// telemetry two policies produced on the same workload into a structured,
+// versioned attribution report — not just *that* policy B beats policy A on
+// MPKI, but *which* reuse intervals the saved misses live in and *which*
+// insertion/promotion behaviour moved them.
+//
+// The engine's anchor is an exact accounting identity. Both sides replay the
+// identical LLC stream over the identical measurement window, so their
+// access counts agree and
+//
+//	missesA - missesB == hitsB - hitsA == Σ_i (hitsB[i] - hitsA[i])
+//
+// where i ranges over the reuse-interval buckets of the telemetry HitReuse
+// histogram (every hit lands in exactly one bucket). The per-bucket hit
+// deltas therefore decompose the miss delta *exactly*, in integers, with no
+// estimation anywhere — Diff refuses inputs for which the identity cannot
+// hold (mismatched streams, inconsistent telemetry) instead of producing a
+// plausible-but-wrong report. MPKI figures are carried alongside as floats
+// computed by the caller on the golden replay path (experiments.Lab, the
+// v1 Session), so every number in an Explanation is bit-identically
+// derivable from the numbers the grid engine already reports.
+//
+// The package has no opinion about where the inputs come from: the Lab
+// feeds it memoized instrumented captures, gippr-serve feeds it the same
+// captures through the job queue, and the v1 facade feeds it standalone
+// replays of a user's stream. All three produce the same Explanation for
+// the same underlying run.
+package explain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"gippr/internal/stats"
+	"gippr/internal/telemetry"
+)
+
+// Version identifies the Explanation schema; bump it on incompatible
+// changes so stored and served reports can be refused rather than
+// misread.
+const Version = 1
+
+// ErrMismatch rejects a diff whose two sides did not replay the same
+// stream over the same window — their access or instruction counts (or
+// phase structures) disagree, so no exact decomposition exists.
+var ErrMismatch = errors.New("explain: sides are not comparable")
+
+// ErrInconsistent rejects a side whose telemetry disagrees with its
+// terminal replay stats (for example a reuse histogram that does not sum
+// to the hit count): the decomposition identity would silently break, so
+// the input is refused instead.
+var ErrInconsistent = errors.New("explain: telemetry inconsistent with replay stats")
+
+// PhaseStats is the per-phase detail of one side: the terminal counts of
+// one phase's measurement window plus its reuse-interval histogram. Phase
+// structure lets the decomposition weight per-bucket MPKI contributions
+// exactly like the golden path weights per-phase MPKI.
+type PhaseStats struct {
+	Weight       float64
+	Misses       uint64
+	Hits         uint64
+	Accesses     uint64
+	Instructions uint64
+	HitReuse     telemetry.HistogramSnapshot
+}
+
+// Side is one (workload, policy) input of a diff: the headline MPKI as the
+// golden replay path computed it, the terminal totals of the measurement
+// window, the merged event-level telemetry, and (optionally) per-phase
+// detail. A nil Phases treats the totals as one phase of weight 1.
+// MPKIScale is the set-sampling scale-up factor the MPKI figures were
+// computed under (0 or 1 = full fidelity); it must match between sides.
+type Side struct {
+	Policy       string
+	MPKI         float64
+	Misses       uint64
+	Hits         uint64
+	Accesses     uint64
+	Instructions uint64
+	Telemetry    telemetry.Report
+	Phases       []PhaseStats
+	MPKIScale    float64
+}
+
+// ReuseBucket is one reuse-interval bucket of the decomposition: how many
+// hits each side scored on blocks re-touched after [Lo, Hi] accesses, the
+// miss savings B's extra hits represent, that bucket's share of the total
+// absolute savings, and its MPKI contribution (phase-weighted like the
+// headline MPKI). SavedMisses is exact: summed over all buckets it equals
+// MissesSaved bit for bit.
+type ReuseBucket struct {
+	Lo          uint64  `json:"lo"`
+	Hi          uint64  `json:"hi"`
+	HitsA       uint64  `json:"hits_a"`
+	HitsB       uint64  `json:"hits_b"`
+	SavedMisses int64   `json:"saved_misses"`
+	Share       float64 `json:"share,omitempty"`
+	MPKISaved   float64 `json:"mpki_saved,omitempty"`
+}
+
+// Divergence compares one behavioural histogram (insertion position,
+// promotion distance) across the two sides via the stable quantile API.
+// Empty histograms (a policy that does not emit that event) read as zero.
+type Divergence struct {
+	CountA uint64  `json:"count_a"`
+	CountB uint64  `json:"count_b"`
+	MeanA  float64 `json:"mean_a"`
+	MeanB  float64 `json:"mean_b"`
+	P50A   uint64  `json:"p50_a"`
+	P50B   uint64  `json:"p50_b"`
+	P90A   uint64  `json:"p90_a"`
+	P90B   uint64  `json:"p90_b"`
+}
+
+// Explanation is the versioned policy-diff report: B relative to A on one
+// workload. MissesSaved = MissesA - MissesB (positive means B misses
+// less); MPKISaved = MPKIA - MPKIB on the golden path. Reuse lists every
+// bucket either side hit, in ascending interval order; Decomposition
+// lists the non-zero buckets ranked by absolute savings — the mechanisms,
+// largest first. Residual is MPKISaved minus the sum of per-bucket MPKI
+// contributions: zero up to float associativity, it quantifies "within
+// rounding" instead of asserting it.
+type Explanation struct {
+	Version  int    `json:"version"`
+	Workload string `json:"workload"`
+	PolicyA  string `json:"policy_a"`
+	PolicyB  string `json:"policy_b"`
+
+	MPKIA       float64 `json:"mpki_a"`
+	MPKIB       float64 `json:"mpki_b"`
+	MPKISaved   float64 `json:"mpki_saved"`
+	MissesA     uint64  `json:"misses_a"`
+	MissesB     uint64  `json:"misses_b"`
+	MissesSaved int64   `json:"misses_saved"`
+
+	Accesses     uint64 `json:"accesses"`
+	Instructions uint64 `json:"instructions"`
+
+	Reuse         []ReuseBucket `json:"reuse"`
+	Decomposition []ReuseBucket `json:"decomposition,omitempty"`
+	Residual      float64       `json:"residual"`
+
+	Insertion Divergence `json:"insertion"`
+	Promotion Divergence `json:"promotion"`
+
+	Prose string `json:"prose"`
+}
+
+// onePhase synthesizes the single-phase view of a side's totals for
+// callers that did not keep per-phase detail.
+func onePhase(s Side) []PhaseStats {
+	return []PhaseStats{{
+		Weight:       1,
+		Misses:       s.Misses,
+		Hits:         s.Hits,
+		Accesses:     s.Accesses,
+		Instructions: s.Instructions,
+		HitReuse:     s.Telemetry.HitReuse,
+	}}
+}
+
+// bucketCounts expands a snapshot into the fixed power-of-two bucket array
+// through the stable iteration API.
+func bucketCounts(h telemetry.HistogramSnapshot) [telemetry.NumBuckets]uint64 {
+	var out [telemetry.NumBuckets]uint64
+	h.Each(func(b telemetry.BucketSnapshot) {
+		for i := 0; i < telemetry.NumBuckets; i++ {
+			lo, _ := telemetry.BucketBounds(i)
+			if lo == b.Lo {
+				out[i] += b.Count
+				return
+			}
+		}
+	})
+	return out
+}
+
+// checkSide verifies one side's internal consistency: totals must agree
+// with the phase structure, and the reuse histogram must cover every hit
+// (the decomposition identity needs each hit in exactly one bucket).
+func checkSide(s Side, phases []PhaseStats) error {
+	if s.Hits+s.Misses != s.Accesses {
+		return fmt.Errorf("%w: %s: hits %d + misses %d != accesses %d",
+			ErrInconsistent, s.Policy, s.Hits, s.Misses, s.Accesses)
+	}
+	var misses, hits, accesses, instrs, reuse uint64
+	for _, p := range phases {
+		misses += p.Misses
+		hits += p.Hits
+		accesses += p.Accesses
+		instrs += p.Instructions
+		reuse += p.HitReuse.Count
+		if p.HitReuse.Count != p.Hits {
+			return fmt.Errorf("%w: %s: phase reuse histogram covers %d hits of %d",
+				ErrInconsistent, s.Policy, p.HitReuse.Count, p.Hits)
+		}
+	}
+	if misses != s.Misses || hits != s.Hits || accesses != s.Accesses || instrs != s.Instructions {
+		return fmt.Errorf("%w: %s: phase totals (%d/%d/%d/%d) disagree with side totals (%d/%d/%d/%d)",
+			ErrInconsistent, s.Policy, misses, hits, accesses, instrs,
+			s.Misses, s.Hits, s.Accesses, s.Instructions)
+	}
+	if s.Telemetry.HitReuse.Count != 0 && s.Telemetry.HitReuse.Count != s.Hits {
+		return fmt.Errorf("%w: %s: merged reuse histogram covers %d hits of %d",
+			ErrInconsistent, s.Policy, s.Telemetry.HitReuse.Count, s.Hits)
+	}
+	return nil
+}
+
+// scale returns the side's MPKI scale-up factor with the zero value
+// meaning full fidelity.
+func scale(s Side) float64 {
+	if s.MPKIScale == 0 {
+		return 1
+	}
+	return s.MPKIScale
+}
+
+// Diff builds the explanation of side b relative to side a on one
+// workload. Both sides must describe the same stream: equal access and
+// instruction counts, phase for phase. Every failure wraps ErrMismatch or
+// ErrInconsistent.
+func Diff(workload string, a, b Side) (*Explanation, error) {
+	pa, pb := a.Phases, b.Phases
+	if pa == nil {
+		pa = onePhase(a)
+	}
+	if pb == nil {
+		pb = onePhase(b)
+	}
+	if len(pa) != len(pb) {
+		return nil, fmt.Errorf("%w: %d phases vs %d", ErrMismatch, len(pa), len(pb))
+	}
+	if a.Accesses != b.Accesses {
+		return nil, fmt.Errorf("%w: accesses %d vs %d (different streams?)",
+			ErrMismatch, a.Accesses, b.Accesses)
+	}
+	if a.Instructions != b.Instructions {
+		return nil, fmt.Errorf("%w: instructions %d vs %d (different windows?)",
+			ErrMismatch, a.Instructions, b.Instructions)
+	}
+	if scale(a) != scale(b) {
+		return nil, fmt.Errorf("%w: sampling scale %v vs %v", ErrMismatch, scale(a), scale(b))
+	}
+	for i := range pa {
+		if pa[i].Weight != pb[i].Weight || pa[i].Accesses != pb[i].Accesses ||
+			pa[i].Instructions != pb[i].Instructions {
+			return nil, fmt.Errorf("%w: phase %d shape differs between sides", ErrMismatch, i)
+		}
+	}
+	if err := checkSide(a, pa); err != nil {
+		return nil, err
+	}
+	if err := checkSide(b, pb); err != nil {
+		return nil, err
+	}
+
+	e := &Explanation{
+		Version:      Version,
+		Workload:     workload,
+		PolicyA:      a.Policy,
+		PolicyB:      b.Policy,
+		MPKIA:        a.MPKI,
+		MPKIB:        b.MPKI,
+		MPKISaved:    a.MPKI - b.MPKI,
+		MissesA:      a.Misses,
+		MissesB:      b.Misses,
+		MissesSaved:  int64(a.Misses) - int64(b.Misses),
+		Accesses:     a.Accesses,
+		Instructions: a.Instructions,
+		Insertion:    divergence(a.Telemetry.InsertPos, b.Telemetry.InsertPos),
+		Promotion:    divergence(a.Telemetry.PromoteDist, b.Telemetry.PromoteDist),
+	}
+
+	// Per-bucket savings. The integer totals come from the merged (summed)
+	// per-phase histograms; the MPKI contribution of bucket i is the
+	// phase-weighted mean of 1000*Δhits_p[i]/instr_p — the same shape, the
+	// same weights, and the same stats helpers as the golden per-phase
+	// MPKI aggregation, so the float bookkeeping diverges from the
+	// headline delta only by associativity (captured in Residual).
+	factor := scale(a)
+	var hitsA, hitsB [telemetry.NumBuckets]uint64
+	vals := make([]float64, len(pa))
+	wts := make([]float64, len(pa))
+	mpkiSaved := make([]float64, telemetry.NumBuckets)
+	perPhaseA := make([][telemetry.NumBuckets]uint64, len(pa))
+	perPhaseB := make([][telemetry.NumBuckets]uint64, len(pb))
+	for p := range pa {
+		perPhaseA[p] = bucketCounts(pa[p].HitReuse)
+		perPhaseB[p] = bucketCounts(pb[p].HitReuse)
+		wts[p] = pa[p].Weight
+		for i := range hitsA {
+			hitsA[i] += perPhaseA[p][i]
+			hitsB[i] += perPhaseB[p][i]
+		}
+	}
+	for i := 0; i < telemetry.NumBuckets; i++ {
+		for p := range pa {
+			d := int64(perPhaseB[p][i]) - int64(perPhaseA[p][i])
+			if pa[p].Instructions == 0 {
+				vals[p] = 0
+				continue
+			}
+			v := 1000 * float64(d) / float64(pa[p].Instructions)
+			if factor != 1 {
+				v *= factor
+			}
+			vals[p] = v
+		}
+		mpkiSaved[i] = stats.WeightedMean(vals, wts)
+	}
+
+	var totalAbs float64
+	for i := range hitsA {
+		if d := int64(hitsB[i]) - int64(hitsA[i]); d != 0 {
+			totalAbs += math.Abs(float64(d))
+		}
+	}
+	var decompSum float64
+	for i := 0; i < telemetry.NumBuckets; i++ {
+		if hitsA[i] == 0 && hitsB[i] == 0 {
+			continue
+		}
+		lo, hi := telemetry.BucketBounds(i)
+		d := int64(hitsB[i]) - int64(hitsA[i])
+		bkt := ReuseBucket{
+			Lo: lo, Hi: hi,
+			HitsA:       hitsA[i],
+			HitsB:       hitsB[i],
+			SavedMisses: d,
+			MPKISaved:   mpkiSaved[i],
+		}
+		if totalAbs > 0 {
+			bkt.Share = math.Abs(float64(d)) / totalAbs
+		}
+		decompSum += mpkiSaved[i]
+		e.Reuse = append(e.Reuse, bkt)
+		if d != 0 {
+			e.Decomposition = append(e.Decomposition, bkt)
+		}
+	}
+	e.Residual = e.MPKISaved - decompSum
+	sort.SliceStable(e.Decomposition, func(x, y int) bool {
+		dx := math.Abs(float64(e.Decomposition[x].SavedMisses))
+		dy := math.Abs(float64(e.Decomposition[y].SavedMisses))
+		if dx != dy {
+			return dx > dy
+		}
+		return e.Decomposition[x].Lo < e.Decomposition[y].Lo
+	})
+
+	e.Prose = prose(e)
+	return e, nil
+}
+
+// divergence summarizes two behavioural histograms via the stable
+// mean/quantile API.
+func divergence(a, b telemetry.HistogramSnapshot) Divergence {
+	return Divergence{
+		CountA: a.Count, CountB: b.Count,
+		MeanA: a.Mean, MeanB: b.Mean,
+		P50A: a.Quantile(0.50), P50B: b.Quantile(0.50),
+		P90A: a.Quantile(0.90), P90B: b.Quantile(0.90),
+	}
+}
+
+// JSONFloat renders f exactly as encoding/json does, so prose that cites a
+// figure and a manifest that carries the same figure show the same string.
+func JSONFloat(f float64) string {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Sprintf("%g", f) // NaN/Inf never reach prose; belt and braces
+	}
+	return string(b)
+}
+
+// bucketRange renders a reuse-interval bucket's bounds for prose.
+func bucketRange(b ReuseBucket) string {
+	if b.Lo == b.Hi {
+		return fmt.Sprintf("interval %d", b.Lo)
+	}
+	return fmt.Sprintf("intervals %d..%d", b.Lo, b.Hi)
+}
+
+// prose renders the deterministic narrative: headline delta, the dominant
+// mechanisms, and the behavioural divergence behind them. Every figure is
+// spelled with the same string the JSON fields carry.
+func prose(e *Explanation) string {
+	var sb strings.Builder
+	switch {
+	case e.MissesSaved > 0:
+		pct := 100 * float64(e.MissesSaved) / float64(e.MissesA)
+		fmt.Fprintf(&sb, "%s saves %d of %s's %d misses (%.1f%%) on %s: MPKI %s -> %s (saved %s).",
+			e.PolicyB, e.MissesSaved, e.PolicyA, e.MissesA, pct, e.Workload,
+			JSONFloat(e.MPKIA), JSONFloat(e.MPKIB), JSONFloat(e.MPKISaved))
+	case e.MissesSaved < 0:
+		pct := 100 * float64(-e.MissesSaved) / float64(e.MissesA)
+		fmt.Fprintf(&sb, "%s adds %d misses over %s's %d (%.1f%%) on %s: MPKI %s -> %s (saved %s).",
+			e.PolicyB, -e.MissesSaved, e.PolicyA, e.MissesA, pct, e.Workload,
+			JSONFloat(e.MPKIA), JSONFloat(e.MPKIB), JSONFloat(e.MPKISaved))
+	default:
+		fmt.Fprintf(&sb, "%s and %s miss equally often on %s (MPKI %s vs %s); the mix below may still differ.",
+			e.PolicyB, e.PolicyA, e.Workload, JSONFloat(e.MPKIB), JSONFloat(e.MPKIA))
+	}
+	for i, d := range e.Decomposition {
+		if i == 3 {
+			break // three mechanisms cover the story; the JSON has the rest
+		}
+		verb := "saves"
+		n := d.SavedMisses
+		if n < 0 {
+			verb = "loses"
+			n = -n
+		}
+		fmt.Fprintf(&sb, " %s %s %d misses (%.1f%% of the shift) on reuse %s.",
+			e.PolicyB, verb, n, 100*d.Share, bucketRange(d))
+	}
+	if e.Insertion.CountA > 0 || e.Insertion.CountB > 0 {
+		fmt.Fprintf(&sb, " Insertion position p50 %d -> %d (p90 %d -> %d).",
+			e.Insertion.P50A, e.Insertion.P50B, e.Insertion.P90A, e.Insertion.P90B)
+	}
+	if e.Promotion.CountA > 0 || e.Promotion.CountB > 0 {
+		fmt.Fprintf(&sb, " Promotion distance p50 %d -> %d (p90 %d -> %d).",
+			e.Promotion.P50A, e.Promotion.P50B, e.Promotion.P90A, e.Promotion.P90B)
+	}
+	return sb.String()
+}

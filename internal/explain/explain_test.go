@@ -1,0 +1,310 @@
+package explain
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"gippr/internal/telemetry"
+)
+
+// histOf builds a snapshot observing each value once per count.
+func histOf(obs map[uint64]uint64) telemetry.HistogramSnapshot {
+	var h telemetry.Histogram
+	for v, n := range obs {
+		for i := uint64(0); i < n; i++ {
+			h.Observe(v)
+		}
+	}
+	return h.Snapshot()
+}
+
+// sideOf builds a consistent single-phase side: hits distributed over the
+// given reuse intervals, the rest of accesses missing.
+func sideOf(policy string, accesses, instrs uint64, reuse map[uint64]uint64) Side {
+	var hits uint64
+	for _, n := range reuse {
+		hits += n
+	}
+	hr := histOf(reuse)
+	return Side{
+		Policy:       policy,
+		MPKI:         1000 * float64(accesses-hits) / float64(instrs),
+		Misses:       accesses - hits,
+		Hits:         hits,
+		Accesses:     accesses,
+		Instructions: instrs,
+		Telemetry:    telemetry.Report{HitReuse: hr},
+	}
+}
+
+func TestDiffDecompositionIdentity(t *testing.T) {
+	a := sideOf("LRU", 1000, 4000, map[uint64]uint64{1: 100, 7: 200, 300: 50})
+	b := sideOf("GIPPR", 1000, 4000, map[uint64]uint64{1: 120, 7: 260, 300: 40, 5000: 30})
+
+	e, err := Diff("mix", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, bkt := range e.Reuse {
+		sum += bkt.SavedMisses
+	}
+	if sum != e.MissesSaved {
+		t.Fatalf("bucket deltas sum to %d, want misses_saved %d", sum, e.MissesSaved)
+	}
+	if want := int64(a.Misses) - int64(b.Misses); e.MissesSaved != want {
+		t.Fatalf("MissesSaved = %d, want %d", e.MissesSaved, want)
+	}
+	if e.Version != Version {
+		t.Fatalf("Version = %d, want %d", e.Version, Version)
+	}
+	if e.MPKISaved != a.MPKI-b.MPKI {
+		t.Fatalf("MPKISaved = %v, want %v", e.MPKISaved, a.MPKI-b.MPKI)
+	}
+	// Residual must be tiny: one phase, so the decomposition uses the exact
+	// same 1000*x/instr expression as the headline MPKIs.
+	if math.Abs(e.Residual) > 1e-9 {
+		t.Fatalf("Residual = %v, want ~0", e.Residual)
+	}
+	// Decomposition ranked by |saved| descending.
+	for i := 1; i < len(e.Decomposition); i++ {
+		if math.Abs(float64(e.Decomposition[i-1].SavedMisses)) < math.Abs(float64(e.Decomposition[i].SavedMisses)) {
+			t.Fatalf("decomposition not ranked: %+v", e.Decomposition)
+		}
+	}
+	// Shares over the non-zero buckets sum to 1.
+	var share float64
+	for _, d := range e.Decomposition {
+		share += d.Share
+	}
+	if math.Abs(share-1) > 1e-12 {
+		t.Fatalf("shares sum to %v, want 1", share)
+	}
+}
+
+func TestDiffProseCitesJSONMPKI(t *testing.T) {
+	a := sideOf("LRU", 500, 2000, map[uint64]uint64{3: 100})
+	b := sideOf("GIPPR", 500, 2000, map[uint64]uint64{3: 150})
+	e, err := Diff("w", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{e.MPKIA, e.MPKIB, e.MPKISaved} {
+		raw, _ := json.Marshal(v)
+		if !strings.Contains(e.Prose, string(raw)) {
+			t.Fatalf("prose %q does not cite JSON MPKI string %s", e.Prose, raw)
+		}
+	}
+	// Deterministic: same inputs, same prose.
+	e2, _ := Diff("w", a, b)
+	if e2.Prose != e.Prose {
+		t.Fatalf("prose not deterministic:\n%q\n%q", e.Prose, e2.Prose)
+	}
+}
+
+func TestDiffProseDirections(t *testing.T) {
+	base := map[uint64]uint64{2: 100}
+	a := sideOf("A", 400, 1000, base)
+	for _, tc := range []struct {
+		name  string
+		reuse map[uint64]uint64
+		want  string
+	}{
+		{"wins", map[uint64]uint64{2: 150}, "saves 50 of"},
+		{"loses", map[uint64]uint64{2: 60}, "adds 40 misses"},
+		{"ties", map[uint64]uint64{4: 100}, "miss equally often"},
+	} {
+		b := sideOf("B", 400, 1000, tc.reuse)
+		e, err := Diff("w", a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(e.Prose, tc.want) {
+			t.Fatalf("%s: prose %q missing %q", tc.name, e.Prose, tc.want)
+		}
+	}
+	// The tie case still decomposes the mix shift.
+	b := sideOf("B", 400, 1000, map[uint64]uint64{4: 100})
+	e, _ := Diff("w", a, b)
+	if len(e.Decomposition) != 2 {
+		t.Fatalf("tie decomposition has %d buckets, want 2", len(e.Decomposition))
+	}
+}
+
+func TestDiffDivergence(t *testing.T) {
+	a := sideOf("A", 300, 1000, map[uint64]uint64{2: 100})
+	b := sideOf("B", 300, 1000, map[uint64]uint64{2: 100})
+	a.Telemetry.InsertPos = histOf(map[uint64]uint64{0: 90, 1: 10})
+	b.Telemetry.InsertPos = histOf(map[uint64]uint64{11: 100})
+	b.Telemetry.PromoteDist = histOf(map[uint64]uint64{3: 50})
+	e, err := Diff("w", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Insertion.CountA != 100 || e.Insertion.CountB != 100 {
+		t.Fatalf("insertion counts = %d/%d", e.Insertion.CountA, e.Insertion.CountB)
+	}
+	if e.Insertion.P50A != 0 || e.Insertion.P50B == 0 {
+		t.Fatalf("insertion p50 = %d -> %d, want 0 -> nonzero", e.Insertion.P50A, e.Insertion.P50B)
+	}
+	if !strings.Contains(e.Prose, "Insertion position p50") {
+		t.Fatalf("prose %q missing insertion divergence", e.Prose)
+	}
+	if !strings.Contains(e.Prose, "Promotion distance p50") {
+		t.Fatalf("prose %q missing promotion divergence", e.Prose)
+	}
+	if e.Promotion.CountA != 0 || e.Promotion.CountB != 50 {
+		t.Fatalf("promotion counts = %d/%d", e.Promotion.CountA, e.Promotion.CountB)
+	}
+}
+
+func TestDiffRejectsMismatch(t *testing.T) {
+	ok := sideOf("A", 400, 1000, map[uint64]uint64{2: 100})
+	for _, tc := range []struct {
+		name string
+		b    Side
+	}{
+		{"accesses", sideOf("B", 401, 1000, map[uint64]uint64{2: 101})},
+		{"instructions", sideOf("B", 400, 900, map[uint64]uint64{2: 100})},
+		{"scale", func() Side {
+			s := sideOf("B", 400, 1000, map[uint64]uint64{2: 100})
+			s.MPKIScale = 8
+			return s
+		}()},
+		{"phases", func() Side {
+			s := sideOf("B", 400, 1000, map[uint64]uint64{2: 100})
+			p := onePhase(s)
+			s.Phases = append(p, p...)
+			s.Misses *= 2
+			s.Hits *= 2
+			s.Accesses *= 2
+			s.Instructions *= 2
+			return s
+		}()},
+	} {
+		if _, err := Diff("w", ok, tc.b); !errors.Is(err, ErrMismatch) {
+			t.Fatalf("%s: err = %v, want ErrMismatch", tc.name, err)
+		}
+	}
+}
+
+func TestDiffRejectsInconsistent(t *testing.T) {
+	ok := sideOf("A", 400, 1000, map[uint64]uint64{2: 100})
+	for _, tc := range []struct {
+		name string
+		mut  func(*Side)
+	}{
+		{"counts", func(s *Side) { s.Hits++ }},
+		{"histogram", func(s *Side) { s.Misses--; s.Hits++ }},
+		{"phase totals", func(s *Side) {
+			s.Phases = onePhase(*s)
+			s.Phases[0].Misses++ // phase total now disagrees with side total
+		}},
+	} {
+		a, b := ok, ok
+		tc.mut(&b)
+		// Keep the stream shape equal so mismatch checks pass first.
+		a.Accesses, a.Instructions = b.Accesses, b.Instructions
+		a.Misses = a.Accesses - a.Hits
+		if b.Phases != nil {
+			a.Phases = onePhase(a)
+			a.Phases[0].Accesses = b.Phases[0].Accesses
+			a.Phases[0].Misses = a.Phases[0].Accesses - a.Phases[0].Hits
+			a.Misses = a.Phases[0].Misses
+		}
+		if _, err := Diff("w", a, b); !errors.Is(err, ErrInconsistent) {
+			t.Fatalf("%s: err = %v, want ErrInconsistent", tc.name, err)
+		}
+	}
+}
+
+func TestDiffPhaseWeighting(t *testing.T) {
+	// Two phases with different instruction counts: the per-bucket MPKI
+	// contributions must use the same weighted-mean shape as the headline,
+	// so Residual stays ~0 when headline MPKIs are built the same way.
+	mk := func(policy string, h1, h2 uint64) Side {
+		var s Side
+		s.Policy = policy
+		p1 := PhaseStats{Weight: 0.6, Hits: h1, Misses: 200 - h1, Accesses: 200,
+			Instructions: 1000, HitReuse: histOf(map[uint64]uint64{4: h1})}
+		p2 := PhaseStats{Weight: 0.4, Hits: h2, Misses: 300 - h2, Accesses: 300,
+			Instructions: 5000, HitReuse: histOf(map[uint64]uint64{64: h2})}
+		s.Phases = []PhaseStats{p1, p2}
+		s.Misses = p1.Misses + p2.Misses
+		s.Hits = h1 + h2
+		s.Accesses = 500
+		s.Instructions = 6000
+		var m telemetry.Histogram
+		for i := uint64(0); i < h1; i++ {
+			m.Observe(4)
+		}
+		for i := uint64(0); i < h2; i++ {
+			m.Observe(64)
+		}
+		s.Telemetry.HitReuse = m.Snapshot()
+		m1 := 1000 * float64(p1.Misses) / float64(p1.Instructions)
+		m2 := 1000 * float64(p2.Misses) / float64(p2.Instructions)
+		s.MPKI = (0.6*m1 + 0.4*m2) / (0.6 + 0.4)
+		return s
+	}
+	a := mk("A", 50, 100)
+	b := mk("B", 80, 250)
+	e, err := Diff("w", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, bkt := range e.Reuse {
+		sum += bkt.SavedMisses
+	}
+	if sum != e.MissesSaved {
+		t.Fatalf("bucket deltas sum to %d, want %d", sum, e.MissesSaved)
+	}
+	if math.Abs(e.Residual) > 1e-9 {
+		t.Fatalf("Residual = %v, want ~0", e.Residual)
+	}
+}
+
+func TestJSONFloat(t *testing.T) {
+	for _, v := range []float64{0, 1, 0.1, 1.0 / 3, 123.456, 1e-12, 41.25} {
+		raw, _ := json.Marshal(v)
+		if got := JSONFloat(v); got != string(raw) {
+			t.Fatalf("JSONFloat(%v) = %q, want %q", v, got, raw)
+		}
+	}
+}
+
+func FuzzExplainDecomposition(f *testing.F) {
+	f.Add(uint64(100), uint64(200), uint64(50), uint64(120), uint64(260), uint64(40))
+	f.Add(uint64(0), uint64(0), uint64(1), uint64(1), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, a1, a2, a3, b1, b2, b3 uint64) {
+		const cap = 1 << 20
+		a1, a2, a3 = a1%cap, a2%cap, a3%cap
+		b1, b2, b3 = b1%cap, b2%cap, b3%cap
+		hitsA := a1 + a2 + a3
+		hitsB := b1 + b2 + b3
+		accesses := hitsA + hitsB + 1 // both sides fit with >=1 miss
+		a := sideOf("A", accesses, 10*accesses, map[uint64]uint64{1: a1, 17: a2, 4096: a3})
+		b := sideOf("B", accesses, 10*accesses, map[uint64]uint64{1: b1, 17: b2, 4096: b3})
+		e, err := Diff("fuzz", a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, bkt := range e.Reuse {
+			sum += bkt.SavedMisses
+		}
+		if sum != e.MissesSaved {
+			t.Fatalf("bucket deltas sum to %d, want %d", sum, e.MissesSaved)
+		}
+		if sum != int64(a.Misses)-int64(b.Misses) {
+			t.Fatalf("identity broken: sum %d, misses %d vs %d", sum, a.Misses, b.Misses)
+		}
+		if e.Prose == "" {
+			t.Fatal("empty prose")
+		}
+	})
+}

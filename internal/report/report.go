@@ -1,0 +1,100 @@
+// Package report is the typed section registry of gippr-report: the
+// single source of truth for which output sections exist and in what
+// order they print. The CLI's -only flag parses against it, so a
+// misspelled section name ("latice") is a usage error the user sees
+// immediately — not a silently empty report.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Section identifies one gippr-report output section.
+type Section string
+
+// The registered sections, in paper print order.
+const (
+	Streams      Section = "streams"
+	Fig1         Section = "fig1"
+	Fig2         Section = "fig2"
+	Fig3         Section = "fig3"
+	Fig4         Section = "fig4"
+	Fig10        Section = "fig10"
+	Fig11        Section = "fig11"
+	Fig12        Section = "fig12"
+	Fig13        Section = "fig13"
+	Overhead     Section = "overhead"
+	Vectors      Section = "vectors"
+	Interpret    Section = "interpret"
+	Characterize Section = "characterize"
+	Multicore    Section = "multicore"
+	Assoc        Section = "assoc"
+	RRIPV        Section = "rripv"
+	Bypass       Section = "bypass"
+	SimPoint     Section = "simpoint"
+	Sampling     Section = "sampling"
+	Lattice      Section = "lattice"
+	Diff         Section = "diff"
+)
+
+// ordered is the print order; Sections copies it so callers cannot
+// reorder the registry.
+var ordered = []Section{
+	Streams, Fig1, Fig2, Fig3, Fig4, Fig10, Fig11, Fig12, Fig13,
+	Overhead, Vectors, Interpret, Characterize, Multicore, Assoc,
+	RRIPV, Bypass, SimPoint, Sampling, Lattice, Diff,
+}
+
+// Sections returns every registered section in print order.
+func Sections() []Section {
+	return append([]Section(nil), ordered...)
+}
+
+// ErrUnknownSection rejects a section name outside the registry.
+// gippr-report maps it to exit code 2 (usage error).
+var ErrUnknownSection = errors.New("report: unknown section")
+
+// valid is the membership index behind Parse.
+var valid = func() map[Section]bool {
+	m := make(map[Section]bool, len(ordered))
+	for _, s := range ordered {
+		m[s] = true
+	}
+	return m
+}()
+
+// Parse resolves a comma-separated section list (the -only flag's value).
+// An empty list selects every section (nil map); any unknown name fails
+// with ErrUnknownSection naming the offender and the full registry.
+func Parse(list string) (map[Section]bool, error) {
+	if list == "" {
+		return nil, nil
+	}
+	want := map[Section]bool{}
+	for _, f := range strings.Split(list, ",") {
+		s := Section(strings.TrimSpace(f))
+		if !valid[s] {
+			return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownSection, string(s), List())
+		}
+		want[s] = true
+	}
+	return want, nil
+}
+
+// Selected reports whether a section is in the parsed set; a nil set
+// (no -only flag) selects everything.
+func Selected(want map[Section]bool, s Section) bool {
+	return want == nil || want[s]
+}
+
+// List renders the registry as the comma-separated string flag help and
+// error messages show.
+func List() string {
+	names := make([]string, len(ordered))
+	for i, s := range ordered {
+		names[i] = string(s)
+	}
+	return strings.Join(names, ",")
+}

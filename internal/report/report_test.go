@@ -1,0 +1,77 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSectionsOrderedAndUnique(t *testing.T) {
+	secs := Sections()
+	if len(secs) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[Section]bool{}
+	for _, s := range secs {
+		if seen[s] {
+			t.Fatalf("duplicate section %q", s)
+		}
+		seen[s] = true
+	}
+	if secs[0] != Streams || secs[len(secs)-1] != Diff {
+		t.Fatalf("unexpected order: first %q, last %q", secs[0], secs[len(secs)-1])
+	}
+	// The returned slice is a copy: mutating it must not corrupt the registry.
+	secs[0] = "corrupted"
+	if Sections()[0] != Streams {
+		t.Fatal("Sections exposed the internal registry slice")
+	}
+}
+
+func TestParse(t *testing.T) {
+	want, err := Parse("")
+	if err != nil || want != nil {
+		t.Fatalf("Parse(\"\") = %v, %v; want nil, nil", want, err)
+	}
+	want, err = Parse("fig1, lattice ,diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Section{Fig1, Lattice, Diff} {
+		if !want[s] {
+			t.Fatalf("Parse dropped %q", s)
+		}
+	}
+	if len(want) != 3 {
+		t.Fatalf("Parse kept %d sections, want 3", len(want))
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	for _, bad := range []string{"latice", "fig1,nope", "diff,"} {
+		if _, err := Parse(bad); !errors.Is(err, ErrUnknownSection) {
+			t.Fatalf("Parse(%q) err = %v, want ErrUnknownSection", bad, err)
+		} else if !strings.Contains(err.Error(), "known:") {
+			t.Fatalf("Parse(%q) error %q does not list the registry", bad, err)
+		}
+	}
+}
+
+func TestSelected(t *testing.T) {
+	if !Selected(nil, Fig1) {
+		t.Fatal("nil set must select everything")
+	}
+	want, _ := Parse("fig1")
+	if !Selected(want, Fig1) || Selected(want, Fig2) {
+		t.Fatal("explicit set must select exactly its members")
+	}
+}
+
+func TestList(t *testing.T) {
+	l := List()
+	for _, s := range Sections() {
+		if !strings.Contains(l, string(s)) {
+			t.Fatalf("List() %q missing %q", l, s)
+		}
+	}
+}

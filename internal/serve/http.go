@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 
+	"gippr/internal/experiments"
+	"gippr/internal/explain"
 	"gippr/internal/runctx"
 )
 
@@ -70,6 +72,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -99,6 +102,26 @@ func decodeJobRequest(r io.Reader) (JobRequest, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.submitHTTP(w, r, nil)
+}
+
+// handleExplain is the explain-job front door: the same queue, body cap,
+// and decode path as /v1/jobs, but the submission must carry an explain
+// spec — posting a grid or sweep body here is a 400, so the endpoint's
+// responses are always explanation-shaped.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.submitHTTP(w, r, func(req JobRequest) error {
+		if req.Explain == nil {
+			return fmt.Errorf("%w: /v1/explain requires an explain spec naming policy_a and policy_b", ErrBadRequest)
+		}
+		return nil
+	})
+}
+
+// submitHTTP is the shared submission body behind /v1/jobs and
+// /v1/explain; check, when non-nil, gates the decoded request before it
+// enters the queue.
+func (s *Server) submitHTTP(w http.ResponseWriter, r *http.Request, check func(JobRequest) error) {
 	// The body cap turns a multi-gigabyte submission into a 413 after at
 	// most MaxBodyBytes read, instead of an OOM; MaxBytesReader also closes
 	// the connection so the client stops sending.
@@ -113,6 +136,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeError(w, err)
 		return
+	}
+	if check != nil {
+		if err := check(req); err != nil {
+			s.writeError(w, err)
+			return
+		}
 	}
 	job, err := s.Submit(req)
 	if err != nil {
@@ -165,10 +194,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStream serves NDJSON: one GridCell object per line as each cell
-// settles, then a single trailer line {"state": "..."} once the job reaches
-// a terminal state (cells never carry a "state" key, so the shapes are
-// unambiguous line by line). A client that connects after completion gets
-// every cell followed by the trailer immediately.
+// settles — or, for explain jobs, one explain.Explanation per workload as
+// it settles — then a single trailer line {"state": "..."} once the job
+// reaches a terminal state (neither shape carries a "state" key, so the
+// lines are unambiguous). A client that connects after completion gets
+// every line followed by the trailer immediately.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Get(r.PathValue("id"))
 	if err != nil {
@@ -181,14 +211,30 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	i := 0
 	for {
-		cells, ch, state := job.snapshotFrom(i)
-		for _, c := range cells {
-			if err := enc.Encode(c); err != nil {
-				return // client went away
+		var n int
+		var ch <-chan struct{}
+		var state State
+		if job.explain {
+			var expls []*explain.Explanation
+			expls, ch, state = job.snapshotExplsFrom(i)
+			for _, e := range expls {
+				if err := enc.Encode(e); err != nil {
+					return // client went away
+				}
 			}
+			n = len(expls)
+		} else {
+			var cells []experiments.GridCell
+			cells, ch, state = job.snapshotFrom(i)
+			for _, c := range cells {
+				if err := enc.Encode(c); err != nil {
+					return // client went away
+				}
+			}
+			n = len(cells)
 		}
-		i += len(cells)
-		if flusher != nil && len(cells) > 0 {
+		i += n
+		if flusher != nil && n > 0 {
 			flusher.Flush()
 		}
 		if state.Terminal() {

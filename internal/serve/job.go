@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gippr/internal/experiments"
+	"gippr/internal/explain"
 	"gippr/internal/stackdist"
 	"gippr/internal/workload"
 )
@@ -67,6 +68,20 @@ type JobRequest struct {
 	// workload. Sweep jobs take no policies, IPV, or sampling — geometry
 	// and policy shape are the sweep spec itself.
 	Sweep *SweepRequest `json:"sweep,omitempty"`
+	// Explain switches the job to the policy-diff engine: instead of grid
+	// cells, the job produces one explain.Explanation per workload for the
+	// named policy pair. Explain jobs take no policies, IPV, exact flag, or
+	// sampling — the pair is the whole policy surface, and the exact
+	// decomposition identity requires full fidelity.
+	Explain *ExplainRequest `json:"explain,omitempty"`
+}
+
+// ExplainRequest names the policy pair of an explain job: the report
+// attributes PolicyB's miss delta relative to PolicyA. Both are registry
+// names, resolved with the same lookup as grid policies.
+type ExplainRequest struct {
+	PolicyA string `json:"policy_a"`
+	PolicyB string `json:"policy_b"`
 }
 
 // SweepRequest is the one-pass sweep spec carried by a job submission: the
@@ -98,11 +113,13 @@ type Job struct {
 	timeout  time.Duration
 	ipvCanon string                   // canonical form of Req.IPV (ipv.Parse -> String), "" if unset
 	sweep    *experiments.LatticeSpec // non-nil switches the job to the one-pass engine
+	explain  bool                     // true switches the job to the policy-diff engine (specs = [A, B])
 
 	mu       sync.Mutex
 	state    State
 	err      error
 	cells    []experiments.GridCell
+	expls    []*explain.Explanation
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -129,6 +146,15 @@ func (j *Job) broadcast() {
 func (j *Job) appendCell(c experiments.GridCell) {
 	j.mu.Lock()
 	j.cells = append(j.cells, c)
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// appendExplanation records one settled per-workload explanation and wakes
+// watchers — the explain-job counterpart of appendCell.
+func (j *Job) appendExplanation(e *explain.Explanation) {
+	j.mu.Lock()
+	j.expls = append(j.expls, e)
 	j.broadcast()
 	j.mu.Unlock()
 }
@@ -210,6 +236,18 @@ func (j *Job) snapshotFrom(i int) ([]experiments.GridCell, <-chan struct{}, Stat
 	return out, j.updated, j.state
 }
 
+// snapshotExplsFrom is snapshotFrom for explain jobs: the explanations
+// appended at or after index i plus the wait channel and state.
+func (j *Job) snapshotExplsFrom(i int) ([]*explain.Explanation, <-chan struct{}, State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []*explain.Explanation
+	if i < len(j.expls) {
+		out = append(out, j.expls[i:]...)
+	}
+	return out, j.updated, j.state
+}
+
 // cellLabels returns the per-workload cell labels in the deterministic
 // manifest order: spec labels for grid jobs, lattice point labels for
 // sweep jobs.
@@ -224,10 +262,14 @@ func (j *Job) cellLabels() []string {
 	return out
 }
 
-// cellsTotal returns the number of cells the job will produce.
+// cellsTotal returns the number of cells (or, for an explain job,
+// per-workload explanations) the job will produce.
 func (j *Job) cellsTotal() int {
 	if j.sweep != nil {
 		return len(j.wls) * j.sweep.Points()
+	}
+	if j.explain {
+		return len(j.wls)
 	}
 	return len(j.wls) * len(j.specs)
 }
@@ -246,6 +288,7 @@ type JobStatus struct {
 	Workloads  []string                 `json:"workloads"`
 	Policies   []string                 `json:"policies"`
 	Sweep      *experiments.LatticeSpec `json:"sweep,omitempty"`
+	Explain    *ExplainRequest          `json:"explain,omitempty"`
 	ResultURL  string                   `json:"result_url,omitempty"`
 	StreamURL  string                   `json:"stream_url"`
 }
@@ -254,14 +297,19 @@ type JobStatus struct {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	done := len(j.cells)
+	if j.explain {
+		done = len(j.expls)
+	}
 	st := JobStatus{
 		ID:         j.ID,
 		State:      j.state,
 		Created:    j.created,
-		CellsDone:  len(j.cells),
+		CellsDone:  done,
 		CellsTotal: j.cellsTotal(),
 		Sample:     int(j.shift),
 		Sweep:      j.sweep,
+		Explain:    j.Req.Explain,
 		StreamURL:  "/v1/jobs/" + j.ID + "/stream",
 	}
 	for _, w := range j.wls {

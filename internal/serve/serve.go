@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"gippr/internal/experiments"
+	"gippr/internal/explain"
 	"gippr/internal/ipv"
 	"gippr/internal/parallel"
 	"gippr/internal/resultstore"
@@ -257,7 +258,31 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 	var sweep *experiments.LatticeSpec
 	var specs []experiments.Spec
 	var ipvCanon string
-	if req.Sweep != nil {
+	var explainJob bool
+	if req.Explain != nil {
+		// Explain jobs are a third engine: the policy pair is the whole
+		// policy surface, and the decomposition's exact integer identity
+		// only holds at full fidelity, so nothing else may compose with it.
+		if req.Sweep != nil {
+			return nil, fmt.Errorf("%w: a job is a grid, a sweep, or an explain — not two at once", ErrBadRequest)
+		}
+		if len(req.Policies) > 0 || req.IPV != "" || req.Exact {
+			return nil, fmt.Errorf("%w: an explain job takes no policies, ipv, or exact flag", ErrBadRequest)
+		}
+		if req.Sample != 0 {
+			return nil, fmt.Errorf("%w: the explain decomposition is exact only at full fidelity; sample must be 0", ErrBadRequest)
+		}
+		a, err := experiments.SpecFromRegistry(strings.TrimSpace(req.Explain.PolicyA))
+		if err != nil {
+			return nil, err
+		}
+		b, err := experiments.SpecFromRegistry(strings.TrimSpace(req.Explain.PolicyB))
+		if err != nil {
+			return nil, err
+		}
+		specs = []experiments.Spec{a, b}
+		explainJob = true
+	} else if req.Sweep != nil {
 		// One-pass sweep jobs are a different engine: the lattice spec IS
 		// the policy set, and the engine is exact-by-construction at full
 		// fidelity, so policy/IPV/sampling fields cannot compose with it.
@@ -337,6 +362,7 @@ func (s *Server) resolve(req JobRequest) (*Job, error) {
 		timeout:  timeout,
 		ipvCanon: ipvCanon,
 		sweep:    sweep,
+		explain:  explainJob,
 		state:    StateQueued,
 		created:  time.Now(),
 		updated:  make(chan struct{}),
@@ -479,6 +505,32 @@ func (s *Server) execute(ctx context.Context, job *Job) (err error) {
 			err = fmt.Errorf("%w: %v\n\ngoroutine stack:\n%s", ErrPanic, r, debug.Stack())
 		}
 	}()
+	if job.explain {
+		// Explain jobs always run locally, like sweeps: both policies settle
+		// from one instrumented walk per workload phase on this Lab, so the
+		// pair cannot be split across peers without breaking the shared
+		// captures the decomposition identity rides on.
+		lab := s.labFor(job.shift)
+		errs := make([]error, len(job.wls))
+		err := parallel.ForCtx(ctx, lab.Workers, len(job.wls), func(i int) {
+			e, derr := lab.Diff(job.specs[0], job.specs[1], job.wls[i])
+			if derr != nil {
+				errs[i] = derr
+				return
+			}
+			job.appendExplanation(e)
+			s.prog.Add(1)
+		})
+		if err != nil {
+			return err
+		}
+		for _, derr := range errs {
+			if derr != nil {
+				return derr
+			}
+		}
+		return nil
+	}
 	if job.sweep != nil {
 		// Sweep jobs always run on the local one-pass engine, cluster or
 		// not: the whole lattice is one cheap stream walk per workload, so
@@ -533,6 +585,9 @@ func (s *Server) serveFromStore(job *Job, fp string) bool {
 	for _, c := range stored.Cells {
 		job.appendCell(c)
 	}
+	for _, e := range stored.Explanations {
+		job.appendExplanation(e)
+	}
 	if job.finish(StateDone, nil) {
 		s.metrics.done.Add(1)
 	}
@@ -583,6 +638,13 @@ func (s *Server) fingerprint(job *Job) string {
 		// untouched.
 		fp += "|sweep=" + job.sweep.Key()
 	}
+	if job.explain {
+		// Same suffix rule as sweeps: explain results carry full
+		// explanations, not cells, so they must never share a store entry
+		// with a grid job over the same policy pair — while leaving every
+		// pre-existing grid and sweep fingerprint byte-identical.
+		fp += fmt.Sprintf("|explain=v%d", explain.Version)
+	}
 	return fp
 }
 
@@ -625,7 +687,21 @@ func (s *Server) Result(job *Job) (*Result, error) {
 func (s *Server) manifest(job *Job) *Result {
 	job.mu.Lock()
 	cells := append([]experiments.GridCell(nil), job.cells...)
+	expls := append([]*explain.Explanation(nil), job.expls...)
 	job.mu.Unlock()
+	if job.explain {
+		// Explanations accumulate in completion order; the manifest sorts
+		// them into workload order, mirroring the cell layout below.
+		wlRank := make(map[string]int, len(job.wls))
+		for wi, w := range job.wls {
+			wlRank[w.Name] = wi
+		}
+		sort.Slice(expls, func(a, b int) bool {
+			return wlRank[expls[a].Workload] < wlRank[expls[b].Workload]
+		})
+	} else {
+		expls = nil
+	}
 	labels := job.cellLabels()
 	rank := make(map[string]int, len(job.wls)*len(labels))
 	for wi, w := range job.wls {
@@ -646,28 +722,32 @@ func (s *Server) manifest(job *Job) *Result {
 		geom.SampledSets = lab.Cfg.SampledSets()
 	}
 	return &Result{
-		ID:          job.ID,
-		Fingerprint: s.fingerprint(job),
-		Cache:       geom,
-		Records:     s.cfg.Scale.PhaseRecords,
-		WarmFrac:    s.cfg.Scale.WarmFrac,
-		Sweep:       job.sweep,
-		Cells:       cells,
+		ID:           job.ID,
+		Fingerprint:  s.fingerprint(job),
+		Cache:        geom,
+		Records:      s.cfg.Scale.PhaseRecords,
+		WarmFrac:     s.cfg.Scale.WarmFrac,
+		Sweep:        job.sweep,
+		Cells:        cells,
+		Explanations: expls,
 	}
 }
 
 // Result is the GET /v1/jobs/{id}/result document. Sweep, present only on
 // one-pass sweep jobs, is the geometry-lattice section: it names the
 // lattice the cells cover, and the cells themselves carry lattice point
-// labels ("lru@4096x16") in place of policy names.
+// labels ("lru@4096x16") in place of policy names. Explanations, present
+// only on explain jobs, holds one policy-diff explanation per workload in
+// workload order (such jobs have no cells).
 type Result struct {
-	ID          string                   `json:"id"`
-	Fingerprint string                   `json:"fingerprint"`
-	Cache       telemetry.CacheGeometry  `json:"cache"`
-	Records     int                      `json:"records_per_phase"`
-	WarmFrac    float64                  `json:"warm_frac"`
-	Sweep       *experiments.LatticeSpec `json:"sweep,omitempty"`
-	Cells       []experiments.GridCell   `json:"cells"`
+	ID           string                   `json:"id"`
+	Fingerprint  string                   `json:"fingerprint"`
+	Cache        telemetry.CacheGeometry  `json:"cache"`
+	Records      int                      `json:"records_per_phase"`
+	WarmFrac     float64                  `json:"warm_frac"`
+	Sweep        *experiments.LatticeSpec `json:"sweep,omitempty"`
+	Cells        []experiments.GridCell   `json:"cells"`
+	Explanations []*explain.Explanation   `json:"explanations,omitempty"`
 }
 
 // Drain performs the SIGTERM shutdown contract: stop intake (submissions

@@ -10,7 +10,13 @@ import (
 
 // ManifestVersion identifies the manifest schema; bump it on incompatible
 // changes so downstream consumers can refuse files they do not understand.
-const ManifestVersion = 1
+// Version 2 added the histogram quantile summary (P50/P90/P99) to every
+// HistogramSnapshot; version-1 files remain readable (the quantile fields
+// simply decode as zero and can be recomputed via Quantile).
+const ManifestVersion = 2
+
+// manifestVersionPrev is the oldest schema ReadManifest still accepts.
+const manifestVersionPrev = 1
 
 // BucketSnapshot is one non-empty histogram bucket in a manifest: the
 // inclusive value range it covers and its count.
@@ -21,26 +27,67 @@ type BucketSnapshot struct {
 }
 
 // HistogramSnapshot is a histogram exported for a manifest. Only non-empty
-// buckets are serialized.
+// buckets are serialized. The quantile fields (manifest v2) summarize the
+// distribution to within a power-of-two bucket; Quantile recomputes any
+// other point from the buckets, so consumers never need the raw slice.
 type HistogramSnapshot struct {
 	Count   uint64           `json:"count"`
 	Sum     uint64           `json:"sum"`
 	Max     uint64           `json:"max"`
 	Mean    float64          `json:"mean"`
+	P50     uint64           `json:"p50,omitempty"`
+	P90     uint64           `json:"p90,omitempty"`
+	P99     uint64           `json:"p99,omitempty"`
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
 }
 
 // Snapshot exports the histogram.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.n, Sum: h.sum, Max: h.max, Mean: h.Mean()}
-	for i, c := range h.counts {
-		if c == 0 {
-			continue
-		}
-		lo, hi := BucketBounds(i)
-		s.Buckets = append(s.Buckets, BucketSnapshot{Lo: lo, Hi: hi, Count: c})
+	s := HistogramSnapshot{
+		Count: h.n, Sum: h.sum, Max: h.max, Mean: h.Mean(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
 	}
+	h.Each(func(_ int, lo, hi, c uint64) {
+		s.Buckets = append(s.Buckets, BucketSnapshot{Lo: lo, Hi: hi, Count: c})
+	})
 	return s
+}
+
+// Each calls f for every serialized (non-empty) bucket in ascending value
+// order — the stable iteration API mirroring Histogram.Each for consumers
+// that hold a decoded manifest rather than a live histogram.
+func (s HistogramSnapshot) Each(f func(b BucketSnapshot)) {
+	for _, b := range s.Buckets {
+		f(b)
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile of the snapshotted
+// distribution, following the Histogram.Quantile contract (clamped q, 0 on
+// empty, exact to within the bucket's factor of two, capped at Max).
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if float64(cum) >= target && cum > 0 {
+			hi := b.Hi
+			if hi > s.Max {
+				hi = s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
 }
 
 // Report is a Sink exported for a manifest.
@@ -183,8 +230,9 @@ func ReadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("telemetry: parse %s: %w", path, err)
 	}
-	if m.Version != ManifestVersion {
-		return nil, fmt.Errorf("telemetry: %s: manifest version %d, want %d", path, m.Version, ManifestVersion)
+	if m.Version < manifestVersionPrev || m.Version > ManifestVersion {
+		return nil, fmt.Errorf("telemetry: %s: manifest version %d, want %d..%d",
+			path, m.Version, manifestVersionPrev, ManifestVersion)
 	}
 	return &m, nil
 }

@@ -95,6 +95,51 @@ func (h *Histogram) Mean() float64 {
 // boundaries).
 func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
 
+// Each calls f for every non-empty bucket in ascending value order with the
+// bucket's index, inclusive value bounds, and count. It is the stable
+// iteration API consumers should use instead of reaching into raw bucket
+// slices; internal/explain is the first in-tree consumer.
+func (h *Histogram) Each(f func(bucket int, lo, hi, count uint64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		f(i, lo, hi, c)
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile of the observed values:
+// the inclusive upper bound of the first bucket at which the cumulative
+// count reaches q*Count. q is clamped to [0, 1]; an empty histogram returns
+// 0. Because buckets are power-of-two ranges the result is exact to within
+// a factor of two — the right resolution for the positions, distances and
+// intervals this package records.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) >= target && cum > 0 {
+			_, hi := BucketBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
 // BucketBounds returns the inclusive value range [lo, hi] of bucket i.
 func BucketBounds(i int) (lo, hi uint64) {
 	if i == 0 {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -248,5 +249,141 @@ func TestManifestVersionCheck(t *testing.T) {
 	}
 	if _, err := ReadManifest(path); err == nil {
 		t.Error("ReadManifest accepted a future manifest version")
+	}
+}
+
+func TestHistogramEach(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(1000)
+
+	var got []struct {
+		bucket        int
+		lo, hi, count uint64
+	}
+	h.Each(func(bucket int, lo, hi, count uint64) {
+		got = append(got, struct {
+			bucket        int
+			lo, hi, count uint64
+		}{bucket, lo, hi, count})
+	})
+	prev := -1
+	var total uint64
+	for _, b := range got {
+		if b.bucket <= prev {
+			t.Fatalf("Each not in ascending bucket order: %d after %d", b.bucket, prev)
+		}
+		prev = b.bucket
+		if b.count == 0 {
+			t.Fatalf("Each visited empty bucket %d", b.bucket)
+		}
+		lo, hi := BucketBounds(b.bucket)
+		if lo != b.lo || hi != b.hi {
+			t.Fatalf("bucket %d bounds (%d,%d) != BucketBounds (%d,%d)", b.bucket, b.lo, b.hi, lo, hi)
+		}
+		total += b.count
+	}
+	if total != 5 {
+		t.Fatalf("Each covered %d observations, want 5", total)
+	}
+	// Value 0 lands in bucket 0, value 1 in bucket 1: the two singleton buckets.
+	if got[0].bucket != 0 || got[0].count != 1 || got[1].bucket != 1 || got[1].count != 2 {
+		t.Fatalf("low buckets wrong: %+v", got[:2])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var empty Histogram
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram Quantile = %d, want 0", q)
+	}
+
+	// 90 observations of value 1, 10 of value 1000: p50 bounds to bucket(1),
+	// p99 bounds to bucket(1000) capped at the observed max.
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if q := h.Quantile(0.50); q != 1 {
+		t.Errorf("p50 = %d, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Errorf("p99 = %d, want 1000 (bucket upper bound capped at max)", q)
+	}
+	// Clamping: out-of-range q behaves as the endpoints.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Error("q is not clamped to [0, 1]")
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Errorf("p100 = %d, want max 1000", q)
+	}
+}
+
+func TestSnapshotQuantilesMirrorHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 7, 8, 100, 5000, 5000, 70000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.P50 != h.Quantile(0.50) || s.P90 != h.Quantile(0.90) || s.P99 != h.Quantile(0.99) {
+		t.Errorf("snapshot quantile summary (%d/%d/%d) != live (%d/%d/%d)",
+			s.P50, s.P90, s.P99, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if s.Quantile(q) != h.Quantile(q) {
+			t.Errorf("snapshot Quantile(%v) = %d, live = %d", q, s.Quantile(q), h.Quantile(q))
+		}
+	}
+	var fromSnap, fromLive []BucketSnapshot
+	s.Each(func(b BucketSnapshot) { fromSnap = append(fromSnap, b) })
+	h.Each(func(_ int, lo, hi, c uint64) { fromLive = append(fromLive, BucketSnapshot{Lo: lo, Hi: hi, Count: c}) })
+	if len(fromSnap) != len(fromLive) {
+		t.Fatalf("snapshot Each visited %d buckets, live %d", len(fromSnap), len(fromLive))
+	}
+	for i := range fromSnap {
+		if fromSnap[i] != fromLive[i] {
+			t.Errorf("bucket %d: snapshot %+v != live %+v", i, fromSnap[i], fromLive[i])
+		}
+	}
+}
+
+func TestManifestV1StillReadable(t *testing.T) {
+	// A v1 file (no quantile summary) must decode under the v2 reader, with
+	// the quantile fields recomputable from the serialized buckets.
+	path := filepath.Join(t.TempDir(), "v1.json")
+	old := &Manifest{Version: 1, Tool: "t", Entries: []Entry{{
+		Workload: "w", Policy: "p",
+		LLC: Report{HitReuse: HistogramSnapshot{
+			Count: 3, Sum: 12, Max: 8, Mean: 4,
+			Buckets: []BucketSnapshot{{Lo: 2, Hi: 3, Count: 1}, {Lo: 4, Hi: 7, Count: 1}, {Lo: 8, Hi: 15, Count: 1}},
+		}},
+	}}}
+	if err := old.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("v1 manifest refused: %v", err)
+	}
+	hr := got.Entries[0].LLC.HitReuse
+	if hr.P50 != 0 || hr.P90 != 0 {
+		t.Errorf("v1 decode invented quantile fields: %+v", hr)
+	}
+	if q := hr.Quantile(0.5); q != 7 {
+		t.Errorf("recomputed p50 = %d, want 7 (second bucket's bound)", q)
+	}
+	// Below the floor is refused like above the ceiling. (Encode back-fills
+	// a zero version, so write the raw bytes directly.)
+	if err := os.WriteFile(path, []byte(`{"version": 0, "tool": "t"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Error("ReadManifest accepted manifest version 0")
 	}
 }

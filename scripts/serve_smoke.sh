@@ -5,7 +5,10 @@
 # /healthz, then SIGTERM and require a graceful drain with exit code 0.
 # The first phase also submits a one-pass sweep job and requires its lattice
 # point at the daemon's own geometry to carry the exact MPKI string the grid
-# engine produced — the two engines must agree bit for bit over HTTP too.
+# engine produced — the two engines must agree bit for bit over HTTP too —
+# and an explain job via /v1/explain whose prose must cite the very MPKI
+# strings the grid manifest carries (the why report explains the numbers it
+# shares a replay with, not a reestimation of them).
 # A second phase proves the persistent result store: restart the daemon
 # with the same -store directory, resubmit the identical job, and require
 # a store hit in /metrics plus a byte-identical manifest (modulo the
@@ -103,6 +106,35 @@ if [[ "$grid_mpki" != "$sweep_mpki" ]]; then
 fi
 echo "   lru@4096x16 MPKI $sweep_mpki identical to the grid engine's"
 
+echo "== explain job cites the grid engine's MPKI strings"
+plru_mpki=$(tr -d '\n ' <<<"$result" | sed -n 's/.*"workload":"mcf_like","policy":"PLRU","mpki":\([^,]*\),.*/\1/p')
+[[ -n "$plru_mpki" ]] || { echo "could not extract the grid plru MPKI from: $result" >&2; exit 1; }
+ejob=$(curl -sf "http://$addr/v1/explain" -d '{
+    "workloads": ["mcf_like"],
+    "explain": {"policy_a": "lru", "policy_b": "plru"}
+}')
+eid=$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' <<<"$ejob" | head -1)
+[[ -n "$eid" ]] || { echo "explain submit returned no job id: $ejob" >&2; exit 1; }
+curl -sfN "http://$addr/v1/jobs/$eid/stream" >/dev/null # blocks until terminal
+eresult=$(curl -sf "http://$addr/v1/jobs/$eid/result")
+grep -q '|explain=v1' <<<"$eresult" || { echo "explain fingerprint missing |explain=v1: $eresult" >&2; exit 1; }
+grep -q '"workload": "mcf_like"' <<<"$eresult" || { echo "explain result missing the workload: $eresult" >&2; exit 1; }
+# The headline figures must spell the exact strings the grid manifest
+# carries — the why report and the numbers it explains are one source of
+# truth, bit for bit, over HTTP too — and the prose must cite them (every
+# prose branch spells MPKI A with the same JSON string).
+emp_a=$(tr -d '\n ' <<<"$eresult" | sed -n 's/.*"mpki_a":\([^,]*\),.*/\1/p')
+emp_b=$(tr -d '\n ' <<<"$eresult" | sed -n 's/.*"mpki_b":\([^,]*\),.*/\1/p')
+if [[ "$emp_a" != "$grid_mpki" || "$emp_b" != "$plru_mpki" ]]; then
+    echo "explain MPKIs ($emp_a, $emp_b) differ from grid strings ($grid_mpki, $plru_mpki)" >&2
+    exit 1
+fi
+if ! grep -qF "MPKI $grid_mpki" <<<"$eresult" || ! grep -qF "$plru_mpki" <<<"$eresult"; then
+    echo "explain prose does not cite grid MPKIs $grid_mpki / $plru_mpki: $eresult" >&2
+    exit 1
+fi
+echo "   explanation cites MPKI $grid_mpki / $plru_mpki, matching the grid manifest"
+
 echo "== validation is typed (400 on unknown policy / impossible sweep)"
 code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/jobs" -d '{"policies": ["nope"]}')
 [[ "$code" == 400 ]] || { echo "unknown policy returned $code, want 400" >&2; exit 1; }
@@ -112,7 +144,7 @@ code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/jobs" \
 
 echo "== metrics"
 metrics=$(curl -sf "http://$addr/metrics")
-grep -q '"jobs_done": 2' <<<"$metrics" || { echo "metrics missing completed jobs: $metrics" >&2; exit 1; }
+grep -q '"jobs_done": 3' <<<"$metrics" || { echo "metrics missing completed jobs: $metrics" >&2; exit 1; }
 
 echo "== SIGTERM drains and exits 0"
 kill -TERM "$serve_pid"

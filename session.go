@@ -3,11 +3,13 @@ package gippr
 import (
 	"gippr/internal/cache"
 	"gippr/internal/cpu"
+	"gippr/internal/explain"
 	"gippr/internal/ga"
 	"gippr/internal/ipv"
 	"gippr/internal/parallel"
 	"gippr/internal/policy"
 	"gippr/internal/stackdist"
+	"gippr/internal/stats"
 	"gippr/internal/telemetry"
 	"gippr/internal/workload"
 )
@@ -24,6 +26,12 @@ var (
 	ErrUnknownWorkload = workload.ErrUnknownWorkload
 	// ErrBadVector marks a malformed or out-of-range IPV.
 	ErrBadVector = ipv.ErrBadVector
+	// ErrExplainMismatch marks a Session.Explain whose two sides did not
+	// replay the same stream over the same window.
+	ErrExplainMismatch = explain.ErrMismatch
+	// ErrExplainInconsistent marks a Session.Explain side whose telemetry
+	// disagrees with its replay statistics.
+	ErrExplainInconsistent = explain.ErrInconsistent
 )
 
 // TelemetrySink collects cache events (hits, misses, insertions, promotion
@@ -126,9 +134,13 @@ func (s *Session) Hierarchy(llc Policy) *Hierarchy {
 }
 
 // Replay replays an LLC access stream into a standalone cache with the
-// Session's geometry (honouring WithSampling) and returns miss statistics;
-// the first warm accesses only warm the cache. A sink attached via
-// WithTelemetry records the measurement window's events.
+// Session's geometry (honouring WithSampling) and returns the measurement
+// window's miss statistics. The warm argument follows the package-wide
+// warm-up contract (see the package comment): the first warm records only
+// populate cache state and count toward nothing, and a warm beyond the
+// stream's length clamps to it. A sink attached via WithTelemetry records
+// the measurement window's events — it is reset at the warm boundary, so
+// its counts describe exactly the window ReplayStats describes.
 func (s *Session) Replay(stream []Record, pol Policy, warm int) ReplayStats {
 	return cache.ReplayStreamTel(stream, s.cfg, pol, warm, s.sink)
 }
@@ -154,11 +166,13 @@ type SweepResult = stackdist.Sweep
 // exact Mattson stack-distance engine covers every LRU geometry in the
 // lattice (each power-of-two set count in [MinSets, MaxSets] crossed with
 // associativities 1..MaxWays), and each opts.PLRU tree-PLRU geometry is
-// co-simulated in the same pass. Zero-valued geometry fields default to the
-// Session's own: BlockBytes, MaxWays and the set-count bounds come from the
-// configured LLC. Impossible sweeps (non-power-of-two shapes, tree-PLRU
-// ways beyond a PseudoLRU set's capacity) fail up front wrapping
-// ErrBadGeometry — never mid-replay.
+// co-simulated in the same pass. Zero-valued option fields default to the
+// Session's own configuration per the package-wide zero-value contract
+// (see the package comment): BlockBytes, MaxWays and the set-count bounds
+// come from the configured LLC, and opts.Warm follows the shared warm-up
+// contract. Impossible sweeps (non-power-of-two shapes, tree-PLRU ways
+// beyond a PseudoLRU set's capacity) fail up front wrapping ErrBadGeometry
+// — never mid-replay.
 func (s *Session) Sweep(stream []Record, opts SweepOptions) (*SweepResult, error) {
 	if opts.BlockBytes == 0 {
 		opts.BlockBytes = s.cfg.BlockBytes
@@ -173,6 +187,76 @@ func (s *Session) Sweep(stream []Record, opts SweepOptions) (*SweepResult, error
 		opts.MaxWays = s.cfg.Ways
 	}
 	return stackdist.Run(stream, opts)
+}
+
+// ExplainOptions configures Session.Explain. The zero value measures the
+// whole stream and labels the explanation "stream".
+type ExplainOptions struct {
+	// Warm is the number of leading stream records used only to warm both
+	// caches, per the package-wide warm-up contract (see the package
+	// comment).
+	Warm int
+	// Workload labels the resulting explanation (its JSON "workload"
+	// field); empty reads as "stream".
+	Workload string
+}
+
+// Explanation is the versioned policy-diff "why" report: an exact
+// per-reuse-interval decomposition of one policy's miss delta over another
+// on the same stream, plus the insertion/promotion divergence behind it
+// and a deterministic prose rendering. gippr-report's diff section and
+// gippr-serve's /v1/explain emit this same document.
+type Explanation = explain.Explanation
+
+// Explain replays one LLC access stream under two registry policies (the
+// same names Session.Policy accepts) at the Session's geometry and
+// explains polB's misses relative to polA's. Both replays honour
+// WithSampling and the shared warm-up contract; each side records into a
+// private telemetry sink, so a sink attached via WithTelemetry is left
+// untouched. Unknown names wrap ErrUnknownPolicy; sides whose miss delta
+// cannot be decomposed exactly are refused with ErrExplainMismatch or
+// ErrExplainInconsistent rather than approximated.
+func (s *Session) Explain(stream []Record, polA, polB string, opts ExplainOptions) (*Explanation, error) {
+	label := opts.Workload
+	if label == "" {
+		label = "stream"
+	}
+	a, err := s.explainSide(stream, polA, opts.Warm)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.explainSide(stream, polB, opts.Warm)
+	if err != nil {
+		return nil, err
+	}
+	return explain.Diff(label, a, b)
+}
+
+// explainSide builds one diff input from a standalone instrumented replay
+// with a private sink. MPKI uses the same expression as the experiment
+// harness (stats.MPKI, scaled up by the sampling factor only when sampling
+// is on), so facade figures match report figures for the same run.
+func (s *Session) explainSide(stream []Record, name string, warm int) (explain.Side, error) {
+	f, err := policy.Lookup(name)
+	if err != nil {
+		return explain.Side{}, err
+	}
+	var sink TelemetrySink
+	rs := cache.ReplayStreamTel(stream, s.cfg, f.New(s.cfg.Sets(), s.cfg.Ways), warm, &sink)
+	side := explain.Side{
+		Policy:       f.Name,
+		MPKI:         stats.MPKI(rs.Misses, rs.Instructions),
+		Misses:       rs.Misses,
+		Hits:         rs.Hits,
+		Accesses:     rs.Accesses,
+		Instructions: rs.Instructions,
+		Telemetry:    sink.Report(),
+	}
+	if s.cfg.SampleShift != 0 {
+		side.MPKIScale = s.cfg.SampleFactor()
+		side.MPKI *= side.MPKIScale
+	}
+	return side, nil
 }
 
 // EvolveEnv builds a GIPPR fitness environment over LLC-filtered streams at

@@ -197,3 +197,83 @@ func TestDeprecatedWrappersStillWork(t *testing.T) {
 		t.Fatal("NewEvolveEnv returned nil")
 	}
 }
+
+// Session.Explain: the facade path of the explain engine. A small-cache
+// diff must decompose exactly, honour the warm-up contract, leave the
+// session's own sink untouched, and surface typed errors.
+func TestSessionExplain(t *testing.T) {
+	cfg := CacheConfig{Name: "t", SizeBytes: 64 * 64, Ways: 16, BlockBytes: 64, HitLatency: 1}
+	sink := &TelemetrySink{}
+	s, err := New(cfg, WithTelemetry(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := sessionStream(30_000)
+	warm := 10_000
+
+	e, err := s.Explain(stream, "lru", "lip", ExplainOptions{Warm: warm, Workload: "synthetic"})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if e.Workload != "synthetic" || e.PolicyA != "LRU" || e.PolicyB != "LIP" {
+		t.Errorf("labels = %q %q %q", e.Workload, e.PolicyA, e.PolicyB)
+	}
+	var sum int64
+	for _, b := range e.Reuse {
+		sum += b.SavedMisses
+	}
+	if sum != e.MissesSaved {
+		t.Errorf("decomposition sums to %d, miss delta is %d", sum, e.MissesSaved)
+	}
+	// The headline counts are the same replay Session.Replay performs.
+	lru, err := s.Policy("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := s.Replay(stream, lru, warm)
+	if e.MissesA != rs.Misses || e.Accesses != rs.Accesses || e.Instructions != rs.Instructions {
+		t.Errorf("side A (%d/%d/%d) disagrees with Session.Replay (%d/%d/%d)",
+			e.MissesA, e.Accesses, e.Instructions, rs.Misses, rs.Accesses, rs.Instructions)
+	}
+
+	// The session's attached sink must only have seen the Replay above, not
+	// the Explain's two private replays.
+	if got, want := sink.Accesses(), rs.Accesses; got != want {
+		t.Errorf("session sink saw %d accesses, want %d (Explain must use private sinks)", got, want)
+	}
+
+	if _, err := s.Explain(stream, "lru", "nope", ExplainOptions{}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("unknown policy error = %v, want ErrUnknownPolicy", err)
+	}
+
+	// The empty label defaults to "stream".
+	e2, err := s.Explain(stream[:2_000], "lru", "plru", ExplainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Workload != "stream" {
+		t.Errorf("default workload label = %q, want \"stream\"", e2.Workload)
+	}
+}
+
+// Under WithSampling the decomposition identity still holds on the sampled
+// population, and the MPKI scale is recorded on the explanation's sides.
+func TestSessionExplainSampled(t *testing.T) {
+	cfg := CacheConfig{Name: "t", SizeBytes: 256 * 64, Ways: 4, BlockBytes: 64, HitLatency: 1}
+	s, err := New(cfg, WithSampling(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := sessionStream(30_000)
+	e, err := s.Explain(stream, "lru", "lip", ExplainOptions{Warm: 5_000})
+	if err != nil {
+		t.Fatalf("Explain under sampling: %v", err)
+	}
+	var sum int64
+	for _, b := range e.Reuse {
+		sum += b.SavedMisses
+	}
+	if sum != e.MissesSaved {
+		t.Errorf("sampled decomposition sums to %d, miss delta is %d", sum, e.MissesSaved)
+	}
+}
